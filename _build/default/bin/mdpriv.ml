@@ -1,0 +1,596 @@
+(* mdpriv — model-driven privacy risk analysis from the command line.
+
+   Subcommands mirror the pipeline: validate a model file, render it (or
+   its generated LTS) as DOT, run disclosure-risk analysis, simulate a
+   trace against the runtime monitor, and analyse a CSV release for
+   k-anonymity and value risk. *)
+
+open Cmdliner
+module Core = Mdp_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_model path =
+  match Mdp_dsl.Parser.parse (read_file path) with
+  | Ok m -> Ok m
+  | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+
+(* ----- shared arguments ----- *)
+
+let model_arg =
+  let doc = "Model file in the mdpriv description language." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+
+let services_arg =
+  let doc = "Restrict to these services (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "service" ] ~docv:"SERVICE" ~doc)
+
+let exits_with_error = 1
+
+(* ----- validate ----- *)
+
+let validate_cmd =
+  let run path =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok model ->
+      let d = model.Mdp_dsl.Parser.diagram in
+      Printf.printf
+        "ok: %d actors, %d datastores, %d services, %d fields (%d state \
+         variable pairs)\n"
+        (List.length d.Mdp_dataflow.Diagram.actors)
+        (List.length d.Mdp_dataflow.Diagram.datastores)
+        (List.length d.Mdp_dataflow.Diagram.services)
+        (List.length (Mdp_dataflow.Diagram.all_fields d))
+        (List.length d.Mdp_dataflow.Diagram.actors
+        * List.length (Mdp_dataflow.Diagram.all_fields d));
+      0
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Parse and validate a model file.")
+    Term.(const run $ model_arg)
+
+(* ----- dot ----- *)
+
+let dot_cmd =
+  let run path lts_mode flow_only services =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } ->
+      if not lts_mode then print_string (Mdp_dataflow.Dot.to_string diagram)
+      else begin
+        let u = Core.Universe.make diagram policy in
+        let base =
+          if flow_only then Core.Generate.flow_only
+          else Core.Generate.default_options
+        in
+        let options =
+          match services with
+          | [] -> base
+          | l -> { base with Core.Generate.services = Some l }
+        in
+        let lts = Core.Generate.run ~options u in
+        print_string (Core.Lts_render.to_dot u lts)
+      end;
+      0
+  in
+  let lts_flag =
+    Arg.(value & flag & info [ "lts" ] ~doc:"Render the generated LTS instead of the data-flow diagram.")
+  in
+  let flow_only_flag =
+    Arg.(value & flag & info [ "flow-only" ] ~doc:"Omit policy-derived potential actions.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for the data-flow diagram or the privacy LTS.")
+    Term.(const run $ model_arg $ lts_flag $ flow_only_flag $ services_arg)
+
+(* ----- lts ----- *)
+
+let lts_cmd =
+  let run path flow_only granular services =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } ->
+      let u = Core.Universe.make diagram policy in
+      let base =
+        if flow_only then Core.Generate.flow_only
+        else Core.Generate.default_options
+      in
+      let options =
+        {
+          base with
+          Core.Generate.granular_reads = granular;
+          services = (match services with [] -> None | l -> Some l);
+        }
+      in
+      let lts = Core.Generate.run ~options u in
+      print_endline (Core.Lts_render.summary u lts);
+      0
+  in
+  let flow_only_flag =
+    Arg.(value & flag & info [ "flow-only" ] ~doc:"Flows only; no potential actions.")
+  in
+  let granular_flag =
+    Arg.(value & flag & info [ "granular" ] ~doc:"Potential reads fetch one field at a time.")
+  in
+  Cmd.v
+    (Cmd.info "lts" ~doc:"Generate the privacy LTS and print its statistics.")
+    Term.(const run $ model_arg $ flow_only_flag $ granular_flag $ services_arg)
+
+(* ----- risk ----- *)
+
+let parse_sensitivity s =
+  match String.split_on_char '=' s with
+  | [ field; value ] -> (
+    match float_of_string_opt value with
+    | Some v -> Ok (Mdp_dataflow.Field.of_name field, v)
+    | None -> Error (`Msg (Printf.sprintf "bad sensitivity value in %S" s)))
+  | _ -> Error (`Msg (Printf.sprintf "expected Field=0.9, got %S" s))
+
+let risk_cmd =
+  let run path agreed sens_specs json =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | spec :: rest -> (
+          match parse_sensitivity spec with
+          | Ok pair -> collect (pair :: acc) rest
+          | Error (`Msg e) -> Error e)
+      in
+      match collect [] sens_specs with
+      | Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok sensitivities ->
+        let profile =
+          Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+        in
+        let analysis = Core.Analysis.run ~profile diagram policy in
+        if json then print_endline (Core.Report.to_string analysis)
+        else Format.printf "%a@." Core.Analysis.pp_summary analysis;
+        0)
+  in
+  let agree =
+    Arg.(
+      value & opt_all string []
+      & info [ "agree" ] ~docv:"SERVICE" ~doc:"Service the user agreed to (repeatable).")
+  in
+  let sens =
+    Arg.(
+      value & opt_all string []
+      & info [ "sensitivity" ] ~docv:"FIELD=V"
+          ~doc:"Field sensitivity in [0,1] (repeatable), e.g. Diagnosis=0.9.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "risk" ~doc:"Run §III-A disclosure-risk analysis for a user profile.")
+    Term.(const run $ model_arg $ agree $ sens $ json)
+
+(* ----- simulate ----- *)
+
+let parse_snooper s =
+  match String.split_on_char ':' s with
+  | [ actor; store; prob ] -> (
+    match float_of_string_opt prob with
+    | Some probability -> Ok { Mdp_runtime.Sim.actor; store; probability }
+    | None -> Error (Printf.sprintf "bad probability in %S" s))
+  | _ -> Error (Printf.sprintf "expected ACTOR:STORE:PROB, got %S" s)
+
+let simulate_cmd =
+  let run path services snoop_specs seed agreed sens_specs =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | spec :: rest -> (
+          match parse_snooper spec with
+          | Ok sn -> collect (sn :: acc) rest
+          | Error e -> Error e)
+      in
+      match collect [] snoop_specs with
+      | Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok snoopers ->
+        let sensitivities =
+          List.filter_map
+            (fun s -> Result.to_option (parse_sensitivity s))
+            sens_specs
+        in
+        let profile =
+          Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+        in
+        let analysis = Core.Analysis.run ~profile diagram policy in
+        let services =
+          match services with
+          | [] ->
+            List.map
+              (fun (s : Mdp_dataflow.Service.t) -> s.id)
+              diagram.Mdp_dataflow.Diagram.services
+          | l -> l
+        in
+        let trace =
+          Mdp_runtime.Sim.run analysis.Core.Analysis.universe
+            { seed; services; snoopers }
+        in
+        let monitor =
+          Mdp_runtime.Monitor.create analysis.Core.Analysis.universe
+            analysis.Core.Analysis.lts
+        in
+        List.iter
+          (fun event ->
+            Format.printf "%a@." Mdp_runtime.Event.pp event;
+            List.iter
+              (fun alert ->
+                Format.printf "  !! %a@." Mdp_runtime.Monitor.pp_alert alert)
+              (Mdp_runtime.Monitor.observe monitor event))
+          trace;
+        0)
+  in
+  let snoop =
+    Arg.(
+      value & opt_all string []
+      & info [ "snoop" ] ~docv:"ACTOR:STORE:PROB"
+          ~doc:"Opportunistic reader (repeatable).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+  in
+  let agree =
+    Arg.(value & opt_all string [] & info [ "agree" ] ~docv:"SERVICE" ~doc:"Agreed service.")
+  in
+  let sens =
+    Arg.(value & opt_all string [] & info [ "sensitivity" ] ~docv:"FIELD=V" ~doc:"Field sensitivity.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a subject's trace and run the privacy monitor over it.")
+    Term.(const run $ model_arg $ services_arg $ snoop $ seed $ agree $ sens)
+
+(* ----- anon ----- *)
+
+let anon_cmd =
+  let run csv_path quasi sensitive k closeness confidence =
+    let kinds =
+      List.map (fun q -> (q, Mdp_anon.Attribute.Quasi)) quasi
+      @ [ (sensitive, Mdp_anon.Attribute.Sensitive) ]
+    in
+    match Mdp_anon.Csv.parse ~kinds (read_file csv_path) with
+    | Error e ->
+      prerr_endline e;
+      exits_with_error
+    | Ok ds -> (
+      match Mdp_anon.Mondrian.anonymise ~k ds with
+      | Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok release ->
+        print_string (Mdp_anon.Csv.render release);
+        let policy =
+          { Mdp_anon.Value_risk.sensitive; closeness; confidence }
+        in
+        List.iter
+          (fun report ->
+            Format.printf "%a@." Mdp_anon.Value_risk.pp_report report)
+          (Mdp_anon.Value_risk.sweep release policy);
+        0)
+  in
+  let csv =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CSV" ~doc:"Microdata CSV file.")
+  in
+  let quasi =
+    Arg.(value & opt_all string [] & info [ "quasi" ] ~docv:"ATTR" ~doc:"Quasi-identifier column.")
+  in
+  let sensitive =
+    Arg.(required & opt (some string) None & info [ "sensitive" ] ~docv:"ATTR" ~doc:"Sensitive column.")
+  in
+  let k = Arg.(value & opt int 2 & info [ "k"; "kanon" ] ~doc:"k-anonymity parameter.") in
+  let closeness =
+    Arg.(value & opt float 5.0 & info [ "closeness" ] ~doc:"Value-risk closeness radius.")
+  in
+  let confidence =
+    Arg.(value & opt float 0.9 & info [ "confidence" ] ~doc:"Violation confidence threshold.")
+  in
+  Cmd.v
+    (Cmd.info "anon"
+       ~doc:"Mondrian-anonymise a CSV and sweep §III-B value risk over it.")
+    Term.(const run $ csv $ quasi $ sensitive $ k $ closeness $ confidence)
+
+
+(* ----- check (requirements) ----- *)
+
+let check_cmd =
+  let run path specs agreed sens_specs =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | spec :: rest -> (
+          match Core.Requirement.of_spec spec with
+          | Ok r -> collect (r :: acc) rest
+          | Error e -> Error e)
+      in
+      match collect [] specs with
+      | Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok requirements ->
+        let u = Core.Universe.make diagram policy in
+        let lts = Core.Generate.run u in
+        (* Risk annotations are needed for maxrisk requirements. *)
+        let sensitivities =
+          List.filter_map
+            (fun s -> Result.to_option (parse_sensitivity s))
+            sens_specs
+        in
+        (if agreed <> [] || sensitivities <> [] then
+           let profile =
+             Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+           in
+           ignore (Core.Disclosure_risk.analyse u lts profile));
+        let violations = Core.Requirement.check u lts requirements in
+        List.iter
+          (fun r ->
+            if
+              List.exists
+                (fun (v : Core.Requirement.violation) -> v.requirement = r)
+                violations
+            then Format.printf "VIOLATED %a@." Core.Requirement.pp r
+            else Format.printf "ok       %a@." Core.Requirement.pp r)
+          requirements;
+        List.iter
+          (fun v -> Format.printf "@.%a@." Core.Requirement.pp_violation v)
+          violations;
+        if violations = [] then 0 else exits_with_error)
+  in
+  let specs =
+    Arg.(
+      value & opt_all string []
+      & info [ "require" ] ~docv:"REQ"
+          ~doc:
+            "Requirement (repeatable): never=A:F, nevercould=A:F, \
+             noaction=A:KIND, purposes=F:p1;p2, maxrisk=LEVEL.")
+  in
+  let agree =
+    Arg.(value & opt_all string [] & info [ "agree" ] ~docv:"SERVICE" ~doc:"Agreed service (for maxrisk).")
+  in
+  let sens =
+    Arg.(value & opt_all string [] & info [ "sensitivity" ] ~docv:"FIELD=V" ~doc:"Field sensitivity (for maxrisk).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check declarative privacy requirements against the generated LTS.")
+    Term.(const run $ model_arg $ specs $ agree $ sens)
+
+(* ----- population ----- *)
+
+let population_cmd =
+  let run path size seed agree_probability =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } ->
+      let u = Core.Universe.make diagram policy in
+      let lts = Core.Generate.run u in
+      let spec =
+        {
+          Core.Population.seed;
+          size;
+          westin_mix = Core.Population.default_mix;
+          agree_probability;
+        }
+      in
+      let profiles = Core.Population.simulate spec diagram in
+      Format.printf "%a@." Core.Population.pp_aggregate
+        (Core.Population.analyse u lts profiles);
+      0
+  in
+  let size =
+    Arg.(value & opt int 100 & info [ "size" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let agreep =
+    Arg.(
+      value & opt float 0.6
+      & info [ "agree-probability" ] ~docv:"P"
+          ~doc:"Per-service agreement probability.")
+  in
+  Cmd.v
+    (Cmd.info "population"
+       ~doc:"Aggregate disclosure risk over a simulated user population.")
+    Term.(const run $ model_arg $ size $ seed $ agreep)
+
+
+(* ----- monitor (offline trace replay) ----- *)
+
+let monitor_cmd =
+  let run path trace_path agreed sens_specs =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      match Mdp_runtime.Trace.of_lines (read_file trace_path) with
+      | Error e ->
+        prerr_endline (trace_path ^ ": " ^ e);
+        exits_with_error
+      | Ok trace ->
+        let sensitivities =
+          List.filter_map
+            (fun s -> Result.to_option (parse_sensitivity s))
+            sens_specs
+        in
+        let profile =
+          Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+        in
+        let analysis = Core.Analysis.run ~profile diagram policy in
+        Format.printf "%a@." Mdp_runtime.Trace.pp_stats
+          (Mdp_runtime.Trace.stats trace);
+        let monitor =
+          Mdp_runtime.Monitor.create analysis.Core.Analysis.universe
+            analysis.Core.Analysis.lts
+        in
+        let alerts = ref 0 in
+        List.iter
+          (fun event ->
+            List.iter
+              (fun alert ->
+                incr alerts;
+                Format.printf "%a@." Mdp_runtime.Monitor.pp_alert alert)
+              (Mdp_runtime.Monitor.observe monitor event))
+          trace;
+        Format.printf "%d event(s), %d alert(s)@." (List.length trace) !alerts;
+        if !alerts = 0 then 0 else exits_with_error)
+  in
+  let trace_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE" ~doc:"Recorded event trace file.")
+  in
+  let agree =
+    Arg.(value & opt_all string [] & info [ "agree" ] ~docv:"SERVICE" ~doc:"Agreed service.")
+  in
+  let sens =
+    Arg.(value & opt_all string [] & info [ "sensitivity" ] ~docv:"FIELD=V" ~doc:"Field sensitivity.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay a recorded event trace through the privacy monitor.")
+    Term.(const run $ model_arg $ trace_arg $ agree $ sens)
+
+
+(* ----- transfers (deployment analysis) ----- *)
+
+let transfers_cmd =
+  let run path agreed sens_specs =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; placement } -> (
+      match placement with
+      | None ->
+        prerr_endline
+          "model declares no deployment: add node/place stanzas";
+        exits_with_error
+      | Some p -> (
+        let u = Core.Universe.make diagram policy in
+        let nodes =
+          List.map
+            (fun (n : Mdp_dsl.Parser.node_decl) ->
+              { Mdp_runtime.Deployment.id = n.node; region = n.region })
+            p.nodes
+        in
+        match
+          Mdp_runtime.Deployment.create ~nodes ~actors:p.actor_nodes
+            ~stores:p.store_nodes u
+        with
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          exits_with_error
+        | Ok deployment ->
+          let lts = Core.Generate.run u in
+          let transfers = Mdp_runtime.Deployment.transfers deployment lts in
+          List.iter
+            (fun tr ->
+              Format.printf "%a@." Mdp_runtime.Deployment.pp_transfer tr)
+            transfers;
+          let sensitivities =
+            List.filter_map
+              (fun s -> Result.to_option (parse_sensitivity s))
+              sens_specs
+          in
+          if agreed <> [] || sensitivities <> [] then begin
+            let profile =
+              Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+            in
+            match
+              Mdp_runtime.Deployment.risky_transfers deployment lts profile
+            with
+            | [] -> Format.printf "@.no unconsented cross-region transfers@."
+            | risky ->
+              Format.printf "@.unconsented cross-region transfers:@.";
+              List.iter
+                (fun tr ->
+                  Format.printf "  %a@." Mdp_runtime.Deployment.pp_transfer tr)
+                risky
+          end;
+          0))
+  in
+  let agree =
+    Arg.(value & opt_all string [] & info [ "agree" ] ~docv:"SERVICE" ~doc:"Agreed service.")
+  in
+  let sens =
+    Arg.(value & opt_all string [] & info [ "sensitivity" ] ~docv:"FIELD=V" ~doc:"Field sensitivity.")
+  in
+  Cmd.v
+    (Cmd.info "transfers"
+       ~doc:"List network transfers under the model's node placement.")
+    Term.(const run $ model_arg $ agree $ sens)
+
+
+(* ----- transparency ----- *)
+
+let transparency_cmd =
+  let run path worst =
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } ->
+      let u = Core.Universe.make diagram policy in
+      let lts = Core.Generate.run u in
+      let entries =
+        if worst then Core.Transparency.worst_case u lts
+        else Core.Transparency.at_state u lts (Core.Plts.initial lts)
+      in
+      (if entries = [] then
+         print_endline
+           "(no exposure at the initial state; pass --worst-case for the \
+            whole model)"
+       else Format.printf "@[<v>%a@]@." Core.Transparency.pp entries);
+      0
+  in
+  let worst =
+    Arg.(
+      value & flag
+      & info [ "worst-case" ]
+          ~doc:"Union over every reachable state instead of the initial one.")
+  in
+  Cmd.v
+    (Cmd.info "transparency"
+       ~doc:"Data-subject transparency report: who could see which fields.")
+    Term.(const run $ model_arg $ worst)
+
+let () =
+  let info =
+    Cmd.info "mdpriv" ~version:"1.0.0"
+      ~doc:"Model-driven identification of privacy risks in data services."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ validate_cmd; dot_cmd; lts_cmd; risk_cmd; simulate_cmd; anon_cmd;
+            check_cmd; population_cmd; monitor_cmd; transfers_cmd;
+            transparency_cmd ]))

@@ -1,0 +1,1 @@
+examples/compliance_audit.ml: Format Healthcare List Mdp_anon Mdp_core Mdp_dataflow Mdp_scenario

@@ -1,0 +1,1 @@
+examples/distributed_deployment.ml: Format Healthcare List Mdp_core Mdp_runtime Mdp_scenario String

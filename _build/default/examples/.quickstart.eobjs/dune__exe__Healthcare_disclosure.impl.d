@@ -1,0 +1,1 @@
+examples/healthcare_disclosure.ml: Format Healthcare List Mdp_core Mdp_dataflow Mdp_policy Mdp_scenario Option String

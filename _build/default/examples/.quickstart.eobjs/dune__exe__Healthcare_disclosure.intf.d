@@ -1,0 +1,1 @@
+examples/healthcare_disclosure.mli:

@@ -1,0 +1,1 @@
+examples/live_reassessment.ml: Float Format Healthcare List Mdp_anon Mdp_core Mdp_dataflow Mdp_prelude Mdp_runtime Mdp_scenario Printf

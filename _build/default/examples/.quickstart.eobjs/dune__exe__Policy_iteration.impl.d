@@ -1,0 +1,1 @@
+examples/policy_iteration.ml: Format Healthcare Int List Mdp_core Mdp_dataflow Mdp_policy Mdp_prelude Mdp_scenario Option

@@ -1,0 +1,1 @@
+examples/pseudonymisation_risk.ml: Format Healthcare List Mdp_anon Mdp_core Mdp_prelude Mdp_scenario

@@ -1,0 +1,1 @@
+examples/pseudonymisation_risk.mli:

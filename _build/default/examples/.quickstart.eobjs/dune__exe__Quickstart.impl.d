@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Field Format List Mdp_core Mdp_dataflow Mdp_policy

@@ -1,0 +1,1 @@
+examples/smart_home_monitoring.ml: Format List Mdp_core Mdp_runtime Mdp_scenario Option Smart_home

@@ -1,0 +1,1 @@
+examples/smart_home_monitoring.mli:

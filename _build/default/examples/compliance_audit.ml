@@ -1,0 +1,92 @@
+(* Compliance audit: declarative privacy requirements checked against the
+   generated LTS (the behaviour-vs-policy analysis of the paper's §V),
+   plus a population-level sweep with questionnaire-derived profiles and
+   a t-closeness check of the pseudonymised release.
+
+     dune exec examples/compliance_audit.exe *)
+
+open Mdp_scenario
+module Core = Mdp_core
+module A = Mdp_anon
+module Field = Mdp_dataflow.Field
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  let u = Core.Universe.make Healthcare.diagram Healthcare.policy in
+  let lts = Core.Generate.run u in
+  ignore (Core.Disclosure_risk.analyse u lts Healthcare.profile_case_a);
+
+  section "Requirements audit on the healthcare model";
+  let requirements =
+    [
+      Core.Requirement.Never_identifies
+        { actor = "Receptionist"; field = Healthcare.diagnosis };
+      Core.Requirement.Never_identifies
+        { actor = "Administrator"; field = Healthcare.diagnosis };
+      Core.Requirement.Never_could_identify
+        { actor = "Researcher"; field = Healthcare.diagnosis };
+      Core.Requirement.Only_for_purposes
+        {
+          field = Healthcare.appointment;
+          purposes = [ "schedule appointment"; "prepare consultation" ];
+        };
+      Core.Requirement.No_action_by
+        { actor = "Researcher"; kind = Core.Action.Create };
+      Core.Requirement.Max_disclosure_risk Core.Level.Low;
+    ]
+  in
+  List.iter
+    (fun req ->
+      if Core.Requirement.holds u lts req then
+        Format.printf "ok       %a@." Core.Requirement.pp req
+      else Format.printf "VIOLATED %a@." Core.Requirement.pp req)
+    requirements;
+  (match
+     Core.Requirement.check u lts
+       [
+         Core.Requirement.Never_identifies
+           { actor = "Administrator"; field = Healthcare.diagnosis };
+       ]
+   with
+  | [ v ] -> Format.printf "@.%a@." Core.Requirement.pp_violation v
+  | _ -> ());
+
+  section "Population sweep (questionnaire-derived profiles)";
+  let spec =
+    {
+      Core.Population.seed = 2026;
+      size = 200;
+      westin_mix = Core.Population.default_mix;
+      agree_probability = 0.6;
+    }
+  in
+  let profiles = Core.Population.simulate spec Healthcare.diagram in
+  let aggregate = Core.Population.analyse u lts profiles in
+  Format.printf "%a@." Core.Population.pp_aggregate aggregate;
+
+  section "Same population after the policy fix";
+  let u' = Core.Universe.with_policy u Healthcare.fixed_policy in
+  let lts' = Core.Generate.run u' in
+  ignore lts;
+  Format.printf "%a@." Core.Population.pp_aggregate
+    (Core.Population.analyse u' lts' profiles);
+  Format.printf
+    "note: questionnaire baselines rate every field sensitive, so revoking@.\
+     the single Diagnosis read barely moves the population aggregate --@.\
+     unlike the single-user case study, where it was the only High field.@.";
+
+  section "Pseudonymised release: diversity and closeness";
+  let release = Healthcare.table1_released in
+  Format.printf "distinct l-diversity of Weight: %d@."
+    (A.Ldiv.distinct release ~sensitive:"Weight");
+  (match A.Tcloseness.numeric_emd release ~sensitive:"Weight" with
+  | Some emd ->
+    Format.printf "worst-class EMD (t-closeness): %.3f -> %s@." emd
+      (if A.Tcloseness.is_t_close ~t:0.25 release ~sensitive:"Weight" then
+         "0.25-close"
+       else "NOT 0.25-close: classes are skewed, value risk persists")
+  | None -> ());
+  Format.printf
+    "conclusion: 2-anonymity alone leaves Table-I value risk; require \
+     l >= 2 AND t-closeness before release.@."

@@ -1,0 +1,1 @@
+lib/anon/attribute.mli: Format

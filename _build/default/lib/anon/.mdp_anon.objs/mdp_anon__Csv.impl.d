@@ -1,0 +1,1 @@
+lib/anon/csv.ml: Attribute Buffer Dataset List Option Printf String Value

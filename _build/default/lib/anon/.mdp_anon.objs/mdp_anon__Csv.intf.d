@@ -1,0 +1,1 @@
+lib/anon/csv.mli: Attribute Dataset

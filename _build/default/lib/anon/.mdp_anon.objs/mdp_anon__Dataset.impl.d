@@ -1,0 +1,1 @@
+lib/anon/dataset.ml: Array Attribute List Listx Mdp_prelude Printf String Texttable Value

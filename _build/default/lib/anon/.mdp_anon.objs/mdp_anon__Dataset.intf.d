@@ -1,0 +1,1 @@
+lib/anon/dataset.mli: Attribute Format Value

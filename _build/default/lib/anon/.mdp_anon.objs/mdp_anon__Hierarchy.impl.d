@@ -1,0 +1,1 @@
+lib/anon/hierarchy.ml: Float List Value

@@ -1,0 +1,1 @@
+lib/anon/hierarchy.mli: Value

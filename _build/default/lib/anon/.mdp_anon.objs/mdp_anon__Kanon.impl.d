@@ -1,0 +1,1 @@
+lib/anon/kanon.ml: Dataset Float Fun Hierarchy Int List Mdp_prelude Value

@@ -1,0 +1,1 @@
+lib/anon/kanon.mli: Dataset Hierarchy

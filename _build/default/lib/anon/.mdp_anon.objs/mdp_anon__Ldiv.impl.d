@@ -1,0 +1,1 @@
+lib/anon/ldiv.ml: Dataset Float Fun Kanon List Mdp_prelude Value

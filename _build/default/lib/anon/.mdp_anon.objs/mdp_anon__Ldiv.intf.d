@@ -1,0 +1,1 @@
+lib/anon/ldiv.mli: Dataset

@@ -1,0 +1,1 @@
+lib/anon/mondrian.ml: Dataset Float Fun Hashtbl List Printf Result Value

@@ -1,0 +1,1 @@
+lib/anon/mondrian.mli: Dataset

@@ -1,0 +1,1 @@
+lib/anon/reident.ml: Attribute Dataset Float Fun Kanon List Mdp_prelude Value

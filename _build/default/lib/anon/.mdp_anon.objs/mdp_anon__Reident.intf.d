@@ -1,0 +1,1 @@
+lib/anon/reident.mli: Dataset

@@ -1,0 +1,1 @@
+lib/anon/release_gate.ml: Attribute Dataset Format Kanon Ldiv List Option Printf String Tcloseness Utility Value_risk

@@ -1,0 +1,1 @@
+lib/anon/release_gate.mli: Dataset Format Value_risk

@@ -1,0 +1,1 @@
+lib/anon/tcloseness.ml: Dataset Float Fun Kanon List Mdp_prelude Option Value

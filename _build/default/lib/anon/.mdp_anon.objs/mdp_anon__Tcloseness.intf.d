@@ -1,0 +1,1 @@
+lib/anon/tcloseness.mli: Dataset

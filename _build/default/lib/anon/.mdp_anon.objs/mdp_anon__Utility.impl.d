@@ -1,0 +1,1 @@
+lib/anon/utility.ml: Dataset Float Hierarchy Kanon List Mdp_prelude Option Value

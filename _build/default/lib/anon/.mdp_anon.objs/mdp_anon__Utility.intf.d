@@ -1,0 +1,1 @@
+lib/anon/utility.mli: Dataset Kanon

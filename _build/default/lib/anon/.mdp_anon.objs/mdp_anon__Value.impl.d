@@ -1,0 +1,1 @@
+lib/anon/value.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/anon/value.mli: Format

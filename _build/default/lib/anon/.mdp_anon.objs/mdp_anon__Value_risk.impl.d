@@ -1,0 +1,1 @@
+lib/anon/value_risk.ml: Array Attribute Dataset Format Frac Int List Listx Mdp_prelude Option String Value

@@ -1,0 +1,1 @@
+lib/anon/value_risk.mli: Dataset Format Mdp_prelude

@@ -1,0 +1,84 @@
+open Mdp_prelude
+
+type t = { attrs : Attribute.t list; cells : Value.t array array }
+
+let make ~attrs ~rows =
+  (match Listx.find_duplicate (fun (a : Attribute.t) -> a.name) attrs with
+  | Some n -> invalid_arg (Printf.sprintf "Dataset.make: duplicate attribute %s" n)
+  | None -> ());
+  let width = List.length attrs in
+  List.iteri
+    (fun i r ->
+      if List.length r <> width then
+        invalid_arg (Printf.sprintf "Dataset.make: row %d has width %d, expected %d"
+                       i (List.length r) width))
+    rows;
+  { attrs; cells = Array.of_list (List.map Array.of_list rows) }
+
+let attrs t = t.attrs
+let nrows t = Array.length t.cells
+let ncols t = List.length t.attrs
+let get t ~row ~col = t.cells.(row).(col)
+let row t i = Array.to_list t.cells.(i)
+let rows t = Array.to_list (Array.map Array.to_list t.cells)
+
+let col_index t name =
+  match Listx.index_of (fun (a : Attribute.t) -> a.name = name) t.attrs with
+  | Some i -> i
+  | None -> raise Not_found
+
+let column t name =
+  let c = col_index t name in
+  Array.to_list (Array.map (fun r -> r.(c)) t.cells)
+
+let indices_where p t =
+  List.concat (List.mapi (fun i a -> if p a then [ i ] else []) t.attrs)
+
+let quasi_indices t = indices_where Attribute.is_quasi t
+let sensitive_indices t = indices_where Attribute.is_sensitive t
+
+let map_column t name f =
+  let c = col_index t name in
+  let cells =
+    Array.map
+      (fun r ->
+        let r' = Array.copy r in
+        r'.(c) <- f r.(c);
+        r')
+      t.cells
+  in
+  { t with cells }
+
+let drop_identifiers t =
+  let keep =
+    List.concat
+      (List.mapi
+         (fun i (a : Attribute.t) ->
+           if a.kind = Attribute.Identifier then [] else [ i ])
+         t.attrs)
+  in
+  {
+    attrs = List.map (List.nth t.attrs) keep;
+    cells = Array.map (fun r -> Array.of_list (List.map (Array.get r) keep)) t.cells;
+  }
+
+let group_rows t ~key =
+  let pairs = List.init (nrows t) (fun i -> (key i, i)) in
+  Listx.group_by ~key:fst pairs
+  |> List.map (fun (k, l) -> (k, List.map snd l))
+
+let equivalence_classes t ~by =
+  let key i =
+    String.concat "\x00"
+      (List.map (fun c -> Value.to_string t.cells.(i).(c)) by)
+  in
+  List.map snd (group_rows t ~key)
+
+let pp ppf t =
+  let table =
+    Texttable.create ~header:(List.map (fun (a : Attribute.t) -> a.name) t.attrs)
+  in
+  Array.iter
+    (fun r -> Texttable.add_row table (Array.to_list (Array.map Value.to_string r)))
+    t.cells;
+  Texttable.pp ppf table

@@ -1,0 +1,61 @@
+type t =
+  | Numeric of { base : float; widths : float list }
+  | Categorical of { levels : (string * string) list list }
+  | Suppress_only
+
+let numeric ?(base = 0.0) ~widths () =
+  if widths = [] then invalid_arg "Hierarchy.numeric: no widths";
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  if List.exists (fun w -> w <= 0.0) widths then
+    invalid_arg "Hierarchy.numeric: non-positive width";
+  if not (increasing widths) then
+    invalid_arg "Hierarchy.numeric: widths must be strictly increasing";
+  Numeric { base; widths }
+
+let categorical ~levels =
+  if levels = [] then invalid_arg "Hierarchy.categorical: no levels";
+  Categorical { levels }
+
+let suppress_only = Suppress_only
+
+let nlevels = function
+  | Numeric { widths; _ } -> 1 + List.length widths
+  | Categorical { levels } -> 1 + List.length levels
+  | Suppress_only -> 1
+
+let bin ~base ~width x =
+  let k = Float.floor ((x -. base) /. width) in
+  let lo = base +. (k *. width) in
+  Value.interval lo (lo +. width)
+
+let generalise t ~level v =
+  let top = nlevels t in
+  if level < 0 || level > top then invalid_arg "Hierarchy.generalise: bad level";
+  if level = 0 then v
+  else if level = top then Value.Suppressed
+  else
+    match t with
+    | Suppress_only -> Value.Suppressed (* unreachable: top = 1 *)
+    | Numeric { base; widths } -> (
+      match Value.numeric v with
+      | Some x -> bin ~base ~width:(List.nth widths (level - 1)) x
+      | None -> Value.Suppressed)
+    | Categorical { levels } -> (
+      let rec climb lvl v =
+        if lvl = 0 then Some v
+        else
+          match climb (lvl - 1) v with
+          | None -> None
+          | Some s -> List.assoc_opt s (List.nth levels (lvl - 1))
+      in
+      match v with
+      | Value.Str s -> (
+        match climb level s with
+        | Some s' -> Value.Str s'
+        | None -> Value.Suppressed)
+      | Value.Int _ | Value.Float _ | Value.Interval _ | Value.Str_set _
+      | Value.Suppressed ->
+        Value.Suppressed)

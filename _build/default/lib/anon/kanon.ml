@@ -1,0 +1,97 @@
+type scheme = (string * Hierarchy.t) list
+
+type levels = (string * int) list
+
+let apply ds scheme levels =
+  List.fold_left
+    (fun ds (attr, hier) ->
+      match List.assoc_opt attr levels with
+      | None | Some 0 -> ds
+      | Some level -> Dataset.map_column ds attr (Hierarchy.generalise hier ~level))
+    ds scheme
+
+let classes ds = Dataset.equivalence_classes ds ~by:(Dataset.quasi_indices ds)
+
+let min_class_size ds =
+  match classes ds with
+  | [] -> 0
+  | cs -> List.fold_left (fun m c -> min m (List.length c)) max_int cs
+
+let is_k_anonymous ~k ds = Dataset.nrows ds = 0 || min_class_size ds >= k
+
+let distinct_count ds col =
+  List.length
+    (Mdp_prelude.Listx.dedup
+       (List.map Value.to_string
+          (List.init (Dataset.nrows ds) (fun r -> Dataset.get ds ~row:r ~col))))
+
+let violating_rows ~k ds =
+  List.concat
+    (List.filter (fun c -> List.length c < k) (classes ds))
+
+let remove_rows ds rows_to_drop =
+  let keep = List.filter (fun r -> not (List.mem r rows_to_drop))
+      (List.init (Dataset.nrows ds) Fun.id) in
+  Dataset.make ~attrs:(Dataset.attrs ds)
+    ~rows:(List.map (Dataset.row ds) keep)
+
+let datafly ~k ?(max_suppression = 0.0) ds scheme =
+  let n = Dataset.nrows ds in
+  let budget = int_of_float (Float.floor (max_suppression *. float_of_int n)) in
+  let rec go levels =
+    let gen = apply ds scheme levels in
+    let violating = violating_rows ~k gen in
+    if List.length violating <= budget then
+      Ok (remove_rows gen violating, levels, List.length violating)
+    else
+      (* Raise the not-yet-maxed quasi attribute with most distinct values. *)
+      let candidates =
+        List.filter
+          (fun (attr, hier) ->
+            List.assoc attr levels < Hierarchy.nlevels hier)
+          scheme
+      in
+      match candidates with
+      | [] -> Error "datafly: k-anonymity unreachable even at full suppression"
+      | _ ->
+        let attr, _ =
+          List.fold_left
+            (fun (best, bestc) (attr, hier) ->
+              ignore hier;
+              let c = distinct_count gen (Dataset.col_index gen attr) in
+              if c > bestc then (attr, c) else (best, bestc))
+            ("", -1) candidates
+        in
+        let levels =
+          List.map
+            (fun (a, l) -> if a = attr then (a, l + 1) else (a, l))
+            levels
+        in
+        go levels
+  in
+  go (List.map (fun (a, _) -> (a, 0)) scheme)
+
+let optimal ~k ds scheme =
+  let maxes = List.map (fun (_, h) -> Hierarchy.nlevels h) scheme in
+  let rec vectors = function
+    | [] -> [ [] ]
+    | m :: rest ->
+      let tails = vectors rest in
+      List.concat_map (fun l -> List.map (fun t -> l :: t) tails)
+        (List.init (m + 1) Fun.id)
+  in
+  let by_total =
+    List.sort
+      (fun a b ->
+        match Int.compare (List.fold_left ( + ) 0 a) (List.fold_left ( + ) 0 b) with
+        | 0 -> List.compare Int.compare a b
+        | c -> c)
+      (vectors maxes)
+  in
+  let to_levels v = List.map2 (fun (a, _) l -> (a, l)) scheme v in
+  List.find_map
+    (fun v ->
+      let levels = to_levels v in
+      let gen = apply ds scheme levels in
+      if is_k_anonymous ~k gen then Some (gen, levels) else None)
+    by_total

@@ -1,0 +1,110 @@
+let numeric_cell ds ~row ~col =
+  match Value.numeric (Dataset.get ds ~row ~col) with
+  | Some x -> Ok x
+  | None ->
+    Error
+      (Printf.sprintf "mondrian: non-numeric quasi value at row %d col %d" row
+         col)
+
+let check_numeric ds =
+  let quasi = Dataset.quasi_indices ds in
+  let rec go rows =
+    match rows with
+    | [] -> Ok quasi
+    | r :: rest ->
+      let rec cols = function
+        | [] -> go rest
+        | c :: cs -> (
+          match numeric_cell ds ~row:r ~col:c with
+          | Ok _ -> cols cs
+          | Error e -> Error e)
+      in
+      cols quasi
+  in
+  go (List.init (Dataset.nrows ds) Fun.id)
+
+let range ds rows col =
+  let values = List.map (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col)) rows in
+  let lo = List.fold_left Float.min Float.infinity values in
+  let hi = List.fold_left Float.max Float.neg_infinity values in
+  (lo, hi)
+
+(* Split at the median of the chosen attribute; strictly-less goes left so
+   ties never produce an empty side. *)
+let split ds rows col =
+  let values =
+    List.sort compare
+      (List.map (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col)) rows)
+  in
+  let median = List.nth values (List.length values / 2) in
+  let left, right =
+    List.partition
+      (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col) < median)
+      rows
+  in
+  (left, right)
+
+let partitions_rows ~k ds quasi =
+  let rec go rows =
+    if List.length rows < 2 * k then [ rows ]
+    else
+      (* Widest normalised range first (classic Mondrian choice). *)
+      let ranked =
+        List.sort
+          (fun (_, w1) (_, w2) -> Float.compare w2 w1)
+          (List.map
+             (fun c ->
+               let lo, hi = range ds rows c in
+               (c, hi -. lo))
+             quasi)
+      in
+      let rec try_cols = function
+        | [] -> [ rows ]
+        | (c, width) :: rest ->
+          if width <= 0.0 then [ rows ]
+          else
+            let left, right = split ds rows c in
+            if List.length left >= k && List.length right >= k then
+              go left @ go right
+            else try_cols rest
+      in
+      try_cols ranked
+  in
+  go (List.init (Dataset.nrows ds) Fun.id)
+
+let partitions ~k ds =
+  if Dataset.nrows ds < k then Error "mondrian: fewer rows than k"
+  else
+    match check_numeric ds with
+    | Error e -> Error e
+    | Ok quasi -> Ok (partitions_rows ~k ds quasi)
+
+let anonymise ~k ds =
+  match partitions ~k ds with
+  | Error e -> Error e
+  | Ok parts ->
+    let quasi = Dataset.quasi_indices ds in
+    let replacement = Hashtbl.create 16 in
+    List.iter
+      (fun rows ->
+        List.iter
+          (fun c ->
+            let lo, hi = range ds rows c in
+            let v =
+              if Float.equal lo hi then Dataset.get ds ~row:(List.hd rows) ~col:c
+              else Value.interval lo (hi +. 1.0)
+              (* +1: intervals are [lo, hi) and must cover hi itself. *)
+            in
+            List.iter (fun r -> Hashtbl.replace replacement (r, c) v) rows)
+          quasi)
+      parts;
+    let rows =
+      List.init (Dataset.nrows ds) (fun r ->
+          List.mapi
+            (fun c v ->
+              match Hashtbl.find_opt replacement (r, c) with
+              | Some v' -> v'
+              | None -> v)
+            (Dataset.row ds r))
+    in
+    Ok (Dataset.make ~attrs:(Dataset.attrs ds) ~rows)

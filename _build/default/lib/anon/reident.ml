@@ -1,0 +1,43 @@
+let prosecutor ds =
+  match Kanon.min_class_size ds with
+  | 0 -> 0.0
+  | m -> 1.0 /. float_of_int m
+
+let journalist ~release ~population =
+  let rel_quasi = Dataset.quasi_indices release in
+  (* Population columns are looked up by the release's quasi attribute
+     names so the two tables may order columns differently. *)
+  let rel_attrs = Dataset.attrs release in
+  let pop_cols =
+    List.map
+      (fun c -> Dataset.col_index population (List.nth rel_attrs c).Attribute.name)
+      rel_quasi
+  in
+  let classes = Kanon.classes release in
+  let match_count cls_repr =
+    let gen_cells =
+      List.map (fun c -> Dataset.get release ~row:cls_repr ~col:c) rel_quasi
+    in
+    Mdp_prelude.Listx.count
+      (fun prow ->
+        List.for_all2
+          (fun gen pc -> Value.covers gen (Dataset.get population ~row:prow ~col:pc))
+          gen_cells pop_cols)
+      (List.init (Dataset.nrows population) Fun.id)
+  in
+  let rec worst acc = function
+    | [] -> Some acc
+    | cls :: rest -> (
+      match cls with
+      | [] -> worst acc rest
+      | repr :: _ -> (
+        match match_count repr with
+        | 0 -> None
+        | n -> worst (Float.max acc (1.0 /. float_of_int n)) rest))
+  in
+  worst 0.0 classes
+
+let marketer ds =
+  match Dataset.nrows ds with
+  | 0 -> 0.0
+  | n -> float_of_int (List.length (Kanon.classes ds)) /. float_of_int n

@@ -1,0 +1,21 @@
+(** Re-identification risk under the standard attacker models (prosecutor,
+    journalist, marketer — the models the ARX tool reports, paper ref
+    [10]). These complement §III-B's value risk: they measure risk type 1
+    (re-identification) where value risk measures risk type 2. *)
+
+val prosecutor : Dataset.t -> float
+(** The prosecutor knows the target is in the release: worst-case success
+    probability = 1 / smallest equivalence-class size. 0 on an empty
+    release. *)
+
+val journalist : release:Dataset.t -> population:Dataset.t -> float option
+(** The journalist knows the target is in the wider population table:
+    worst case over release classes of 1 / size of the matching
+    population class (matching = every quasi cell of the population row is
+    covered by the release class's generalised cell). [None] when some
+    release class matches nothing in the population (model assumption
+    broken). *)
+
+val marketer : Dataset.t -> float
+(** Expected fraction of records re-identified by matching classes:
+    (#classes) / n. *)

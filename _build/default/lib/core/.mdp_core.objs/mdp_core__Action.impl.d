@@ -1,0 +1,1 @@
+lib/core/action.ml: Field Flow Format Level List Mdp_dataflow String

@@ -1,0 +1,1 @@
+lib/core/action.mli: Field Flow Format Level Mdp_dataflow

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Consistency Disclosure_risk Format Generate List Lts_render Option Plts Pseudonym_risk Risk_matrix Universe User_profile

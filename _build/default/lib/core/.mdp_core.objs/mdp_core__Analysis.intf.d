@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Consistency Disclosure_risk Format Generate Mdp_dataflow Mdp_policy Plts Pseudonym_risk Risk_matrix Universe User_profile

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Bitset Format List Mdp_dataflow Mdp_prelude Privacy_state String Universe

@@ -1,0 +1,1 @@
+lib/core/config.mli: Bitset Format Mdp_prelude Privacy_state Universe

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Diagram Field Flow Format List Mdp_dataflow Mdp_policy Service String Universe

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Field Flow Format Mdp_dataflow Mdp_policy Universe

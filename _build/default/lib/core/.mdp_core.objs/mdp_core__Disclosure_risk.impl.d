@@ -1,0 +1,1 @@
+lib/core/disclosure_risk.ml: Action Diagram Field Float Flow Format Level List Listx Mdp_dataflow Mdp_prelude Plts Risk_matrix Service String Universe User_profile

@@ -1,0 +1,1 @@
+lib/core/disclosure_risk.mli: Action Field Format Level Mdp_dataflow Plts Risk_matrix Universe User_profile

@@ -1,0 +1,1 @@
+lib/core/generate.ml: Action Array Bitset Config Datastore Diagram Field Flow List Listx Mdp_dataflow Mdp_policy Mdp_prelude Option Plts Privacy_state Schema Service Universe

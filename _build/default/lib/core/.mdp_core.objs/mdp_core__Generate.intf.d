@@ -1,0 +1,1 @@
+lib/core/generate.mli: Plts Universe

@@ -1,0 +1,1 @@
+lib/core/lts_render.ml: Action Config Format Hashtbl Level List Option Plts Printf Privacy_state String

@@ -1,0 +1,1 @@
+lib/core/lts_render.mli: Plts Universe

@@ -1,0 +1,1 @@
+lib/core/plts.ml: Action Config Format Mdp_lts

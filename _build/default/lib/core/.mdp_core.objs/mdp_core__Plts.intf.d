@@ -1,0 +1,1 @@
+lib/core/plts.mli: Action Config Mdp_lts

@@ -1,0 +1,1 @@
+lib/core/population.ml: Action Diagram Disclosure_risk Format Hashtbl Int Level List Mdp_dataflow Mdp_prelude Option Questionnaire Service

@@ -1,0 +1,1 @@
+lib/core/population.mli: Disclosure_risk Format Level Mdp_dataflow Plts Questionnaire Risk_matrix Universe User_profile

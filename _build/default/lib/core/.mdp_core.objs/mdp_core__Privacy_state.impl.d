@@ -1,0 +1,1 @@
+lib/core/privacy_state.ml: Array Bitset Format Fun List Mdp_dataflow Mdp_prelude Printf String Texttable Universe

@@ -1,0 +1,1 @@
+lib/core/privacy_state.mli: Bitset Field Format Mdp_dataflow Mdp_prelude Universe

@@ -1,0 +1,1 @@
+lib/core/pseudonym_risk.ml: Action Bitset Config Diagram Field Format Frac Int List Mdp_anon Mdp_dataflow Mdp_prelude Plts Printf Privacy_state String Universe

@@ -1,0 +1,1 @@
+lib/core/pseudonym_risk.mli: Field Format Mdp_anon Mdp_dataflow Plts Universe

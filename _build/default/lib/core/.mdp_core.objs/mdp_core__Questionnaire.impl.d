@@ -1,0 +1,1 @@
+lib/core/questionnaire.ml: Diagram Field Format List Mdp_dataflow User_profile

@@ -1,0 +1,1 @@
+lib/core/questionnaire.mli: Diagram Field Format Mdp_dataflow User_profile

@@ -1,0 +1,1 @@
+lib/core/report.ml: Action Analysis Consistency Disclosure_risk Format Level List Mdp_anon Mdp_dataflow Mdp_policy Mdp_prelude Plts Pseudonym_risk Universe

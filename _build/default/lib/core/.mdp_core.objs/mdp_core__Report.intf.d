@@ -1,0 +1,1 @@
+lib/core/report.mli: Action Analysis Consistency Disclosure_risk Mdp_prelude Pseudonym_risk

@@ -1,0 +1,1 @@
+lib/core/requirement.ml: Action Config Field Format Level List Mdp_dataflow Option Plts Printf Privacy_state Result String

@@ -1,0 +1,1 @@
+lib/core/requirement.mli: Action Field Format Level Mdp_dataflow Plts Universe

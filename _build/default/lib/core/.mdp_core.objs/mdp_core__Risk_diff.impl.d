@@ -1,0 +1,1 @@
+lib/core/risk_diff.ml: Action Disclosure_risk Format Level List Mdp_dataflow Option String

@@ -1,0 +1,1 @@
+lib/core/risk_diff.mli: Action Disclosure_risk Format Level

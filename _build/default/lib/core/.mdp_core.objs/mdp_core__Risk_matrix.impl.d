@@ -1,0 +1,1 @@
+lib/core/risk_matrix.ml: Action Array Level Printf

@@ -1,0 +1,1 @@
+lib/core/risk_matrix.mli: Action Level

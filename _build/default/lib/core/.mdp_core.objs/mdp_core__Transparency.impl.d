@@ -1,0 +1,1 @@
+lib/core/transparency.ml: Action Array Config Field Format List Mdp_dataflow Plts Printf Privacy_state String Universe

@@ -1,0 +1,1 @@
+lib/core/transparency.mli: Action Field Format Mdp_dataflow Plts Universe

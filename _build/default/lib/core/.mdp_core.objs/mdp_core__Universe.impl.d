@@ -1,0 +1,1 @@
+lib/core/universe.ml: Actor Array Datastore Diagram Field Flow Hashtbl Interner List Mdp_dataflow Mdp_policy Mdp_prelude Option Service String

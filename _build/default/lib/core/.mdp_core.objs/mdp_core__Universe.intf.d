@@ -1,0 +1,1 @@
+lib/core/universe.mli: Datastore Diagram Field Flow Mdp_dataflow Mdp_policy

@@ -1,0 +1,1 @@
+lib/core/user_profile.ml: Actor Diagram Field Format List Mdp_dataflow Mdp_prelude Printf Service String

@@ -1,0 +1,1 @@
+lib/core/user_profile.mli: Diagram Field Format Mdp_dataflow

@@ -1,0 +1,62 @@
+type params = {
+  options : Generate.options;
+  matrix : Risk_matrix.t;
+  model : Disclosure_risk.likelihood_model;
+  profile : User_profile.t option;
+  bindings : Pseudonym_risk.binding list;
+}
+
+type t = {
+  params : params;
+  universe : Universe.t;
+  lts : Plts.t;
+  consistency : Consistency.gap list;
+  disclosure : Disclosure_risk.report option;
+  pseudonym : Pseudonym_risk.risk_transition list;
+}
+
+let run_params params diagram policy =
+  let universe = Universe.make diagram policy in
+  let lts = Generate.run ~options:params.options universe in
+  let consistency = Consistency.check universe in
+  let disclosure =
+    Option.map
+      (fun profile ->
+        Disclosure_risk.analyse ~matrix:params.matrix ~model:params.model
+          universe lts profile)
+      params.profile
+  in
+  let pseudonym =
+    List.concat_map (Pseudonym_risk.analyse universe lts) params.bindings
+  in
+  { params; universe; lts; consistency; disclosure; pseudonym }
+
+let run ?(options = Generate.default_options) ?(matrix = Risk_matrix.default)
+    ?(model = Disclosure_risk.default_likelihood) ?profile ?(bindings = [])
+    diagram policy =
+  run_params { options; matrix; model; profile; bindings } diagram policy
+
+let rerun_with_policy t policy =
+  run_params t.params (Universe.diagram t.universe) policy
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>model: %s@,"
+    (Lts_render.summary t.universe t.lts);
+  (match t.consistency with
+  | [] -> Format.fprintf ppf "policy consistency: ok@,"
+  | gaps ->
+    Format.fprintf ppf "policy gaps (%d):@,  @[<v>%a@]@," (List.length gaps)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Consistency.pp_gap)
+      gaps);
+  (match t.disclosure with
+  | None -> ()
+  | Some report ->
+    Format.fprintf ppf "%a@," Disclosure_risk.pp_report report);
+  match t.pseudonym with
+  | [] -> Format.fprintf ppf "no pseudonymisation risk transitions@]"
+  | rts ->
+    Format.fprintf ppf "pseudonymisation risk transitions (%d):@,  @[<v>%a@]@]"
+      (List.length rts)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+         Pseudonym_risk.pp_risk_transition)
+      rts

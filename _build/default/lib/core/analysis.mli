@@ -1,0 +1,40 @@
+(** End-to-end façade over the pipeline: model -> generated LTS ->
+    consistency + disclosure risk + pseudonymisation risk -> report.
+    This is the API the examples and the CLI drive; the individual
+    analyses remain available for finer control. *)
+
+type params = {
+  options : Generate.options;
+  matrix : Risk_matrix.t;
+  model : Disclosure_risk.likelihood_model;
+  profile : User_profile.t option;
+  bindings : Pseudonym_risk.binding list;
+}
+
+type t = {
+  params : params;
+  universe : Universe.t;
+  lts : Plts.t;  (** Annotated in place by the analyses. *)
+  consistency : Consistency.gap list;
+  disclosure : Disclosure_risk.report option;
+      (** [None] when no profile was supplied. *)
+  pseudonym : Pseudonym_risk.risk_transition list;
+}
+
+val run :
+  ?options:Generate.options ->
+  ?matrix:Risk_matrix.t ->
+  ?model:Disclosure_risk.likelihood_model ->
+  ?profile:User_profile.t ->
+  ?bindings:Pseudonym_risk.binding list ->
+  Mdp_dataflow.Diagram.t ->
+  Mdp_policy.Policy.t ->
+  t
+(** @raise Invalid_argument when the policy does not validate against the
+    diagram. *)
+
+val rerun_with_policy : t -> Mdp_policy.Policy.t -> t
+(** The §IV-A design loop: same model, profile, bindings and parameters;
+    edited policy; everything regenerated. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+open Mdp_prelude
+
+type t = {
+  privacy : Privacy_state.t;
+  stores : Bitset.t array;
+  executed : Bitset.t;
+}
+
+let initial u =
+  {
+    privacy = Privacy_state.absolute u;
+    stores =
+      Array.init (Universe.nstores u) (fun _ -> Bitset.create (Universe.nfields u));
+    executed = Bitset.create (max 1 (Universe.nflows u));
+  }
+
+let copy t =
+  {
+    privacy = Privacy_state.copy t.privacy;
+    stores = Array.map Bitset.copy t.stores;
+    executed = Bitset.copy t.executed;
+  }
+
+let equal a b =
+  Privacy_state.equal a.privacy b.privacy
+  && Bitset.equal a.executed b.executed
+  && Array.for_all2 Bitset.equal a.stores b.stores
+
+let hash t =
+  let h = ref (Privacy_state.hash t.privacy) in
+  Array.iter (fun s -> h := (!h * 65599) lxor Bitset.hash s) t.stores;
+  (!h * 65599) lxor Bitset.hash t.executed
+
+let store_has t ~store ~field = Bitset.get t.stores.(store) field
+let executed t ~flow = Bitset.get t.executed flow
+
+let pp u ppf t =
+  Format.fprintf ppf "@[<v>%a" (Privacy_state.pp_compact u) t.privacy;
+  Array.iteri
+    (fun s contents ->
+      if not (Bitset.is_empty contents) then
+        Format.fprintf ppf "@,%s = {%s}" (Universe.store_name u s)
+          (String.concat ", "
+             (List.map
+                (fun f -> Mdp_dataflow.Field.name (Universe.field_at u f))
+                (Bitset.to_list contents))))
+    t.stores;
+  Format.fprintf ppf "@]"

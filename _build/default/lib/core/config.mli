@@ -1,0 +1,28 @@
+(** Generation-time configurations.
+
+    The paper's LTS states are privacy states; generating the reachable
+    system additionally needs the operational context — which fields each
+    datastore currently holds and which flows have executed. A [Config.t]
+    bundles all three and is what the generator hash-conses; analyses
+    project out the privacy state. *)
+
+open Mdp_prelude
+
+type t = {
+  privacy : Privacy_state.t;
+  stores : Bitset.t array;  (** Per store index: field indices present. *)
+  executed : Bitset.t;  (** Flow indices already run. *)
+}
+
+val initial : Universe.t -> t
+(** Absolute privacy, empty stores, no flows executed. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val hash : t -> int
+
+val store_has : t -> store:int -> field:int -> bool
+val executed : t -> flow:int -> bool
+
+val pp : Universe.t -> Format.formatter -> t -> unit
+(** Compact: the true privacy variables plus non-empty store contents. *)

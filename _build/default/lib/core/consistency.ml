@@ -1,0 +1,60 @@
+open Mdp_dataflow
+
+type gap = {
+  service : string;
+  flow : Flow.t;
+  actor : string;
+  store : string;
+  missing : Mdp_policy.Permission.t;
+  fields : Field.t list;
+}
+
+let check u =
+  let diagram = Universe.diagram u in
+  let policy = Universe.policy u in
+  let denied ~actor ~store perm fields =
+    List.filter
+      (fun f -> not (Mdp_policy.Policy.allows policy ~diagram ~actor perm ~store f))
+      fields
+  in
+  List.filter_map
+    (fun ((svc : Service.t), (flow : Flow.t)) ->
+      let gap ~actor ~store perm fields =
+        match denied ~actor ~store perm fields with
+        | [] -> None
+        | missing_fields ->
+          Some
+            {
+              service = svc.id;
+              flow;
+              actor;
+              store;
+              missing = perm;
+              fields = missing_fields;
+            }
+      in
+      match Diagram.classify diagram flow with
+      | Flow.Collect | Flow.Disclose -> None
+      | Flow.Read ->
+        gap
+          ~actor:(Flow.node_name flow.dst)
+          ~store:(Flow.node_name flow.src)
+          Mdp_policy.Permission.Read flow.fields
+      | Flow.Create ->
+        gap
+          ~actor:(Flow.node_name flow.src)
+          ~store:(Flow.node_name flow.dst)
+          Mdp_policy.Permission.Write flow.fields
+      | Flow.Anon ->
+        gap
+          ~actor:(Flow.node_name flow.src)
+          ~store:(Flow.node_name flow.dst)
+          Mdp_policy.Permission.Write
+          (List.map Field.anon_of flow.fields))
+    (Diagram.all_flows diagram)
+
+let pp_gap ppf g =
+  Format.fprintf ppf
+    "%s flow %d: actor %s lacks %a on %s.[%s]" g.service g.flow.Flow.order
+    g.actor Mdp_policy.Permission.pp g.missing g.store
+    (String.concat ", " (List.map Field.name g.fields))

@@ -1,0 +1,23 @@
+(** Model/policy consistency: does the access-control policy actually
+    permit the behaviour the data-flow diagrams prescribe? A flow the
+    policy denies is a defect in one of the two artifacts (cf. the
+    paper's §V discussion of behaviour-vs-policy checking — our LTS
+    supports the same analysis directly on the design artifacts). *)
+
+open Mdp_dataflow
+
+type gap = {
+  service : string;
+  flow : Flow.t;
+  actor : string;
+  store : string;
+  missing : Mdp_policy.Permission.t;
+  fields : Field.t list;  (** The denied fields. *)
+}
+
+val check : Universe.t -> gap list
+(** [read] flows need the destination actor's Read on every field;
+    [create]/[anon] flows need the source actor's Write on every created
+    field. [collect]/[disclose] flows touch no store and cannot gap. *)
+
+val pp_gap : Format.formatter -> gap -> unit

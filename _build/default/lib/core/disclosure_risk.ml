@@ -1,0 +1,196 @@
+open Mdp_dataflow
+open Mdp_prelude
+
+type likelihood_model = {
+  accidental_access : float;
+  maintenance_exposure : float;
+  rogue_service : float;
+}
+
+let default_likelihood =
+  { accidental_access = 0.05; maintenance_exposure = 0.02; rogue_service = 0.01 }
+
+type finding = {
+  src : Plts.state_id;
+  dst : Plts.state_id;
+  action : Action.t;
+  impact : float;
+  likelihood : float;
+  impact_level : Level.t;
+  likelihood_level : Level.t;
+  level : Level.t;
+  witness : Action.t list;
+}
+
+type report = {
+  non_allowed : string list;
+  findings : finding list;
+  exposures : finding list;
+}
+
+let transition_impact u profile (action : Action.t) =
+  let diagram = Universe.diagram u in
+  match action.kind with
+  | Action.Collect | Action.Read | Action.Disclose ->
+    Listx.max_byf
+      (fun f -> User_profile.sigma profile diagram ~actor:action.actor f)
+      action.fields
+  | Action.Create | Action.Anon ->
+    (* Impact ranges over every actor that could then identify the
+       created fields. Anon flows create the anon variants. *)
+    let created =
+      match action.kind with
+      | Action.Anon -> List.map Field.anon_of action.fields
+      | _ -> action.fields
+    in
+    let store =
+      match action.store with
+      | Some s -> Universe.store_index u s
+      | None -> invalid_arg "transition_impact: create without store"
+    in
+    Listx.max_byf
+      (fun f ->
+        let fi = Universe.field_index u f in
+        Listx.max_byf
+          (fun a ->
+            User_profile.sigma profile diagram
+              ~actor:(Universe.actor_name u a) f)
+          (Universe.readers u ~store ~field:fi))
+      created
+  | Action.Delete -> 0.0
+
+(* Does the actor take part in a service the user did not agree to, one of
+   whose flows reads this store into the actor? (§III-A's third scenario:
+   "an actor begins the execution of a service that the user did not agree
+   to use".) *)
+let in_rogue_read u profile ~actor ~store =
+  List.exists
+    (fun ((svc : Service.t), (flow : Flow.t)) ->
+      (not (User_profile.agrees_to profile svc.id))
+      && Flow.equal_node flow.src (Flow.Store store)
+      && Flow.equal_node flow.dst (Flow.Actor actor))
+    (Diagram.all_flows (Universe.diagram u))
+
+let transition_likelihood u profile model (action : Action.t) =
+  match (action.kind, action.store) with
+  | Action.Read, Some store_id ->
+    let store = Universe.store_index u store_id in
+    let actor_i = Universe.actor_index u action.actor in
+    let accidental =
+      match action.provenance with
+      | Action.Potential | Action.Inferred -> model.accidental_access
+      | Action.From_flow { service; _ } ->
+        (* A read prescribed by a non-agreed service is the rogue-service
+           scenario itself; within an agreed service it is wanted
+           behaviour, not an accident. *)
+        if User_profile.agrees_to profile service then 0.0
+        else model.rogue_service
+    in
+    let maintenance =
+      if List.mem actor_i (Universe.deleters u ~store) then
+        model.maintenance_exposure
+      else 0.0
+    in
+    let rogue =
+      match action.provenance with
+      | Action.From_flow _ -> 0.0 (* already counted above *)
+      | Action.Potential | Action.Inferred ->
+        if in_rogue_read u profile ~actor:action.actor ~store:store_id then
+          model.rogue_service
+        else 0.0
+    in
+    Float.min 1.0 (accidental +. maintenance +. rogue)
+  | (Action.Read | Action.Collect | Action.Create | Action.Disclose
+    | Action.Anon | Action.Delete), _ ->
+    0.0
+
+let witness_of lts src =
+  match Plts.path_to lts (fun s -> s = src) with
+  | Some steps -> List.map fst steps
+  | None -> []
+
+let analyse ?(matrix = Risk_matrix.default) ?(model = default_likelihood) u lts
+    profile =
+  (* Annotate read labels in place. Inferred (§III-B) transitions carry
+     Value_risk annotations that must survive a later disclosure pass. *)
+  Plts.map_labels lts (fun { label; _ } ->
+      match (label.Action.kind, label.Action.provenance) with
+      | Action.Read, (Action.From_flow _ | Action.Potential) ->
+        let impact = transition_impact u profile label in
+        let likelihood = transition_likelihood u profile model label in
+        Action.with_risk label (Risk_matrix.assess matrix ~impact ~likelihood)
+      | Action.Read, Action.Inferred
+      | ( ( Action.Collect | Action.Create | Action.Disclose | Action.Anon
+          | Action.Delete ),
+          _ ) ->
+        label);
+  let findings = ref [] and exposures = ref [] in
+  Plts.iter_transitions lts (fun { src; label; dst } ->
+      let impact = transition_impact u profile label in
+      let likelihood = transition_likelihood u profile model label in
+      let impact_level = Risk_matrix.impact_level matrix impact in
+      let likelihood_level = Risk_matrix.likelihood_level matrix likelihood in
+      let level =
+        Risk_matrix.level matrix ~impact:impact_level ~likelihood:likelihood_level
+      in
+      let finding () =
+        {
+          src;
+          dst;
+          action = label;
+          impact;
+          likelihood;
+          impact_level;
+          likelihood_level;
+          level;
+          witness = witness_of lts src;
+        }
+      in
+      match label.Action.kind with
+      | Action.Read ->
+        if
+          label.Action.provenance <> Action.Inferred
+          && Level.compare level Level.None_ > 0
+        then findings := finding () :: !findings
+      | Action.Collect | Action.Create | Action.Disclose | Action.Anon ->
+        if impact > 0.0 then exposures := finding () :: !exposures
+      | Action.Delete -> ());
+  let by_severity a b =
+    match Level.compare b.level a.level with
+    | 0 -> Float.compare b.impact a.impact
+    | c -> c
+  in
+  {
+    non_allowed = User_profile.non_allowed_actors profile (Universe.diagram u);
+    findings = List.sort by_severity !findings;
+    exposures = List.sort by_severity !exposures;
+  }
+
+let max_level report =
+  List.fold_left (fun acc f -> Level.max acc f.level) Level.None_ report.findings
+
+let findings_for report ~actor =
+  List.filter (fun f -> f.action.Action.actor = actor) report.findings
+
+let level_for report ~actor ~store ~field =
+  List.fold_left
+    (fun acc f ->
+      if
+        f.action.Action.actor = actor
+        && f.action.Action.store = Some store
+        && List.exists (Field.equal field) f.action.Action.fields
+      then Level.max acc f.level
+      else acc)
+    Level.None_ report.findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%a] %a (impact %.2f=%a, likelihood %.2f=%a) at s%d"
+    Level.pp f.level Action.pp f.action f.impact Level.pp f.impact_level
+    f.likelihood Level.pp f.likelihood_level f.src
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>non-allowed actors: %s@,%d risk finding(s):@,%a@]"
+    (String.concat ", " r.non_allowed)
+    (List.length r.findings)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_finding)
+    r.findings

@@ -1,0 +1,86 @@
+(** Risk of unwanted disclosure (paper §III-A).
+
+    Impact of a transition = the maximum sensitivity σ(d, a) among the
+    state variables the transition sets, measured relative to the absolute
+    privacy state: for a [read]/[collect]/[disclose] that is the acting or
+    receiving actor's σ over the fields; for a [create]/[anon] it ranges
+    over every actor the policy then allows to read the created fields
+    (the paper's σ(create) = σ(d) example). [delete] sets nothing and has
+    no impact.
+
+    Likelihood attaches to [read] transitions only ("This leaves one
+    action: read that impacts the likelihood of a disclosure") and is the
+    sum of the probabilities of the paper's three uncorrelated scenarios:
+    accidental access while querying, exposure during maintenance
+    deletion (the actor holds the Delete permission), and execution of a
+    service the user did not agree to (the actor participates in a
+    non-agreed service that reads the store). The sum is clipped to 1.
+
+    [analyse] annotates every [read] transition's label in place with a
+    {!Action.Disclosure_risk} and returns the findings sorted by risk. *)
+
+open Mdp_dataflow
+
+type likelihood_model = {
+  accidental_access : float;
+  maintenance_exposure : float;
+  rogue_service : float;
+}
+
+val default_likelihood : likelihood_model
+(** 0.05 / 0.02 / 0.01. *)
+
+type finding = {
+  src : Plts.state_id;
+  dst : Plts.state_id;
+  action : Action.t;  (** The annotated label. *)
+  impact : float;
+  likelihood : float;
+  impact_level : Level.t;
+  likelihood_level : Level.t;
+  level : Level.t;
+  witness : Action.t list;
+      (** A shortest action path from the initial state to [src]. *)
+}
+
+type report = {
+  non_allowed : string list;
+      (** Actors outside every agreed service (§III-A's first analysis
+          output). *)
+  findings : finding list;
+      (** Risk-labelled [read] transitions with level above [None_],
+          most severe first. *)
+  exposures : finding list;
+      (** [create]/[anon]/[collect]/[disclose] transitions with positive
+          impact: places where sensitive data becomes identifiable by a
+          non-allowed actor. Not risk-labelled (no likelihood dimension),
+          reported for design feedback. *)
+}
+
+val transition_impact : Universe.t -> User_profile.t -> Action.t -> float
+(** Exposed for tests and ablations. *)
+
+val transition_likelihood :
+  Universe.t -> User_profile.t -> likelihood_model -> Action.t -> float
+(** 0 for non-read actions. *)
+
+val analyse :
+  ?matrix:Risk_matrix.t ->
+  ?model:likelihood_model ->
+  Universe.t ->
+  Plts.t ->
+  User_profile.t ->
+  report
+
+val max_level : report -> Level.t
+(** The worst finding's level ([None_] if no findings). *)
+
+val findings_for : report -> actor:string -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val level_for :
+  report -> actor:string -> store:string -> field:Field.t -> Level.t
+(** Worst finding level among this actor's reads of the field in the
+    store — the §IV-A "risk level of this event" lookup. *)

@@ -1,0 +1,310 @@
+open Mdp_dataflow
+open Mdp_prelude
+
+type ordering = Strict | Data_driven
+
+type options = {
+  ordering : ordering;
+  potential_reads : bool;
+  granular_reads : bool;
+  potential_deletes : bool;
+  enforce_policy : bool;
+  services : string list option;
+  max_states : int;
+}
+
+let default_options =
+  {
+    ordering = Strict;
+    potential_reads = true;
+    granular_reads = false;
+    potential_deletes = false;
+    enforce_policy = true;
+    services = None;
+    max_states = 100_000;
+  }
+
+let flow_only =
+  { default_options with potential_reads = false; potential_deletes = false }
+
+(* The schema label of an action touching [fields] of [store]: the schema
+   containing them if unique, otherwise the store id itself. *)
+let schema_label (store : Datastore.t) fields =
+  let schemas =
+    Listx.dedup
+      (List.filter_map
+         (fun f ->
+           Option.map (fun (s : Schema.t) -> s.id) (Datastore.schema_of_field store f))
+         fields)
+  in
+  match schemas with [ s ] -> Some s | [] | _ :: _ -> Some store.id
+
+let field_indices u fields = List.map (Universe.field_index u) fields
+
+let set_has u (privacy : Privacy_state.t) ~actor fields =
+  List.iter
+    (fun f -> Bitset.set privacy.has (Universe.var u ~actor ~field:f))
+    fields
+
+(* Recompute every [could] bit from current store contents: an actor could
+   identify a field iff some store holds it and the policy lets the actor
+   read it there. Used after deletes; creation updates incrementally. *)
+let recompute_could u (cfg : Config.t) =
+  Bitset.clear_all cfg.privacy.could;
+  Array.iteri
+    (fun s contents ->
+      Bitset.iter
+        (fun f ->
+          List.iter
+            (fun a ->
+              Bitset.set cfg.privacy.could (Universe.var u ~actor:a ~field:f))
+            (Universe.readers u ~store:s ~field:f))
+        contents)
+    cfg.stores
+
+let set_could_for_creation u (cfg : Config.t) ~store fields =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun a -> Bitset.set cfg.privacy.could (Universe.var u ~actor:a ~field:f))
+        (Universe.readers u ~store ~field:f))
+    fields
+
+(* Which flows are in scope, with their indices and strict-mode
+   prerequisites, precomputed once per run. *)
+type flow_info = {
+  index : int;
+  service : Service.t;
+  flow : Flow.t;
+  kind : Flow.action_kind;
+  prereqs : int list; (* same-service flows with smaller order *)
+}
+
+let flows_in_scope u options =
+  let in_scope (svc : Service.t) =
+    match options.services with
+    | None -> true
+    | Some ids -> List.mem svc.id ids
+  in
+  let all = List.init (Universe.nflows u) (fun i -> (i, Universe.flow_at u i)) in
+  List.filter_map
+    (fun (index, ((svc : Service.t), (flow : Flow.t))) ->
+      if not (in_scope svc) then None
+      else
+        let prereqs =
+          List.filter_map
+            (fun (j, ((svc' : Service.t), (flow' : Flow.t))) ->
+              if svc'.id = svc.id && flow'.order < flow.order then Some j
+              else None)
+            all
+        in
+        Some
+          {
+            index;
+            service = svc;
+            flow;
+            kind = Diagram.classify (Universe.diagram u) flow;
+            prereqs;
+          })
+    all
+
+let source_holds u (cfg : Config.t) kind (flow : Flow.t) =
+  match flow.src with
+  | Flow.User -> true (* the subject always holds their own raw data *)
+  | Flow.Actor _ when kind = Flow.Create ->
+    (* Creating a record is authorship: the Doctor creates a Diagnosis it
+       never collected. The author's [has] bits are set by the action.
+       [Anon] is different -- it transforms data the actor already holds,
+       so it falls through to the possession check below. *)
+    true
+  | Flow.Actor a ->
+    let ai = Universe.actor_index u a in
+    List.for_all
+      (fun f ->
+        Bitset.get cfg.privacy.has (Universe.var u ~actor:ai ~field:f))
+      (field_indices u flow.fields)
+  | Flow.Store s ->
+    let si = Universe.store_index u s in
+    List.for_all
+      (fun f -> Config.store_has cfg ~store:si ~field:f)
+      (field_indices u flow.fields)
+
+let flow_enabled options (cfg : Config.t) info =
+  (not (Config.executed cfg ~flow:info.index))
+  && (match options.ordering with
+     | Data_driven -> true
+     | Strict -> List.for_all (fun j -> Config.executed cfg ~flow:j) info.prereqs)
+
+(* Enforcement at the datastore interface: a [read] delivers only the
+   fields the policy lets the actor read; a [create]/[anon] persists only
+   the fields the policy lets the author write (for [anon], permission is
+   checked on the anon variant actually written). An empty result disables
+   the flow, as a fully denied operation would fail at run time. *)
+let effective_fields u options info =
+  if not options.enforce_policy then info.flow.Flow.fields
+  else
+    let diagram = Universe.diagram u and policy = Universe.policy u in
+    match info.kind with
+    | Flow.Collect | Flow.Disclose -> info.flow.Flow.fields
+    | Flow.Read ->
+      let store = Flow.node_name info.flow.Flow.src
+      and actor = Flow.node_name info.flow.Flow.dst in
+      List.filter
+        (fun f ->
+          Mdp_policy.Policy.allows policy ~diagram ~actor
+            Mdp_policy.Permission.Read ~store f)
+        info.flow.Flow.fields
+    | Flow.Create ->
+      let store = Flow.node_name info.flow.Flow.dst
+      and actor = Flow.node_name info.flow.Flow.src in
+      List.filter
+        (fun f ->
+          Mdp_policy.Policy.allows policy ~diagram ~actor
+            Mdp_policy.Permission.Write ~store f)
+        info.flow.Flow.fields
+    | Flow.Anon ->
+      let store = Flow.node_name info.flow.Flow.dst
+      and actor = Flow.node_name info.flow.Flow.src in
+      List.filter
+        (fun f ->
+          Mdp_policy.Policy.allows policy ~diagram ~actor
+            Mdp_policy.Permission.Write ~store (Field.anon_of f))
+        info.flow.Flow.fields
+
+let apply_flow u (cfg : Config.t) info eff_fields =
+  let cfg' = Config.copy cfg in
+  Bitset.set cfg'.executed info.index;
+  let flow = { info.flow with Flow.fields = eff_fields } in
+  let provenance =
+    Action.From_flow { service = info.service.id; order = flow.order }
+  in
+  let action =
+    match info.kind with
+    | Flow.Collect ->
+      let actor = Flow.node_name flow.dst in
+      set_has u cfg'.privacy ~actor:(Universe.actor_index u actor)
+        (field_indices u flow.fields);
+      Action.make ~purpose:flow.purpose ~kind:Action.Collect
+        ~fields:flow.fields ~actor provenance
+    | Flow.Disclose ->
+      let src = Flow.node_name flow.src and dst = Flow.node_name flow.dst in
+      set_has u cfg'.privacy ~actor:(Universe.actor_index u dst)
+        (field_indices u flow.fields);
+      Action.make ~purpose:flow.purpose ~kind:Action.Disclose
+        ~fields:flow.fields ~actor:src provenance
+    | Flow.Create ->
+      let actor = Flow.node_name flow.src in
+      let store_id = Flow.node_name flow.dst in
+      let si = Universe.store_index u store_id in
+      let fis = field_indices u flow.fields in
+      set_has u cfg'.privacy ~actor:(Universe.actor_index u actor) fis;
+      List.iter (Bitset.set cfg'.stores.(si)) fis;
+      set_could_for_creation u cfg' ~store:si fis;
+      let store = Universe.store_at u si in
+      Action.make ?schema:(schema_label store flow.fields) ~store:store.id
+        ~purpose:flow.purpose ~kind:Action.Create ~fields:flow.fields ~actor
+        provenance
+    | Flow.Anon ->
+      let actor = Flow.node_name flow.src in
+      let store_id = Flow.node_name flow.dst in
+      let si = Universe.store_index u store_id in
+      let anon_fields = List.map Field.anon_of flow.fields in
+      let fis = field_indices u anon_fields in
+      List.iter (Bitset.set cfg'.stores.(si)) fis;
+      set_could_for_creation u cfg' ~store:si fis;
+      let store = Universe.store_at u si in
+      Action.make ?schema:(schema_label store anon_fields) ~store:store.id
+        ~purpose:flow.purpose ~kind:Action.Anon ~fields:flow.fields ~actor
+        provenance
+    | Flow.Read ->
+      let actor = Flow.node_name flow.dst in
+      let store_id = Flow.node_name flow.src in
+      let si = Universe.store_index u store_id in
+      set_has u cfg'.privacy ~actor:(Universe.actor_index u actor)
+        (field_indices u flow.fields);
+      let store = Universe.store_at u si in
+      Action.make ?schema:(schema_label store flow.fields) ~store:store.id
+        ~purpose:flow.purpose ~kind:Action.Read ~fields:flow.fields ~actor
+        provenance
+  in
+  (action, cfg')
+
+(* Policy-derived reads: fields present in the store, readable by the
+   actor, and not yet identified by it (reads that change no state are
+   omitted to keep the LTS acyclic). *)
+let potential_reads u options (cfg : Config.t) =
+  let transitions = ref [] in
+  for a = 0 to Universe.nactors u - 1 do
+    for s = 0 to Universe.nstores u - 1 do
+      let fresh =
+        List.filter
+          (fun f ->
+            Config.store_has cfg ~store:s ~field:f
+            && not (Bitset.get cfg.privacy.has (Universe.var u ~actor:a ~field:f)))
+          (Universe.readable_by u ~actor:a ~store:s)
+      in
+      let emit fis =
+        let cfg' = Config.copy cfg in
+        set_has u cfg'.privacy ~actor:a fis;
+        let store = Universe.store_at u s in
+        let fields = List.map (Universe.field_at u) fis in
+        let action =
+          Action.make ?schema:(schema_label store fields) ~store:store.id
+            ~kind:Action.Read ~fields ~actor:(Universe.actor_name u a)
+            Action.Potential
+        in
+        transitions := (action, cfg') :: !transitions
+      in
+      if fresh <> [] then
+        if options.granular_reads then List.iter (fun f -> emit [ f ]) fresh
+        else emit fresh
+    done
+  done;
+  !transitions
+
+let potential_deletes u (cfg : Config.t) =
+  let transitions = ref [] in
+  for s = 0 to Universe.nstores u - 1 do
+    if not (Bitset.is_empty cfg.stores.(s)) then
+      List.iter
+        (fun a ->
+          let cfg' = Config.copy cfg in
+          let fields =
+            List.map (Universe.field_at u) (Bitset.to_list cfg.stores.(s))
+          in
+          Bitset.clear_all cfg'.stores.(s);
+          recompute_could u cfg';
+          let store = Universe.store_at u s in
+          let action =
+            Action.make ?schema:(schema_label store fields) ~store:store.id
+              ~kind:Action.Delete ~fields ~actor:(Universe.actor_name u a)
+              Action.Potential
+          in
+          transitions := (action, cfg') :: !transitions)
+        (Universe.deleters u ~store:s)
+  done;
+  !transitions
+
+let run ?(options = default_options) u =
+  let infos = flows_in_scope u options in
+  let step cfg =
+    let from_flows =
+      List.filter_map
+        (fun info ->
+          if not (flow_enabled options cfg info) then None
+          else
+            match effective_fields u options info with
+            | [] -> None
+            | eff ->
+              if
+                source_holds u cfg info.kind
+                  { info.flow with Flow.fields = eff }
+              then Some (apply_flow u cfg info eff)
+              else None)
+        infos
+    in
+    let reads = if options.potential_reads then potential_reads u options cfg else [] in
+    let deletes = if options.potential_deletes then potential_deletes u cfg else [] in
+    from_flows @ reads @ deletes
+  in
+  Plts.explore ~max_states:options.max_states ~init:(Config.initial u) ~step ()

@@ -1,0 +1,63 @@
+(** Automatic generation of the LTS privacy model (paper §II-B).
+
+    Starting from the absolute privacy state with empty datastores, the
+    generator explores every reachable configuration by firing:
+
+    - {b flow actions} — each data-flow arrow, classified by the §II-B
+      extraction rules ([collect]/[disclose]/[create]/[anon]/[read]),
+      firing at most once and only when its source node holds the data it
+      sends ("provided the start node has the correct data to flow") —
+      except [create]/[anon] flows, which are authorship: the Doctor
+      writes a Diagnosis it never collected, so store-writes need no
+      prior possession and set the author's [has] bits;
+    - {b potential reads} — policy-derived [read]s: any actor the ACL
+      grants read access to fields currently in a store may read them even
+      if no flow prescribes it (this is what surfaces §IV-A's
+      Administrator risk);
+    - {b potential deletes} (optional) — policy-derived [delete]s by actors
+      holding the Delete permission, clearing the store and recomputing
+      the "could identify" variables.
+
+    State-variable semantics: a [collect]/[disclose]/[read] sets the
+    receiving actor's [has] bits; a [create]/[anon] fills the store and
+    sets the [could] bits of every actor the policy allows to read the
+    created fields. *)
+
+type ordering =
+  | Strict
+      (** A flow fires only after every lower-order flow of its service
+          (the diagram's intended sequence). *)
+  | Data_driven
+      (** Any flow whose source holds the data may fire. *)
+
+type options = {
+  ordering : ordering;
+  potential_reads : bool;
+  granular_reads : bool;
+      (** Potential reads fetch one field per transition instead of every
+          readable field at once (the paper assumes "datastore interfaces
+          that support querying and display of individual fields"). *)
+  potential_deletes : bool;
+  enforce_policy : bool;
+      (** Model run-time enforcement at the datastore interface: [read]
+          flows deliver only policy-permitted fields, [create]/[anon]
+          flows persist only policy-permitted fields, and a fully denied
+          flow is disabled. Off, the diagram executes as drawn even where
+          the policy contradicts it (use {!Consistency.check} to surface
+          the contradictions). *)
+  services : string list option;
+      (** Restrict generation to these services (e.g. Fig. 3 generates
+          the Medical Service process alone). [None] = all. *)
+  max_states : int;
+}
+
+val default_options : options
+(** [Strict], potential reads on (coarse), deletes off, all services,
+    100_000-state guard. *)
+
+val flow_only : options
+(** No policy-derived transitions: exactly the diagram's flows (the Fig. 3
+    rendering mode). *)
+
+val run : ?options:options -> Universe.t -> Plts.t
+(** @raise Failure if [max_states] is exceeded. *)

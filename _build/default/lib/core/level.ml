@@ -1,0 +1,22 @@
+type t = None_ | Low | Medium | High
+
+let rank = function None_ -> 0 | Low -> 1 | Medium -> 2 | High -> 3
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string = function
+  | None_ -> "None"
+  | Low -> "Low"
+  | Medium -> "Medium"
+  | High -> "High"
+
+let of_string = function
+  | "None" -> Some None_
+  | "Low" -> Some Low
+  | "Medium" -> Some Medium
+  | "High" -> Some High
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

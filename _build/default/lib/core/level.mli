@@ -1,0 +1,15 @@
+(** Qualitative risk levels used throughout §III-A: impact, likelihood and
+    the resulting risk are all categorised Low / Medium / High (with [None]
+    for a dimension that is absent altogether, e.g. the impact of an action
+    touching only insensitive data). *)
+
+type t = None_ | Low | Medium | High
+
+val compare : t -> t -> int
+(** [None_ < Low < Medium < High]. *)
+
+val equal : t -> t -> bool
+val max : t -> t -> t
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let transition_style (tr : Plts.transition) =
+  let base =
+    match tr.label.Action.provenance with
+    | Action.From_flow _ -> ""
+    | Action.Potential -> "style=dashed"
+    | Action.Inferred -> "style=dotted, color=red, fontcolor=red"
+  in
+  let risk_colour =
+    match tr.label.Action.risk with
+    | Some (Action.Disclosure_risk { level = Level.High; _ }) -> "color=red"
+    | Some (Action.Disclosure_risk { level = Level.Medium; _ }) -> "color=orange"
+    | Some (Action.Disclosure_risk { level = Level.Low; _ }) -> "color=blue"
+    | Some (Action.Disclosure_risk { level = Level.None_; _ })
+    | Some (Action.Value_risk _) | None ->
+      ""
+  in
+  String.concat ", " (List.filter (( <> ) "") [ base; risk_colour ])
+
+let to_dot ?(graph_name = "privacy_lts") ?(verbose_states = false) u lts =
+  let state_label s =
+    if verbose_states then
+      Format.asprintf "s%d: %a" s
+        (Privacy_state.pp_compact u)
+        (Plts.state_data lts s).Config.privacy
+    else Printf.sprintf "s%d" s
+  in
+  Plts.to_dot ~graph_name ~state_label ~transition_style lts
+
+let summary u lts =
+  ignore u;
+  let kinds = Hashtbl.create 8 and provs = Hashtbl.create 4 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0) in
+  Plts.iter_transitions lts (fun tr ->
+      bump kinds (Format.asprintf "%a" Action.pp_kind tr.label.Action.kind);
+      bump provs
+        (match tr.label.Action.provenance with
+        | Action.From_flow _ -> "flow"
+        | Action.Potential -> "potential"
+        | Action.Inferred -> "inferred"));
+  let render tbl =
+    Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %d" k v :: acc) tbl []
+    |> List.sort String.compare
+    |> String.concat ", "
+  in
+  Printf.sprintf "%d states, %d transitions (%s; %s)" (Plts.num_states lts)
+    (Plts.num_transitions lts) (render kinds) (render provs)

@@ -1,0 +1,13 @@
+(** Rendering of the privacy LTS (paper Fig. 3 / Fig. 4 shape): flow
+    transitions solid, policy-derived potential actions dashed,
+    §III-B inferred risk-transitions dotted and labelled with their
+    violation counts; risk-annotated reads are coloured by level. *)
+
+val to_dot :
+  ?graph_name:string -> ?verbose_states:bool -> Universe.t -> Plts.t -> string
+(** [verbose_states] prints the true privacy variables inside each node
+    rather than bare state numbers (Fig. 2's table, compacted). *)
+
+val summary : Universe.t -> Plts.t -> string
+(** One-paragraph textual account: state/transition counts, counts per
+    action kind and provenance. *)

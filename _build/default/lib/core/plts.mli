@@ -1,0 +1,7 @@
+(** The privacy LTS: the {!Mdp_lts.Lts} instance over generation
+    {!Config}s and {!Action} labels. A single shared instantiation so the
+    generator and every analysis agree on the type. *)
+
+module State : Mdp_lts.Lts.STATE with type t = Config.t
+
+include module type of Mdp_lts.Lts.Make (State) (Action)

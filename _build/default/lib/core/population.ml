@@ -1,0 +1,113 @@
+open Mdp_dataflow
+module Prng = Mdp_prelude.Prng
+module Listx = Mdp_prelude.Listx
+
+type spec = {
+  seed : int;
+  size : int;
+  westin_mix : (Questionnaire.westin * float) list;
+  agree_probability : float;
+}
+
+let default_mix =
+  [
+    (Questionnaire.Fundamentalist, 0.25);
+    (Questionnaire.Pragmatist, 0.55);
+    (Questionnaire.Unconcerned, 0.20);
+  ]
+
+let pick_segment rng mix =
+  let total = Listx.sum_byf snd mix in
+  let x = Prng.float rng total in
+  let rec go acc = function
+    | [ (w, _) ] -> w
+    | (w, p) :: rest -> if x < acc +. p then w else go (acc +. p) rest
+    | [] -> invalid_arg "Population: empty westin mix"
+  in
+  go 0.0 mix
+
+let simulate spec diagram =
+  if spec.westin_mix = [] then invalid_arg "Population.simulate: empty mix";
+  let rng = Prng.create ~seed:spec.seed in
+  let services = List.map (fun (s : Service.t) -> s.id) diagram.Diagram.services in
+  List.init spec.size (fun _ ->
+      let segment = pick_segment rng spec.westin_mix in
+      let agreed =
+        List.filter (fun _ -> Prng.float rng 1.0 < spec.agree_probability) services
+      in
+      Questionnaire.profile diagram segment ~agreed_services:agreed ~answers:[])
+
+type hotspot = {
+  actor : string;
+  store : string option;
+  affected : int;
+  worst : Level.t;
+}
+
+type aggregate = {
+  total : int;
+  by_level : (Level.t * int) list;
+  hotspots : hotspot list;
+}
+
+let analyse ?matrix ?model u lts profiles =
+  let level_counts = Hashtbl.create 4 in
+  let hotspot_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun profile ->
+      let report = Disclosure_risk.analyse ?matrix ?model u lts profile in
+      let worst = Disclosure_risk.max_level report in
+      Hashtbl.replace level_counts worst
+        (1 + Option.value (Hashtbl.find_opt level_counts worst) ~default:0);
+      (* Each distinct (actor, store) with a finding counts once per
+         user. *)
+      let accesses =
+        Listx.dedup
+          (List.map
+             (fun (f : Disclosure_risk.finding) ->
+               (f.action.Action.actor, f.action.Action.store, f.level))
+             report.findings)
+      in
+      List.iter
+        (fun (actor, store, level) ->
+          let key = (actor, store) in
+          let affected, worst_so_far =
+            Option.value
+              (Hashtbl.find_opt hotspot_tbl key)
+              ~default:(0, Level.None_)
+          in
+          Hashtbl.replace hotspot_tbl key
+            (affected + 1, Level.max worst_so_far level))
+        (Listx.dedup (List.map (fun (a, s, l) -> (a, s, l)) accesses)))
+    profiles;
+  let by_level =
+    List.filter_map
+      (fun l ->
+        Option.map (fun c -> (l, c)) (Hashtbl.find_opt level_counts l))
+      [ Level.None_; Level.Low; Level.Medium; Level.High ]
+  in
+  let hotspots =
+    Hashtbl.fold
+      (fun (actor, store) (affected, worst) acc ->
+        { actor; store; affected; worst } :: acc)
+      hotspot_tbl []
+    |> List.sort (fun a b ->
+           match Level.compare b.worst a.worst with
+           | 0 -> Int.compare b.affected a.affected
+           | c -> c)
+  in
+  { total = List.length profiles; by_level; hotspots }
+
+let pp_aggregate ppf agg =
+  Format.fprintf ppf "@[<v>%d users:@," agg.total;
+  List.iter
+    (fun (l, c) -> Format.fprintf ppf "  worst level %a: %d user(s)@," Level.pp l c)
+    agg.by_level;
+  Format.fprintf ppf "hotspots:@,";
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "  %s%s: %d user(s), worst %a@," h.actor
+        (match h.store with Some s -> " on " ^ s | None -> "")
+        h.affected Level.pp h.worst)
+    agg.hotspots;
+  Format.fprintf ppf "@]"

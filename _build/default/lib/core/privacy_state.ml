@@ -1,0 +1,70 @@
+open Mdp_prelude
+
+type t = { has : Bitset.t; could : Bitset.t }
+
+let absolute u =
+  { has = Bitset.create (Universe.nvars u); could = Bitset.create (Universe.nvars u) }
+
+let copy t = { has = Bitset.copy t.has; could = Bitset.copy t.could }
+
+let equal a b = Bitset.equal a.has b.has && Bitset.equal a.could b.could
+
+let hash t = (Bitset.hash t.has * 65599) lxor Bitset.hash t.could
+
+let var u ~actor ~field =
+  Universe.var u ~actor:(Universe.actor_index u actor)
+    ~field:(Universe.field_index u field)
+
+let has u t ~actor ~field = Bitset.get t.has (var u ~actor ~field)
+let could u t ~actor ~field = Bitset.get t.could (var u ~actor ~field)
+let has_i t v = Bitset.get t.has v
+let could_i t v = Bitset.get t.could v
+
+let identified_pairs u t =
+  let acc = ref [] in
+  for v = Universe.nvars u - 1 downto 0 do
+    if Bitset.get t.has v || Bitset.get t.could v then
+      acc :=
+        ( Universe.actor_name u (Universe.var_actor u v),
+          Universe.field_at u (Universe.var_field u v) )
+        :: !acc
+  done;
+  !acc
+
+let pp_table u ppf t =
+  let header =
+    "actor"
+    :: List.concat_map
+         (fun f ->
+           let n = Mdp_dataflow.Field.name f in
+           [ n ^ " has"; n ^ " could" ])
+         (Array.to_list (Array.init (Universe.nfields u) (Universe.field_at u)))
+  in
+  let table = Texttable.create ~header in
+  for a = 0 to Universe.nactors u - 1 do
+    let cells =
+      List.concat_map
+        (fun f ->
+          let v = Universe.var u ~actor:a ~field:f in
+          let b x = if x then "T" else "F" in
+          [ b (Bitset.get t.has v); b (Bitset.get t.could v) ])
+        (List.init (Universe.nfields u) Fun.id)
+    in
+    Texttable.add_row table (Universe.actor_name u a :: cells)
+  done;
+  Texttable.pp ppf table
+
+let pp_compact u ppf t =
+  let entries = ref [] in
+  for v = Universe.nvars u - 1 downto 0 do
+    let name () =
+      Printf.sprintf "%s %s"
+        (Universe.actor_name u (Universe.var_actor u v))
+        (Mdp_dataflow.Field.name (Universe.field_at u (Universe.var_field u v)))
+    in
+    if Bitset.get t.has v then entries := (name () ^ " (has)") :: !entries
+    else if Bitset.get t.could v then entries := (name () ^ " (could)") :: !entries
+  done;
+  match !entries with
+  | [] -> Format.pp_print_string ppf "(absolute privacy)"
+  | es -> Format.pp_print_string ppf (String.concat "; " es)

@@ -1,0 +1,172 @@
+open Mdp_dataflow
+open Mdp_prelude
+
+type binding = {
+  store : string;
+  dataset : Mdp_anon.Dataset.t;
+  attr_fields : (string * Field.t) list;
+  policy : Mdp_anon.Value_risk.policy;
+}
+
+let make_binding ~store ~dataset ~attr_fields ~policy =
+  let attr_names =
+    List.map (fun (a : Mdp_anon.Attribute.t) -> a.name) (Mdp_anon.Dataset.attrs dataset)
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name attr_names) then
+        invalid_arg
+          (Printf.sprintf "Pseudonym_risk: attribute %s not in dataset" name))
+    attr_fields;
+  if not (List.mem_assoc policy.Mdp_anon.Value_risk.sensitive attr_fields) then
+    invalid_arg "Pseudonym_risk: sensitive attribute unbound";
+  let quasi =
+    List.filter Mdp_anon.Attribute.is_quasi (Mdp_anon.Dataset.attrs dataset)
+  in
+  List.iter
+    (fun (a : Mdp_anon.Attribute.t) ->
+      if not (List.mem_assoc a.name attr_fields) then
+        invalid_arg
+          (Printf.sprintf "Pseudonym_risk: quasi attribute %s unbound" a.name))
+    quasi;
+  { store; dataset; attr_fields; policy }
+
+type risk_transition = {
+  src : Plts.state_id;
+  dst : Plts.state_id;
+  actor : string;
+  field : Field.t;
+  fields_read : Field.t list;
+  report : Mdp_anon.Value_risk.report;
+}
+
+(* May the actor read [field] from *some* datastore? Access rights in the
+   §III-B sense are store-independent: any read route to the raw field
+   removes the inference risk (it is then a plain disclosure risk). *)
+let may_read_somewhere u ~actor_i ~field =
+  let fi = Universe.field_index u field in
+  let rec scan s =
+    s < Universe.nstores u
+    && (List.mem actor_i (Universe.readers u ~store:s ~field:fi) || scan (s + 1))
+  in
+  scan 0
+
+let analyse u lts binding =
+  let diagram = Universe.diagram u in
+  ignore (Diagram.find_store diagram binding.store);
+  let sensitive_field =
+    List.assoc binding.policy.Mdp_anon.Value_risk.sensitive binding.attr_fields
+  in
+  let quasi_attrs =
+    List.filter Mdp_anon.Attribute.is_quasi (Mdp_anon.Dataset.attrs binding.dataset)
+    |> List.map (fun (a : Mdp_anon.Attribute.t) -> a.name)
+  in
+  let sens_anon = Field.anon_of sensitive_field in
+  let sens_anon_i =
+    try Some (Universe.field_index u sens_anon) with Not_found -> None
+  in
+  let results = ref [] in
+  (match sens_anon_i with
+  | None -> () (* the model never pseudonymises the field: no risk states *)
+  | Some sens_anon_i ->
+    let snapshot = Plts.states lts in
+    List.iter
+      (fun src ->
+        let cfg : Config.t = Plts.state_data lts src in
+        for a = 0 to Universe.nactors u - 1 do
+          let actor = Universe.actor_name u a in
+          let accessed_anon =
+            Privacy_state.has_i cfg.Config.privacy
+              (Universe.var u ~actor:a ~field:sens_anon_i)
+          in
+          if
+            accessed_anon
+            && (not (may_read_somewhere u ~actor_i:a ~field:sensitive_field))
+            && may_read_somewhere u ~actor_i:a ~field:sens_anon
+          then begin
+            (* Quasi anon fields this actor has read at this state. *)
+            let fields_read_attrs, fields_read =
+              List.split
+                (List.filter_map
+                   (fun attr ->
+                     let base = List.assoc attr binding.attr_fields in
+                     let anon = Field.anon_of base in
+                     match Universe.field_index u anon with
+                     | exception Not_found -> None
+                     | fi ->
+                       if
+                         Privacy_state.has_i cfg.Config.privacy
+                           (Universe.var u ~actor:a ~field:fi)
+                       then Some (attr, anon)
+                       else None)
+                   quasi_attrs)
+            in
+            let report =
+              Mdp_anon.Value_risk.assess binding.dataset
+                ~fields_read:fields_read_attrs binding.policy
+            in
+            (* The inferred read leads to a state where the actor has
+               identified the raw field. *)
+            let cfg' = Config.copy cfg in
+            Bitset.set cfg'.Config.privacy.Privacy_state.has
+              (Universe.var u ~actor:a
+                 ~field:(Universe.field_index u sensitive_field));
+            let dst = Plts.add_state lts cfg' in
+            let max_risk =
+              Frac.to_float (Mdp_anon.Value_risk.max_risk report)
+            in
+            let action =
+              Action.make ~store:binding.store ~kind:Action.Read
+                ~fields:[ sensitive_field ] ~actor
+                ~risk:
+                  (Action.Value_risk
+                     {
+                       violations = report.Mdp_anon.Value_risk.violations;
+                       total = List.length report.Mdp_anon.Value_risk.scores;
+                       max_risk;
+                     })
+                Action.Inferred
+            in
+            ignore (Plts.add_transition lts ~src ~label:action ~dst : bool);
+            results :=
+              { src; dst; actor; field = sensitive_field; fields_read; report }
+              :: !results
+          end
+        done)
+      snapshot);
+  List.sort (fun a b -> Int.compare a.src b.src) !results
+
+let check ~max_violation_ratio transitions =
+  let worst =
+    List.fold_left
+      (fun acc t ->
+        let total = List.length t.report.Mdp_anon.Value_risk.scores in
+        if total = 0 then acc
+        else
+          let ratio =
+            float_of_int t.report.Mdp_anon.Value_risk.violations
+            /. float_of_int total
+          in
+          match acc with
+          | Some (_, r) when r >= ratio -> acc
+          | _ -> Some (t, ratio))
+      None transitions
+  in
+  match worst with
+  | Some (t, ratio) when ratio > max_violation_ratio ->
+    Error
+      (Printf.sprintf
+         "pseudonymisation unacceptable: actor %s infers %s with %d/%d \
+          violations (%.0f%% > %.0f%% allowed) after reading {%s}"
+         t.actor (Field.name t.field) t.report.Mdp_anon.Value_risk.violations
+         (List.length t.report.Mdp_anon.Value_risk.scores)
+         (100.0 *. ratio)
+         (100.0 *. max_violation_ratio)
+         (String.concat ", " (List.map Field.name t.fields_read)))
+  | Some _ | None -> Ok ()
+
+let pp_risk_transition ppf t =
+  Format.fprintf ppf "s%d --read(%s) by %s [inferred, read {%s}]--> s%d: %a"
+    t.src (Field.name t.field) t.actor
+    (String.concat ", " (List.map Field.name t.fields_read))
+    t.dst Mdp_anon.Value_risk.pp_report t.report

@@ -1,0 +1,20 @@
+(** Machine-readable export of analysis results.
+
+    The paper motivates returning analysis output to users and feeding it
+    into privacy policies ("the information output from the analysis
+    [could] form part of the privacy policy explained to users"); this
+    module serialises a completed {!Analysis.t} as JSON for exactly such
+    downstream consumption. *)
+
+val action : Action.t -> Mdp_prelude.Json.t
+val finding : Disclosure_risk.finding -> Mdp_prelude.Json.t
+val risk_transition : Pseudonym_risk.risk_transition -> Mdp_prelude.Json.t
+val consistency_gap : Consistency.gap -> Mdp_prelude.Json.t
+
+val analysis : Analysis.t -> Mdp_prelude.Json.t
+(** Top-level object: model statistics, consistency gaps, the disclosure
+    report (non-allowed actors, findings with witnesses, exposures) and
+    the pseudonymisation risk-transitions. *)
+
+val to_string : Analysis.t -> string
+(** Pretty-printed {!analysis}. *)

@@ -1,0 +1,85 @@
+type signature = {
+  actor : string;
+  store : string option;
+  kind : Action.kind;
+  fields : string list;
+}
+
+type change = { signature : signature; before : Level.t; after : Level.t }
+
+type t = {
+  removed : change list;
+  added : change list;
+  changed : change list;
+  unchanged : int;
+}
+
+let signature_of_finding (f : Disclosure_risk.finding) =
+  {
+    actor = f.action.Action.actor;
+    store = f.action.Action.store;
+    kind = f.action.Action.kind;
+    fields =
+      List.sort String.compare
+        (List.map Mdp_dataflow.Field.name f.action.Action.fields);
+  }
+
+(* Worst level per signature: the same access can appear from many LTS
+   states; the report's risk for it is the maximum. *)
+let levels_by_signature (report : Disclosure_risk.report) =
+  List.fold_left
+    (fun acc (f : Disclosure_risk.finding) ->
+      let s = signature_of_finding f in
+      let existing = Option.value (List.assoc_opt s acc) ~default:Level.None_ in
+      (s, Level.max existing f.level) :: List.remove_assoc s acc)
+    [] report.findings
+
+let diff ~before ~after =
+  let b = levels_by_signature before and a = levels_by_signature after in
+  let removed =
+    List.filter_map
+      (fun (s, lvl) ->
+        if List.mem_assoc s a then None
+        else Some { signature = s; before = lvl; after = Level.None_ })
+      b
+  in
+  let added =
+    List.filter_map
+      (fun (s, lvl) ->
+        if List.mem_assoc s b then None
+        else Some { signature = s; before = Level.None_; after = lvl })
+      a
+  in
+  let changed, unchanged =
+    List.fold_left
+      (fun (changed, unchanged) (s, before_lvl) ->
+        match List.assoc_opt s a with
+        | Some after_lvl when not (Level.equal before_lvl after_lvl) ->
+          ({ signature = s; before = before_lvl; after = after_lvl } :: changed,
+           unchanged)
+        | Some _ -> (changed, unchanged + 1)
+        | None -> (changed, unchanged))
+      ([], 0) b
+  in
+  { removed; added; changed = List.rev changed; unchanged }
+
+let improved t =
+  t.added = []
+  && List.for_all (fun c -> Level.compare c.after c.before < 0) t.changed
+
+let pp_signature ppf s =
+  Format.fprintf ppf "%a of %s by %s" Action.pp_kind s.kind
+    (match s.store with Some st -> st | None -> "(no store)")
+    s.actor;
+  Format.fprintf ppf " [%s]" (String.concat ", " s.fields)
+
+let pp ppf t =
+  let change verb c =
+    Format.fprintf ppf "  %s %a: %a -> %a@," verb pp_signature c.signature
+      Level.pp c.before Level.pp c.after
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (change "removed") t.removed;
+  List.iter (change "added  ") t.added;
+  List.iter (change "changed") t.changed;
+  Format.fprintf ppf "  (%d finding signature(s) unchanged)@]" t.unchanged

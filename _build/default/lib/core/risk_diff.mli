@@ -1,0 +1,35 @@
+(** Differencing two disclosure-risk reports.
+
+    The §IV-A workflow is iterative — analyse, edit the policy,
+    re-analyse; this module states precisely what an edit changed:
+    findings that disappeared, appeared, or moved between levels.
+    Findings are identified by their access signature (actor, store,
+    action kind, field set), not by LTS state ids, which differ across
+    regenerations. *)
+
+type signature = {
+  actor : string;
+  store : string option;
+  kind : Action.kind;
+  fields : string list;  (** Sorted field names. *)
+}
+
+type change = {
+  signature : signature;
+  before : Level.t;  (** [None_] when the finding is new. *)
+  after : Level.t;  (** [None_] when the finding disappeared. *)
+}
+
+type t = {
+  removed : change list;
+  added : change list;
+  changed : change list;  (** Present in both with different levels. *)
+  unchanged : int;
+}
+
+val signature_of_finding : Disclosure_risk.finding -> signature
+val diff : before:Disclosure_risk.report -> after:Disclosure_risk.report -> t
+val improved : t -> bool
+(** No added findings and no finding whose level rose. *)
+
+val pp : Format.formatter -> t -> unit

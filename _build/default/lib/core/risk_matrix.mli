@@ -1,0 +1,35 @@
+(** Categorisation of the two risk dimensions and the risk table mapping
+    them to a level (paper §III-A: "we categorise the impact and
+    likelihood into categories (low, medium and high), and then use a
+    table to determine a risk level. The categorisation ... as well as the
+    table ... should be specified according to the type of service"). *)
+
+type t
+
+val make :
+  ?impact_thresholds:float * float ->
+  ?likelihood_thresholds:float * float ->
+  ?table:Level.t array array ->
+  unit ->
+  t
+(** [impact_thresholds = (a, b)]: impact x is Low when [x < a], Medium
+    when [a <= x < b], High otherwise (and None when x = 0). Defaults:
+    impact (0.4, 0.7); likelihood (0.1, 0.5); table rows indexed by
+    impact Low..High, columns by likelihood Low..High:
+    {v Low    -> L L M
+       Medium -> L M H
+       High   -> M H H v}
+    @raise Invalid_argument on non-increasing thresholds or a table not
+    3x3. *)
+
+val default : t
+
+val impact_level : t -> float -> Level.t
+(** [None_] exactly when the impact is 0. *)
+
+val likelihood_level : t -> float -> Level.t
+val level : t -> impact:Level.t -> likelihood:Level.t -> Level.t
+(** [None_] when either dimension is [None_]. *)
+
+val assess : t -> impact:float -> likelihood:float -> Action.risk
+(** Bundle the full §III-A annotation for a transition. *)

@@ -1,0 +1,82 @@
+open Mdp_dataflow
+
+type status = Has | Could
+
+type entry = {
+  actor : string;
+  field : Field.t;
+  status : status;
+  via : Action.t list;
+}
+
+let witness lts pred =
+  match Plts.path_to lts pred with
+  | Some steps -> List.map fst steps
+  | None -> []
+
+let entries_of_vars u lts vars =
+  (* vars: (var index, status) pairs; produce ordered entries with the
+     earliest witness for each fact. *)
+  List.map
+    (fun (v, status) ->
+      let actor = Universe.actor_name u (Universe.var_actor u v) in
+      let field = Universe.field_at u (Universe.var_field u v) in
+      let via =
+        witness lts (fun s ->
+            let p = (Plts.state_data lts s : Config.t).Config.privacy in
+            match status with
+            | Has -> Privacy_state.has_i p v
+            | Could -> Privacy_state.could_i p v)
+      in
+      { actor; field; status; via })
+    vars
+
+let collect u (privacy : Privacy_state.t) =
+  let acc = ref [] in
+  for v = Universe.nvars u - 1 downto 0 do
+    if Privacy_state.has_i privacy v then acc := (v, Has) :: !acc
+    else if Privacy_state.could_i privacy v then acc := (v, Could) :: !acc
+  done;
+  !acc
+
+let at_state u lts state =
+  let cfg : Config.t = Plts.state_data lts state in
+  entries_of_vars u lts (collect u cfg.Config.privacy)
+
+let worst_case u lts =
+  (* Union of variables over reachable states; Has dominates Could. *)
+  let n = Universe.nvars u in
+  let has = Array.make n false and could = Array.make n false in
+  List.iter
+    (fun s ->
+      let p = (Plts.state_data lts s : Config.t).Config.privacy in
+      for v = 0 to n - 1 do
+        if Privacy_state.has_i p v then has.(v) <- true;
+        if Privacy_state.could_i p v then could.(v) <- true
+      done)
+    (Plts.reachable lts);
+  let vars = ref [] in
+  for v = n - 1 downto 0 do
+    if has.(v) then vars := (v, Has) :: !vars
+    else if could.(v) then vars := (v, Could) :: !vars
+  done;
+  entries_of_vars u lts !vars
+
+let for_actor entries actor = List.filter (fun e -> e.actor = actor) entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s %s %s%s" e.actor
+    (match e.status with Has -> "has seen" | Could -> "could see")
+    (Field.name e.field)
+    (match e.via with
+    | [] -> ""
+    | trace ->
+      Printf.sprintf " (via %s)"
+        (String.concat " ; "
+           (List.map
+              (fun (a : Action.t) ->
+                Format.asprintf "%a by %s" Action.pp_kind a.kind a.actor)
+              trace)))
+
+let pp ppf entries =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry ppf entries

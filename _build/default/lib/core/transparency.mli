@@ -1,0 +1,39 @@
+(** Data-subject transparency reports.
+
+    §IV-A motivates returning the analysis to the user: the developer can
+    "engineer systems that assure the data subject of the transparency of
+    any processing of their data. If such information is returned to
+    users, identifying the risks associated with any processing enables
+    greater understanding by the data subjects". A transparency report
+    answers, for one subject: *who has seen (or could see) which of my
+    fields, and through which actions?* — either at a concrete state (the
+    runtime monitor's current state) or worst-case over the whole model. *)
+
+open Mdp_dataflow
+
+type status = Has | Could
+
+type entry = {
+  actor : string;
+  field : Field.t;
+  status : status;  (** [Has] wins when both hold. *)
+  via : Action.t list;
+      (** Shortest action trace establishing the fact (empty for
+          worst-case entries at the initial state). *)
+}
+
+val at_state : Universe.t -> Plts.t -> Plts.state_id -> entry list
+(** The subject's exposure at one state, e.g.
+    [Mdp_runtime.Monitor.current_state]. Entries ordered by actor then
+    field. [via] traces lead to the first reachable state exhibiting the
+    fact (the earliest explanation), not necessarily the given state. *)
+
+val worst_case : Universe.t -> Plts.t -> entry list
+(** Union over every reachable state: everything that *can* happen to
+    this subject's data under the model. *)
+
+val for_actor : entry list -> string -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> entry list -> unit
+(** Grouped one-per-line rendering suitable for showing to the
+    subject. *)

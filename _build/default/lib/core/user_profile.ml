@@ -1,0 +1,57 @@
+open Mdp_dataflow
+
+type t = {
+  agreed_services : string list;
+  sensitivities : (Field.t * float) list;
+}
+
+let make ?(sensitivities = []) ~agreed_services () =
+  List.iter
+    (fun (f, s) ->
+      if s < 0.0 || s > 1.0 then
+        invalid_arg
+          (Printf.sprintf "User_profile.make: sensitivity %g of %s outside [0,1]"
+             s (Field.name f)))
+    sensitivities;
+  (match Mdp_prelude.Listx.find_duplicate (fun (f, _) -> Field.name f) sensitivities with
+  | Some f -> invalid_arg (Printf.sprintf "User_profile.make: duplicate field %s" f)
+  | None -> ());
+  { agreed_services; sensitivities }
+
+let of_category = function `Low -> 0.2 | `Medium -> 0.55 | `High -> 0.9
+
+let agreed_services t = t.agreed_services
+let agrees_to t svc = List.mem svc t.agreed_services
+
+let sensitivity t f =
+  match List.find_opt (fun (f', _) -> Field.equal f f') t.sensitivities with
+  | Some (_, s) -> s
+  | None -> 0.0
+
+let allowed_actors t diagram =
+  Mdp_prelude.Listx.dedup
+    (List.concat_map
+       (fun svc ->
+         match Diagram.find_service diagram svc with
+         | Some s -> Service.actors s
+         | None -> [])
+       t.agreed_services)
+
+let is_allowed t diagram actor = List.mem actor (allowed_actors t diagram)
+
+let non_allowed_actors t diagram =
+  let allowed = allowed_actors t diagram in
+  List.filter_map
+    (fun (a : Actor.t) -> if List.mem a.id allowed then None else Some a.id)
+    diagram.Diagram.actors
+
+let sigma t diagram ~actor f =
+  if is_allowed t diagram actor then 0.0 else sensitivity t f
+
+let pp ppf t =
+  Format.fprintf ppf "agreed: {%s}; sensitivities: %s"
+    (String.concat ", " t.agreed_services)
+    (String.concat ", "
+       (List.map
+          (fun (f, s) -> Printf.sprintf "%s=%g" (Field.name f) s)
+          t.sensitivities))

@@ -1,0 +1,44 @@
+(** User privacy-control requirements (paper §III-A): which services the
+    user agreed to, and how sensitive each data field is to them.
+    Sensitivities are quantitative (σ(d) ∈ [0, 1]); the Low/Medium/High
+    questionnaire categories map onto representative values.
+
+    The agreed services induce the allowed/non-allowed actor split:
+    "an actor not associated with those services is referred to as a
+    non-allowed actor", and σ(d, a) = 0 for allowed actors, σ(d)
+    otherwise. *)
+
+open Mdp_dataflow
+
+type t
+
+val make :
+  ?sensitivities:(Field.t * float) list ->
+  agreed_services:string list ->
+  unit ->
+  t
+(** Unlisted fields have sensitivity 0 — including anon variants, which
+    must be listed explicitly to be sensitive (disclosure of a
+    pseudonymised value is a different, usually smaller concern than the
+    raw field; §III-B covers what can be inferred from it).
+    @raise Invalid_argument on a sensitivity outside [0, 1] or duplicate
+    fields. *)
+
+val of_category : [ `Low | `Medium | `High ] -> float
+(** Representative σ for a questionnaire category: 0.2 / 0.55 / 0.9. *)
+
+val agreed_services : t -> string list
+val agrees_to : t -> string -> bool
+val sensitivity : t -> Field.t -> float
+(** σ(d). *)
+
+val allowed_actors : t -> Diagram.t -> string list
+(** Actors appearing in the flows of agreed services. *)
+
+val is_allowed : t -> Diagram.t -> string -> bool
+val non_allowed_actors : t -> Diagram.t -> string list
+
+val sigma : t -> Diagram.t -> actor:string -> Field.t -> float
+(** σ(d, a): 0 when the actor is allowed, σ(d) otherwise. *)
+
+val pp : Format.formatter -> t -> unit

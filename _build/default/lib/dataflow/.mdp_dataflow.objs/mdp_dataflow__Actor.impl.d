@@ -1,0 +1,1 @@
+lib/dataflow/actor.ml: Format Fun List Mdp_prelude Printf String

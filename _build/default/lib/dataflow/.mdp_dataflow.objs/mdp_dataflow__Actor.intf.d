@@ -1,0 +1,1 @@
+lib/dataflow/actor.mli: Format

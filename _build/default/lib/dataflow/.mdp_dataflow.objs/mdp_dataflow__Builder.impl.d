@@ -1,0 +1,1 @@
+lib/dataflow/builder.ml: Actor Datastore Diagram Field Flow List Mdp_prelude Option Schema Service String

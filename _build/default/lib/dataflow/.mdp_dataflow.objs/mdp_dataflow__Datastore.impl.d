@@ -1,0 +1,1 @@
+lib/dataflow/datastore.ml: Format List Mdp_prelude Printf Schema

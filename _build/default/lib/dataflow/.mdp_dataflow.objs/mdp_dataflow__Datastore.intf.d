@@ -1,0 +1,1 @@
+lib/dataflow/datastore.mli: Field Format Schema

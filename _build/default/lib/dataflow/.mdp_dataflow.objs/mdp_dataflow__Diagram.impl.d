@@ -1,0 +1,1 @@
+lib/dataflow/diagram.ml: Actor Datastore Field Flow Format List Listx Mdp_prelude Option Printf Service String Validate

@@ -1,0 +1,1 @@
+lib/dataflow/diagram.mli: Actor Datastore Field Flow Format Service

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Actor Buffer Datastore Diagram Field Flow Format List Printf Schema Service String

@@ -1,0 +1,1 @@
+lib/dataflow/field.ml: Bool Format Printf String

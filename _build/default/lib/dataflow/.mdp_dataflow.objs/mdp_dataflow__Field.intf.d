@@ -1,0 +1,1 @@
+lib/dataflow/field.mli: Format

@@ -1,0 +1,1 @@
+lib/dataflow/flow.ml: Datastore Field Format Mdp_prelude Printf

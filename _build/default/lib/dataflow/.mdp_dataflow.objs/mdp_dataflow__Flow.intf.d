@@ -1,0 +1,1 @@
+lib/dataflow/flow.mli: Datastore Field Format

@@ -1,0 +1,1 @@
+lib/dataflow/schema.ml: Field Format List Mdp_prelude Printf

@@ -1,0 +1,1 @@
+lib/dataflow/schema.mli: Field Format

@@ -1,0 +1,1 @@
+lib/dataflow/service.ml: Flow Format Int List Mdp_prelude Printf

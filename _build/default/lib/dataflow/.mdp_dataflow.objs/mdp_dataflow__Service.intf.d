@@ -1,0 +1,1 @@
+lib/dataflow/service.mli: Field Flow Format

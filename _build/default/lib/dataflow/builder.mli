@@ -1,0 +1,27 @@
+(** Imperative convenience layer for assembling diagrams from strings.
+
+    Declare actors and stores first, then flows: endpoint strings resolve
+    to [User] (the literal ["User"]), a declared store id, or otherwise an
+    actor id. Field strings go through {!Field.of_name}, so ["Weight~anon"]
+    denotes the pseudonymised variant. Flow order within a service is
+    assigned by declaration sequence (starting at 1) unless given. *)
+
+type t
+
+val create : unit -> t
+val actor : t -> ?roles:string list -> string -> unit
+val plain_store : t -> string -> schemas:(string * string list) list -> unit
+val anon_store : t -> string -> schemas:(string * string list) list -> unit
+val flow :
+  t ->
+  service:string ->
+  ?order:int ->
+  ?purpose:string ->
+  src:string ->
+  dst:string ->
+  string list ->
+  unit
+(** [flow t ~service ~src ~dst fields]. Default purpose is the service id. *)
+
+val build : t -> (Diagram.t, string list) result
+val build_exn : t -> Diagram.t

@@ -1,0 +1,29 @@
+type kind = Plain | Anonymised
+
+type t = { id : string; kind : kind; schemas : Schema.t list }
+
+let make ?(kind = Plain) ~id ~schemas () =
+  if id = "" then invalid_arg "Datastore.make: empty id";
+  if schemas = [] then invalid_arg "Datastore.make: no schemas";
+  (match Mdp_prelude.Listx.find_duplicate (fun (s : Schema.t) -> s.id) schemas with
+  | Some s -> invalid_arg (Printf.sprintf "Datastore.make: duplicate schema %s" s)
+  | None -> ());
+  { id; kind; schemas }
+
+let fields t =
+  Mdp_prelude.Listx.dedup (List.concat_map (fun (s : Schema.t) -> s.fields) t.schemas)
+
+let mem t f = List.exists (fun s -> Schema.mem s f) t.schemas
+
+let schema_of_field t f = List.find_opt (fun s -> Schema.mem s f) t.schemas
+
+let pp_kind ppf = function
+  | Plain -> Format.pp_print_string ppf "plain"
+  | Anonymised -> Format.pp_print_string ppf "anonymised"
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a): %a" t.id pp_kind t.kind
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Schema.pp)
+    t.schemas

@@ -1,0 +1,24 @@
+(** Datastores.
+
+    A datastore holds one or more schemas. An [Anonymised] datastore only
+    ever receives pseudonymised field variants via [anon] flows
+    (paper §II-B: "Where it is an anonymized data store then this is an
+    anon action"). *)
+
+type kind = Plain | Anonymised
+
+type t = { id : string; kind : kind; schemas : Schema.t list }
+
+val make : ?kind:kind -> id:string -> schemas:Schema.t list -> unit -> t
+(** Defaults to [Plain]. @raise Invalid_argument on an empty id, no
+    schemas, or duplicate schema ids. *)
+
+val fields : t -> Field.t list
+(** All fields across schemas, deduplicated, in schema order. *)
+
+val mem : t -> Field.t -> bool
+val schema_of_field : t -> Field.t -> Schema.t option
+(** First schema containing the field. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit

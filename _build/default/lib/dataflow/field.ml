@@ -1,0 +1,32 @@
+type t = { base : string; anon : bool }
+
+let valid_name s =
+  String.length s > 0
+  && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') s)
+
+let make base =
+  if not (valid_name base) then
+    invalid_arg (Printf.sprintf "Field.make: invalid field name %S" base);
+  { base; anon = false }
+
+let anon_of t = { t with anon = true }
+let base_of t = { t with anon = false }
+let is_anon t = t.anon
+
+let anon_suffix = "~anon"
+
+let name t = if t.anon then t.base ^ anon_suffix else t.base
+
+let of_name s =
+  let n = String.length s and k = String.length anon_suffix in
+  if n > k && String.sub s (n - k) k = anon_suffix then
+    anon_of (make (String.sub s 0 (n - k)))
+  else make s
+
+let equal a b = a.base = b.base && a.anon = b.anon
+let compare a b =
+  match String.compare a.base b.base with
+  | 0 -> Bool.compare a.anon b.anon
+  | c -> c
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,30 @@
+(** Personal-data fields.
+
+    A field is a named item of personal data (e.g. [Name], [Diagnosis]).
+    Every field also has a pseudonymised variant (paper §II-B): [anon_of f]
+    denotes f_anon, the version of [f] disclosed after pseudonymisation.
+    Access rights and privacy-state variables can be declared on the anon
+    variant independently of the base field. *)
+
+type t = private { base : string; anon : bool }
+
+val make : string -> t
+(** A base (non-pseudonymised) field. @raise Invalid_argument on an empty
+    name or a name containing whitespace. *)
+
+val anon_of : t -> t
+(** The pseudonymised variant. Idempotent. *)
+
+val base_of : t -> t
+(** The underlying base field ([base_of (anon_of f) = f]). *)
+
+val is_anon : t -> bool
+val name : t -> string
+(** Rendered name: ["Diagnosis"] or ["Diagnosis~anon"]. *)
+
+val of_name : string -> t
+(** Inverse of [name]: a trailing ["~anon"] marks the anon variant. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

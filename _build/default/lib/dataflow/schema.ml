@@ -1,0 +1,18 @@
+type t = { id : string; fields : Field.t list }
+
+let make ~id ~fields =
+  if id = "" then invalid_arg "Schema.make: empty id";
+  if fields = [] then invalid_arg "Schema.make: no fields";
+  (match Mdp_prelude.Listx.find_duplicate Field.name fields with
+  | Some f -> invalid_arg (Printf.sprintf "Schema.make: duplicate field %s" f)
+  | None -> ());
+  { id; fields }
+
+let mem t f = List.exists (Field.equal f) t.fields
+
+let pp ppf t =
+  Format.fprintf ppf "%s{%a}" t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Field.pp)
+    t.fields

@@ -1,0 +1,14 @@
+(** Data schemas.
+
+    A schema names a set of fields stored together in a datastore
+    (paper §II-A: "the data schema ... associated with each datastore").
+    A datastore may hold several schemas. *)
+
+type t = { id : string; fields : Field.t list }
+
+val make : id:string -> fields:Field.t list -> t
+(** @raise Invalid_argument on an empty id, no fields, or duplicate
+    fields. *)
+
+val mem : t -> Field.t -> bool
+val pp : Format.formatter -> t -> unit

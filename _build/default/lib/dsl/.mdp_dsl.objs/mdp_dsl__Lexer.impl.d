@@ -1,0 +1,1 @@
+lib/dsl/lexer.ml: Buffer List Printf String Token

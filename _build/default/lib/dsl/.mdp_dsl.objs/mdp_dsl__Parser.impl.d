@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Builder Diagram Field Format Lexer List Mdp_dataflow Mdp_policy Printf String Token

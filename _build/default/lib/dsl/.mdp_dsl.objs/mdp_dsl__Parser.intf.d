@@ -1,0 +1,1 @@
+lib/dsl/parser.mli: Mdp_dataflow Mdp_policy

@@ -1,0 +1,1 @@
+lib/dsl/printer.ml: Actor Buffer Datastore Diagram Field Flow Format List Mdp_dataflow Mdp_policy Parser Printf Schema Service String

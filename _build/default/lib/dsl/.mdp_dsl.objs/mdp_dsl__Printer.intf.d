@@ -1,0 +1,1 @@
+lib/dsl/printer.mli: Format Parser

@@ -1,0 +1,1 @@
+lib/dsl/token.ml: Format

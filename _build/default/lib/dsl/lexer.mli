@@ -1,0 +1,7 @@
+(** Hand-written lexer. [#] starts a comment to end of line. Identifiers
+    may contain letters, digits, [_], [-], [~] and [.] (so field names
+    like [Weight~anon] are single tokens). *)
+
+val tokenize : string -> (Token.located list, string) result
+(** The result always ends with an [Eof] token. Errors carry a line
+    number. *)

@@ -1,0 +1,43 @@
+(** Recursive-descent parser for the model-description language.
+
+    {v
+    # comments run to end of line
+    actor Doctor roles [clinician]
+    store EHR { schema HealthRecord { Name Diagnosis } }
+    anonstore AnonEHR { schema AnonRecord { Diagnosis~anon } }
+    service MedicalService {
+      1: User -> Doctor [Name] "booking"
+      2: Doctor -> EHR [Name Diagnosis] "record"
+    }
+    hierarchy operations > field-ops        # senior > junior
+    allow actor:Doctor read write on EHR
+    allow role:clinician read on EHR [Name]
+    deny actor:Administrator read on EHR [Diagnosis]
+    node surgery region UK                  # optional deployment
+    place actor:Doctor on surgery
+    place store:EHR on surgery
+    v}
+
+    Flow endpoints resolve like {!Mdp_dataflow.Builder}: the literal
+    [User], a declared store id, or otherwise an actor id. A flow without
+    a purpose string defaults to its service id. *)
+
+type node_decl = { node : string; region : string }
+
+type placement = {
+  nodes : node_decl list;
+  actor_nodes : (string * string) list;  (** actor id -> node id *)
+  store_nodes : (string * string) list;
+}
+
+type model = {
+  diagram : Mdp_dataflow.Diagram.t;
+  policy : Mdp_policy.Policy.t;
+  placement : placement option;
+      (** Present when the file declares [node]/[place] stanzas. *)
+}
+
+val parse : string -> (model, string) result
+(** Lexes, parses and validates. The error message carries a line
+    number for syntax errors, or the diagram/policy validation
+    messages. *)

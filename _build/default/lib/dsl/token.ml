@@ -1,0 +1,29 @@
+type t =
+  | Ident of string
+  | String of string
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Arrow
+  | Gt
+  | Eof
+
+type located = { token : t; line : int }
+
+let pp ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | String s -> Format.fprintf ppf "string %S" s
+  | Int i -> Format.fprintf ppf "integer %d" i
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Arrow -> Format.pp_print_string ppf "'->'"
+  | Gt -> Format.pp_print_string ppf "'>'"
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let equal = ( = )

@@ -1,0 +1,19 @@
+(** Tokens of the model-description language. *)
+
+type t =
+  | Ident of string  (** Bare word: keywords, names, field names. *)
+  | String of string  (** Double-quoted. *)
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Arrow  (** [->] *)
+  | Gt  (** [>] (role hierarchy). *)
+  | Eof
+
+type located = { token : t; line : int }
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/lts/lts.ml: Array Buffer Format Fun Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/lts/lts.mli: Format

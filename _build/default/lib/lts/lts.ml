@@ -1,0 +1,381 @@
+module type STATE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type LABEL = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (S : STATE) (L : LABEL) = struct
+  module Tbl = Hashtbl.Make (S)
+
+  type state_id = int
+
+  type transition = { src : state_id; label : L.t; dst : state_id }
+
+  type t = {
+    ids : state_id Tbl.t;
+    mutable data : S.t array;
+    mutable n : int;
+    mutable out : (L.t * state_id) list array; (* reversed insertion order *)
+    mutable ntrans : int;
+    mutable init : state_id option;
+  }
+
+  let create () =
+    {
+      ids = Tbl.create 64;
+      data = [||];
+      n = 0;
+      out = [||];
+      ntrans = 0;
+      init = None;
+    }
+
+  let grow t =
+    if t.n >= Array.length t.data then begin
+      let cap = max 16 (2 * Array.length t.data) in
+      let data = Array.make cap t.data.(0) in
+      Array.blit t.data 0 data 0 t.n;
+      t.data <- data;
+      let out = Array.make cap [] in
+      Array.blit t.out 0 out 0 t.n;
+      t.out <- out
+    end
+
+  let add_state t s =
+    match Tbl.find_opt t.ids s with
+    | Some id -> id
+    | None ->
+      let id = t.n in
+      if id = 0 then begin
+        t.data <- Array.make 16 s;
+        t.out <- Array.make 16 []
+      end
+      else grow t;
+      t.data.(id) <- s;
+      t.out.(id) <- [];
+      t.n <- id + 1;
+      Tbl.add t.ids s id;
+      if t.init = None then t.init <- Some id;
+      id
+
+  let set_initial t id =
+    if id < 0 || id >= t.n then invalid_arg "Lts.set_initial";
+    t.init <- Some id
+
+  let initial t =
+    match t.init with
+    | Some id -> id
+    | None -> invalid_arg "Lts.initial: empty LTS"
+
+  let num_states t = t.n
+  let num_transitions t = t.ntrans
+  let state_data t id =
+    if id < 0 || id >= t.n then invalid_arg "Lts.state_data";
+    t.data.(id)
+
+  let find_state t s = Tbl.find_opt t.ids s
+
+  let states t = List.init t.n Fun.id
+
+  let successors t id =
+    if id < 0 || id >= t.n then invalid_arg "Lts.successors";
+    List.rev t.out.(id)
+
+  let add_transition t ~src ~label ~dst =
+    if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+      invalid_arg "Lts.add_transition";
+    let dup =
+      List.exists (fun (l, d) -> d = dst && L.equal l label) t.out.(src)
+    in
+    if dup then false
+    else begin
+      t.out.(src) <- (label, dst) :: t.out.(src);
+      t.ntrans <- t.ntrans + 1;
+      true
+    end
+
+  let iter_transitions t f =
+    for src = 0 to t.n - 1 do
+      List.iter (fun (label, dst) -> f { src; label; dst }) (List.rev t.out.(src))
+    done
+
+  let transitions t =
+    let acc = ref [] in
+    iter_transitions t (fun tr -> acc := tr :: !acc);
+    List.rev !acc
+
+  let predecessors t id =
+    let acc = ref [] in
+    iter_transitions t (fun { src; label; dst } ->
+        if dst = id then acc := (src, label) :: !acc);
+    List.rev !acc
+
+  let map_labels t f =
+    for src = 0 to t.n - 1 do
+      t.out.(src) <-
+        List.map (fun (label, dst) -> (f { src; label; dst }, dst)) t.out.(src)
+    done
+
+  let explore ?(max_states = 200_000) ~init ~step () =
+    let t = create () in
+    let q = Queue.create () in
+    Queue.push (add_state t init) q;
+    while not (Queue.is_empty q) do
+      let src = Queue.pop q in
+      let src_data = state_data t src in
+      List.iter
+        (fun (label, dst_data) ->
+          let before = t.n in
+          let dst = add_state t dst_data in
+          if t.n > max_states then
+            failwith
+              (Printf.sprintf "Lts.explore: more than %d states" max_states);
+          ignore (add_transition t ~src ~label ~dst : bool);
+          if t.n > before then Queue.push dst q)
+        (step src_data)
+    done;
+    t
+
+  let reachable t =
+    if t.n = 0 then []
+    else begin
+      let seen = Array.make t.n false in
+      let order = ref [] in
+      let q = Queue.create () in
+      let start = initial t in
+      seen.(start) <- true;
+      Queue.push start q;
+      while not (Queue.is_empty q) do
+        let s = Queue.pop q in
+        order := s :: !order;
+        List.iter
+          (fun (_, d) ->
+            if not seen.(d) then begin
+              seen.(d) <- true;
+              Queue.push d q
+            end)
+          (successors t s)
+      done;
+      List.rev !order
+    end
+
+  let is_deterministic t =
+    let ok = ref true in
+    for s = 0 to t.n - 1 do
+      let labels = List.map fst (successors t s) in
+      let rec dup = function
+        | [] -> false
+        | l :: rest -> List.exists (L.equal l) rest || dup rest
+      in
+      if dup labels then ok := false
+    done;
+    !ok
+
+  let is_acyclic t =
+    (* Colours: 0 unvisited, 1 on stack, 2 done. *)
+    let colour = Array.make (max t.n 1) 0 in
+    let rec visit s =
+      if colour.(s) = 1 then false
+      else if colour.(s) = 2 then true
+      else begin
+        colour.(s) <- 1;
+        let ok = List.for_all (fun (_, d) -> visit d) (successors t s) in
+        colour.(s) <- 2;
+        ok
+      end
+    in
+    List.for_all visit (states t)
+
+  let path_to t pred =
+    if t.n = 0 then None
+    else begin
+      let start = initial t in
+      if pred start then Some []
+      else begin
+        let back = Array.make t.n None in
+        let seen = Array.make t.n false in
+        let q = Queue.create () in
+        seen.(start) <- true;
+        Queue.push start q;
+        let found = ref None in
+        while !found = None && not (Queue.is_empty q) do
+          let s = Queue.pop q in
+          List.iter
+            (fun (label, d) ->
+              if !found = None && not seen.(d) then begin
+                seen.(d) <- true;
+                back.(d) <- Some (s, label);
+                if pred d then found := Some d else Queue.push d q
+              end)
+            (successors t s)
+        done;
+        match !found with
+        | None -> None
+        | Some goal ->
+          let rec unwind acc s =
+            match back.(s) with
+            | None -> acc
+            | Some (prev, label) -> unwind ((label, s) :: acc) prev
+          in
+          Some (unwind [] goal)
+      end
+    end
+
+  let exists_finally t pred = path_to t pred <> None
+
+  let always_globally t pred = List.for_all pred (reachable t)
+
+  let states_where t pred = List.filter pred (states t)
+
+  let dag_fold t ~(combine : 'a list -> 'a) ~(sink : 'a) =
+    (* Memoised fold over the reachable DAG from the initial state;
+       None when a cycle is reachable. *)
+    if t.n = 0 then None
+    else begin
+      let memo = Array.make t.n None in
+      let on_stack = Array.make t.n false in
+      let exception Cyclic in
+      let rec value s =
+        match memo.(s) with
+        | Some v -> v
+        | None ->
+          if on_stack.(s) then raise Cyclic;
+          on_stack.(s) <- true;
+          let v =
+            match successors t s with
+            | [] -> sink
+            | succs -> combine (List.map (fun (_, d) -> value d) succs)
+          in
+          on_stack.(s) <- false;
+          memo.(s) <- Some v;
+          v
+      in
+      match value (initial t) with v -> Some v | exception Cyclic -> None
+    end
+
+  let longest_path t =
+    dag_fold t ~sink:0
+      ~combine:(fun depths -> 1 + List.fold_left max 0 depths)
+
+  let count_maximal_paths t =
+    dag_fold t ~sink:1 ~combine:(fun counts -> List.fold_left ( + ) 0 counts)
+
+  (* Partition refinement uses printed labels as signature keys: two labels
+     are treated as the same action for bisimulation iff they print
+     identically. This sidesteps needing ordered/hashable labels and is
+     faithful for our label types, whose printers are injective. *)
+  let label_key l = Format.asprintf "%a" L.pp l
+
+  let bisimulation_classes t ~init_key =
+    if t.n = 0 then []
+    else begin
+      let block = Array.make t.n 0 in
+      let assign keyed =
+        (* keyed: state -> string; returns number of blocks. *)
+        let tbl = Hashtbl.create 16 in
+        let next = ref 0 in
+        for s = 0 to t.n - 1 do
+          let k = keyed s in
+          match Hashtbl.find_opt tbl k with
+          | Some b -> block.(s) <- b
+          | None ->
+            Hashtbl.add tbl k !next;
+            block.(s) <- !next;
+            incr next
+        done;
+        !next
+      in
+      let nblocks = ref (assign init_key) in
+      let changed = ref true in
+      while !changed do
+        let signature s =
+          let sigs =
+            List.map
+              (fun (l, d) -> Printf.sprintf "%s>%d" (label_key l) block.(d))
+              (successors t s)
+          in
+          Printf.sprintf "%d|%s" block.(s)
+            (String.concat ";" (List.sort_uniq String.compare sigs))
+        in
+        let n' = assign signature in
+        changed := n' <> !nblocks;
+        nblocks := n'
+      done;
+      let buckets = Array.make !nblocks [] in
+      for s = t.n - 1 downto 0 do
+        buckets.(block.(s)) <- s :: buckets.(block.(s))
+      done;
+      Array.to_list buckets
+    end
+
+  let quotient t ~init_key =
+    let classes = bisimulation_classes t ~init_key in
+    let block_of = Array.make (max t.n 1) 0 in
+    List.iteri
+      (fun b members -> List.iter (fun s -> block_of.(s) <- b) members)
+      classes;
+    let q = create () in
+    let qid = Array.make (List.length classes) (-1) in
+    List.iteri
+      (fun b members ->
+        let repr = List.fold_left min max_int members in
+        qid.(b) <- add_state q (state_data t repr))
+      classes;
+    if t.n > 0 then set_initial q qid.(block_of.(initial t));
+    iter_transitions t (fun { src; label; dst } ->
+        ignore
+          (add_transition q ~src:qid.(block_of.(src)) ~label
+             ~dst:qid.(block_of.(dst))
+            : bool));
+    (q, fun s -> qid.(block_of.(s)))
+
+  let dot_escape s =
+    String.concat ""
+      (List.map
+         (function '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+
+  let to_dot ?(graph_name = "lts") ?state_label ?state_style ?transition_style t
+      =
+    let buf = Buffer.create 1024 in
+    let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    addf "digraph %s {\n  rankdir=LR;\n" graph_name;
+    List.iter
+      (fun s ->
+        let label =
+          match state_label with
+          | Some f -> f s
+          | None -> Printf.sprintf "s%d" s
+        in
+        let style =
+          match state_style with
+          | Some f -> ( match f s with "" -> "" | st -> ", " ^ st)
+          | None -> ""
+        in
+        let init_mark = if t.init = Some s then ", penwidth=2" else "" in
+        addf "  n%d [label=\"%s\"%s%s];\n" s (dot_escape label) style init_mark)
+      (states t);
+    iter_transitions t (fun tr ->
+        let style =
+          match transition_style with
+          | Some f -> ( match f tr with "" -> "" | st -> ", " ^ st)
+          | None -> ""
+        in
+        addf "  n%d -> n%d [label=\"%s\"%s];\n" tr.src tr.dst
+          (dot_escape (Format.asprintf "%a" L.pp tr.label))
+          style);
+    addf "}\n";
+    Buffer.contents buf
+
+  let pp_stats ppf t =
+    Format.fprintf ppf "%d states, %d transitions" t.n t.ntrans
+end

@@ -1,0 +1,132 @@
+(** Generic labelled transition systems.
+
+    States are hash-consed: adding equal state data twice yields the same
+    dense integer id, which is what makes fixed-point exploration of the
+    privacy model terminate (paper §II-B generates the LTS as the set of
+    reachable privacy states). Labels are arbitrary and mutable in place
+    (risk analysis annotates transition labels after generation,
+    paper §III). *)
+
+module type STATE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type LABEL = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (S : STATE) (L : LABEL) : sig
+  type t
+
+  type state_id = int
+  (** Dense, starting at 0 in insertion order. *)
+
+  type transition = { src : state_id; label : L.t; dst : state_id }
+
+  val create : unit -> t
+
+  (** {1 Construction} *)
+
+  val add_state : t -> S.t -> state_id
+  (** Hash-consing: returns the existing id when equal data was added
+      before. The first state added becomes the initial state unless
+      {!set_initial} overrides it. *)
+
+  val set_initial : t -> state_id -> unit
+  val add_transition : t -> src:state_id -> label:L.t -> dst:state_id -> bool
+  (** [false] when an identical transition (same endpoints, equal label)
+      already exists; the LTS is unchanged in that case. *)
+
+  val explore :
+    ?max_states:int -> init:S.t -> step:(S.t -> (L.t * S.t) list) -> unit -> t
+  (** Breadth-first fixed point: starting from [init], repeatedly expand
+      unvisited states with [step].
+      @raise Failure when [max_states] (default 200_000) is exceeded —
+      a guard against accidentally infinite models. *)
+
+  (** {1 Observation} *)
+
+  val initial : t -> state_id
+  (** @raise Invalid_argument on an empty LTS. *)
+
+  val num_states : t -> int
+  val num_transitions : t -> int
+  val state_data : t -> state_id -> S.t
+  val find_state : t -> S.t -> state_id option
+  val states : t -> state_id list
+  val successors : t -> state_id -> (L.t * state_id) list
+  (** In insertion order. *)
+
+  val predecessors : t -> state_id -> (state_id * L.t) list
+  val transitions : t -> transition list
+  val iter_transitions : t -> (transition -> unit) -> unit
+
+  (** {1 Label rewriting} *)
+
+  val map_labels : t -> (transition -> L.t) -> unit
+  (** Replace every transition's label in place. *)
+
+  (** {1 Analysis} *)
+
+  val reachable : t -> state_id list
+  (** States reachable from the initial state, BFS order. *)
+
+  val is_deterministic : t -> bool
+  (** No state has two outgoing transitions with equal labels. *)
+
+  val is_acyclic : t -> bool
+
+  val path_to : t -> (state_id -> bool) -> (L.t * state_id) list option
+  (** Shortest witness path (sequence of steps from the initial state) to
+      a state satisfying the predicate; [Some []] if the initial state
+      does. *)
+
+  val exists_finally : t -> (state_id -> bool) -> bool
+  (** CTL [EF p] at the initial state. *)
+
+  val always_globally : t -> (state_id -> bool) -> bool
+  (** CTL [AG p] at the initial state: [p] holds on every reachable
+      state. *)
+
+  val states_where : t -> (state_id -> bool) -> state_id list
+
+  val longest_path : t -> int option
+  (** Longest transition count along any path from the initial state;
+      [None] when the reachable part is cyclic. *)
+
+  val count_maximal_paths : t -> int option
+  (** Number of distinct paths from the initial state to a sink (a state
+      with no successors) — for a generated privacy model, the number of
+      complete execution interleavings. [None] when cyclic. *)
+
+  val bisimulation_classes : t -> init_key:(state_id -> string) -> state_id list list
+  (** Partition refinement: coarsest partition refining [init_key] that is
+      stable under transitions (strong bisimulation with labels compared
+      by [L.equal] via their printed form — see note in the
+      implementation). Covers all states, reachable or not. *)
+
+  val quotient : t -> init_key:(state_id -> string) -> t * (state_id -> state_id)
+  (** Quotient LTS by {!bisimulation_classes}; the function maps original
+      ids to quotient ids. State data of a class is its representative's. *)
+
+  (** {1 Output} *)
+
+  val to_dot :
+    ?graph_name:string ->
+    ?state_label:(state_id -> string) ->
+    ?state_style:(state_id -> string) ->
+    ?transition_style:(transition -> string) ->
+    t ->
+    string
+  (** [state_style]/[transition_style] return extra DOT attributes
+      (e.g. ["style=dashed, color=red"]); empty string for none. *)
+
+  val pp_stats : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/policy/acl.ml: Actor Field Format List Mdp_dataflow Permission Rbac String

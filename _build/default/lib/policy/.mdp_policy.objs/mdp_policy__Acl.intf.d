@@ -1,0 +1,1 @@
+lib/policy/acl.mli: Actor Field Format Mdp_dataflow Permission Rbac

@@ -1,0 +1,1 @@
+lib/policy/permission.mli: Format

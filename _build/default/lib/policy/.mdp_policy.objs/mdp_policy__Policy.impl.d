@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Acl Actor Datastore Diagram Field Format List Mdp_dataflow Mdp_prelude Permission Rbac

@@ -1,0 +1,1 @@
+lib/policy/policy.mli: Acl Actor Datastore Diagram Field Format Mdp_dataflow Permission Rbac

@@ -1,0 +1,1 @@
+lib/policy/rbac.ml: List Listx Mdp_dataflow Mdp_prelude Printf

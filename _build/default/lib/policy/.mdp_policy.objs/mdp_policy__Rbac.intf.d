@@ -1,0 +1,1 @@
+lib/policy/rbac.mli: Mdp_dataflow

@@ -1,0 +1,15 @@
+type t = Read | Write | Delete
+
+let all = [ Read; Write; Delete ]
+
+let equal = ( = )
+
+let to_string = function Read -> "read" | Write -> "write" | Delete -> "delete"
+
+let of_string = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "delete" -> Some Delete
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

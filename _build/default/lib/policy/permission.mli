@@ -1,0 +1,12 @@
+(** Datastore permissions. [Read] gates the [read] privacy action and the
+    "could identify" state variables; [Write] gates [create]/[anon];
+    [Delete] gates [delete] (and §III-A's maintenance-exposure likelihood
+    scenario). *)
+
+type t = Read | Write | Delete
+
+val all : t list
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+open Mdp_dataflow
+
+type t = { rbac : Rbac.t; entries : Acl.entry list }
+
+let make ?(rbac = Rbac.empty) entries = { rbac; entries }
+
+let allows t ~diagram ~actor perm ~store field =
+  match Diagram.find_actor diagram actor with
+  | None -> false
+  | Some a ->
+    let matches (e : Acl.entry) =
+      Acl.entry_matches t.rbac a perm ~store field e
+    in
+    List.exists (fun (e : Acl.entry) -> e.effect_ = Acl.Allow && matches e)
+      t.entries
+    && not
+         (List.exists
+            (fun (e : Acl.entry) -> e.effect_ = Acl.Deny && matches e)
+            t.entries)
+
+let readable_fields t ~diagram ~actor ~store =
+  List.filter
+    (fun f ->
+      allows t ~diagram ~actor Permission.Read ~store:store.Datastore.id f)
+    (Datastore.fields store)
+
+let actors_with t ~diagram perm ~store field =
+  List.filter
+    (fun (a : Actor.t) -> allows t ~diagram ~actor:a.id perm ~store field)
+    diagram.Diagram.actors
+
+let grant t entry = { t with entries = t.entries @ [ entry ] }
+
+let revoke t ~subject ~store ?fields perms =
+  grant t (Acl.deny subject ~store ?fields perms)
+
+let validate t diagram =
+  let ctx = Mdp_prelude.Validate.create () in
+  List.iter
+    (fun (e : Acl.entry) ->
+      (match e.subject with
+      | Acl.Actor_subject a ->
+        Mdp_prelude.Validate.require ctx
+          (Diagram.find_actor diagram a <> None)
+          "policy entry references unknown actor %s" a
+      | Acl.Role_subject _ -> ());
+      match Diagram.find_store diagram e.store with
+      | None ->
+        Mdp_prelude.Validate.errorf ctx
+          "policy entry references unknown datastore %s" e.store
+      | Some store -> (
+        match e.selector with
+        | Acl.All_fields -> ()
+        | Acl.Fields fs ->
+          List.iter
+            (fun f ->
+              Mdp_prelude.Validate.require ctx (Datastore.mem store f)
+                "policy entry selects field %s absent from datastore %s"
+                (Field.name f) e.store)
+            fs))
+    t.entries;
+  Mdp_prelude.Validate.result ctx ()
+
+type grant_tuple = {
+  actor : string;
+  perm : Permission.t;
+  store : string;
+  field : Field.t;
+}
+
+let concrete_grants t diagram =
+  List.concat_map
+    (fun (a : Actor.t) ->
+      List.concat_map
+        (fun (s : Datastore.t) ->
+          List.concat_map
+            (fun field ->
+              List.filter_map
+                (fun perm ->
+                  if allows t ~diagram ~actor:a.id perm ~store:s.id field then
+                    Some { actor = a.id; perm; store = s.id; field }
+                  else None)
+                Permission.all)
+            (Datastore.fields s))
+        diagram.Diagram.datastores)
+    diagram.Diagram.actors
+
+let diff ~before ~after diagram =
+  let b = concrete_grants before diagram and a = concrete_grants after diagram in
+  let removed = List.filter (fun g -> not (List.mem g a)) b in
+  let added = List.filter (fun g -> not (List.mem g b)) a in
+  (removed, added)
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut Acl.pp_entry ppf t.entries

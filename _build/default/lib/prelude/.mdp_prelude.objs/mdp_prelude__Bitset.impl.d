@@ -1,0 +1,1 @@
+lib/prelude/bitset.ml: Array Format Int List

@@ -1,0 +1,1 @@
+lib/prelude/bitset.mli: Format

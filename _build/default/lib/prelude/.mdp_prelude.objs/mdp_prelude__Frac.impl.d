@@ -1,0 +1,1 @@
+lib/prelude/frac.ml: Format Printf

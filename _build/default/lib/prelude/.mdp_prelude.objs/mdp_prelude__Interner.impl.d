@@ -1,0 +1,1 @@
+lib/prelude/interner.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/prelude/json.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/prelude/prng.ml: Array Float Int64 List

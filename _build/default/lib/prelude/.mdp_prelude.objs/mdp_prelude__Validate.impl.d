@@ -1,0 +1,1 @@
+lib/prelude/validate.ml: Format List

@@ -1,0 +1,1 @@
+lib/prelude/validate.mli: Format Stdlib

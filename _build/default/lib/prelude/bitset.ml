@@ -1,0 +1,105 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = 63
+
+let nwords len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create";
+  { len; words = Array.make (max 1 (nwords len)) 0 }
+
+let length t = t.len
+
+let copy t = { t with words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let assign t i b = if b then set t i else clear t i
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount =
+  (* Kernighan's loop: words are sparse in privacy states. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let same_len a b =
+  if a.len <> b.len then invalid_arg "Bitset: length mismatch"
+
+let equal a b = same_len a b; Array.for_all2 ( = ) a.words b.words
+
+let compare a b =
+  same_len a b;
+  let rec go i =
+    if i = Array.length a.words then 0
+    else
+      let c = Int.compare a.words.(i) b.words.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash t =
+  Array.fold_left (fun acc w -> (acc * 1000003) lxor w) t.len t.words
+
+let map2 f a b =
+  same_len a b;
+  { len = a.len; words = Array.map2 f a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let union_into ~dst src =
+  same_len dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let subset a b =
+  same_len a b;
+  let rec go i =
+    i = Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list len l =
+  let t = create len in
+  List.iter (set t) l;
+  t
+
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (to_list t)

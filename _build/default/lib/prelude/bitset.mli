@@ -1,0 +1,51 @@
+(** Fixed-capacity mutable bitsets.
+
+    A bitset is created with a fixed [length]; all operations on indices
+    outside [0, length) raise [Invalid_argument]. Binary operations require
+    operands of equal length. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of capacity [n] with all bits clear. *)
+
+val length : t -> int
+(** Capacity given at creation. *)
+
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+
+val is_empty : t -> bool
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val union : t -> t -> t
+(** Fresh bitset; operands unchanged. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets every bit of [src] in [dst]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every bit set in [a] is set in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over set-bit indices in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val clear_all : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Renders as e.g. [{1, 4, 7}]. *)

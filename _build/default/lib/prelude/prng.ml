@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_raw t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  (* Modulo bias is negligible for the bounds used here (<< 2^32). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_raw t) 1) (Int64.of_int bound))
+
+let float t bound =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  bound *. mantissa /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range";
+  lo + int t (hi - lo + 1)
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let gaussian t ~mean ~stddev =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))

@@ -1,0 +1,28 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    All randomised components (synthetic scenarios, dataset generators, the
+    runtime simulator) take an explicit [Prng.t] so every run is
+    reproducible from a seed, independent of the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream; the parent advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)

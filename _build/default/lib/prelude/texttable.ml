@@ -1,0 +1,33 @@
+type t = { header : string list; mutable rev_rows : string list list }
+
+let create ~header = { header; rev_rows = [] }
+
+let add_row t row =
+  if List.length row > List.length t.header then
+    invalid_arg "Texttable.add_row: row longer than header";
+  t.rev_rows <- row :: t.rev_rows
+
+let pad row n = row @ List.init (n - List.length row) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.header in
+  let rows = List.map (fun r -> pad r ncols) (List.rev t.rev_rows) in
+  let all = t.header :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let line cells =
+    let padded =
+      List.mapi
+        (fun c cell -> cell ^ String.make (List.nth widths c - String.length cell) ' ')
+        cells
+    in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line t.header :: rule :: List.map line rows)
+
+let pp ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,14 @@
+(** Plain-text tables for reports and the bench harness.
+
+    Columns are sized to content; cells are strings. Used to print the
+    paper's Table I and risk reports in a shape comparable to the paper. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty.
+    @raise Invalid_argument if longer than the header. *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/deployment.ml: Actor Datastore Diagram Flow Format Hashtbl List Mdp_core Mdp_dataflow Mdp_prelude Option Printf Service

@@ -1,0 +1,1 @@
+lib/runtime/deployment.mli: Format Mdp_core

@@ -1,0 +1,1 @@
+lib/runtime/enforce.ml: Event Field Format Fun List Mdp_core Mdp_dataflow Mdp_policy Printf String

@@ -1,0 +1,1 @@
+lib/runtime/enforce.mli: Event Format Mdp_core

@@ -1,0 +1,1 @@
+lib/runtime/event.ml: Field Format List Mdp_core Mdp_dataflow Printf String

@@ -1,0 +1,1 @@
+lib/runtime/event.mli: Field Format Mdp_core Mdp_dataflow

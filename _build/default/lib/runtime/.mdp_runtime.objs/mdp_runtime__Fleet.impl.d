@@ -1,0 +1,1 @@
+lib/runtime/fleet.ml: Hashtbl List Mdp_core Monitor Option

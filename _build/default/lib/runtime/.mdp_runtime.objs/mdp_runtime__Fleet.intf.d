@@ -1,0 +1,1 @@
+lib/runtime/fleet.mli: Event Mdp_core Monitor

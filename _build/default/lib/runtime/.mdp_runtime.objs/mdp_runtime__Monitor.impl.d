@@ -1,0 +1,1 @@
+lib/runtime/monitor.ml: Enforce Event Format List Mdp_core

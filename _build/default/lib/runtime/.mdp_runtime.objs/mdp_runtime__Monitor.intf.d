@@ -1,0 +1,1 @@
+lib/runtime/monitor.mli: Event Format Mdp_core

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Datastore Diagram Event Field Flow Hashtbl List Mdp_core Mdp_dataflow Mdp_prelude Option Service

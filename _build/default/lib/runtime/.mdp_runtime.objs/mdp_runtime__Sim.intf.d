@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: Event Mdp_core

@@ -1,0 +1,1 @@
+lib/runtime/store_sim.ml: Datastore Diagram Field Hashtbl Int64 List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Mdp_prelude Option Printf Result

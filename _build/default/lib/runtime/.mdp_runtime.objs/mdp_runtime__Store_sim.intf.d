@@ -1,0 +1,1 @@
+lib/runtime/store_sim.mli: Field Mdp_anon Mdp_core Mdp_dataflow

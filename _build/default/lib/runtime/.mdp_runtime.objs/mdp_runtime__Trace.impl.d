@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Event Format List Mdp_core Mdp_prelude Printf String

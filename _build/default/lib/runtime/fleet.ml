@@ -1,0 +1,55 @@
+type entry = { monitor : Monitor.t; mutable rev_alerts : Monitor.alert list }
+
+type t = {
+  universe : Mdp_core.Universe.t;
+  lts : Mdp_core.Plts.t;
+  min_level : Mdp_core.Level.t;
+  monitors : (string, entry) Hashtbl.t;
+  mutable rev_subjects : string list;
+  mutable alerts : int;
+}
+
+let create ?(min_level = Mdp_core.Level.Low) universe lts =
+  {
+    universe;
+    lts;
+    min_level;
+    monitors = Hashtbl.create 16;
+    rev_subjects = [];
+    alerts = 0;
+  }
+
+let entry_for t subject =
+  match Hashtbl.find_opt t.monitors subject with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        monitor = Monitor.create ~min_level:t.min_level t.universe t.lts;
+        rev_alerts = [];
+      }
+    in
+    Hashtbl.add t.monitors subject e;
+    t.rev_subjects <- subject :: t.rev_subjects;
+    e
+
+let observe t ~subject event =
+  let e = entry_for t subject in
+  let alerts = Monitor.observe e.monitor event in
+  e.rev_alerts <- List.rev_append alerts e.rev_alerts;
+  t.alerts <- t.alerts + List.length alerts;
+  alerts
+
+let subjects t = List.rev t.rev_subjects
+
+let state_of t ~subject =
+  Option.map
+    (fun e -> Monitor.current_state e.monitor)
+    (Hashtbl.find_opt t.monitors subject)
+
+let alert_count t = t.alerts
+
+let alerts_for t ~subject =
+  match Hashtbl.find_opt t.monitors subject with
+  | Some e -> List.rev e.rev_alerts
+  | None -> []

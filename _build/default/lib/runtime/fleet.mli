@@ -1,0 +1,30 @@
+(** Multi-subject monitoring.
+
+    The privacy LTS is per data subject (paper §III: "there is an
+    instance for each user"); a deployed service interleaves many
+    subjects' events. A fleet lazily maintains one {!Monitor} per
+    subject, routing each event by subject identifier, and aggregates the
+    alerts raised across the population. *)
+
+type t
+
+val create :
+  ?min_level:Mdp_core.Level.t ->
+  Mdp_core.Universe.t ->
+  Mdp_core.Plts.t ->
+  t
+(** All subjects share the (annotated) LTS; monitor state is
+    per-subject. *)
+
+val observe : t -> subject:string -> Event.t -> Monitor.alert list
+val subjects : t -> string list
+(** In first-seen order. *)
+
+val state_of : t -> subject:string -> Mdp_core.Plts.state_id option
+(** [None] for a subject never observed. *)
+
+val alert_count : t -> int
+(** Total alerts raised so far across all subjects. *)
+
+val alerts_for : t -> subject:string -> Monitor.alert list
+(** In observation order. *)

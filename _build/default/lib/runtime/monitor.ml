@@ -1,0 +1,79 @@
+module Core = Mdp_core
+
+type alert =
+  | Denied of Event.t * string
+  | Risky of Event.t * Core.Action.risk
+  | Off_model of Event.t
+
+type t = {
+  universe : Core.Universe.t;
+  lts : Core.Plts.t;
+  min_level : Core.Level.t;
+  mutable state : Core.Plts.state_id;
+}
+
+let create ?(min_level = Core.Level.Low) universe lts =
+  { universe; lts; min_level; state = Core.Plts.initial lts }
+
+let current_state t = t.state
+
+let matches (event : Event.t) (label : Core.Action.t) =
+  label.Core.Action.kind = event.Event.kind
+  && label.Core.Action.actor = event.Event.actor
+  && label.Core.Action.store = event.Event.store
+  && Event.fields_equal label.Core.Action.fields event.Event.fields
+
+(* An in-service event should consume that service's flow transition and
+   an ad-hoc access a [Potential] one — otherwise a snoop could swallow a
+   pending flow transition and make the real flow look off-model. *)
+let provenance_consistent (event : Event.t) (label : Core.Action.t) =
+  match (event.Event.service, label.Core.Action.provenance) with
+  | Some svc, Core.Action.From_flow { service; _ } -> svc = service
+  | None, (Core.Action.Potential | Core.Action.Inferred) -> true
+  | Some _, (Core.Action.Potential | Core.Action.Inferred)
+  | None, Core.Action.From_flow _ ->
+    false
+
+let risk_alert t (label : Core.Action.t) =
+  match label.Core.Action.risk with
+  | Some (Core.Action.Disclosure_risk { level; _ } as risk)
+    when Core.Level.compare level t.min_level >= 0 ->
+    Some risk
+  | Some (Core.Action.Value_risk { violations; _ } as risk) when violations > 0
+    ->
+    Some risk
+  | Some (Core.Action.Disclosure_risk _ | Core.Action.Value_risk _) | None ->
+    None
+
+let observe t event =
+  match Enforce.decide t.universe event with
+  | Enforce.Denied reason -> [ Denied (event, reason) ]
+  | Enforce.Allowed event -> (
+    let candidates = Core.Plts.successors t.lts t.state in
+    let matching =
+      List.filter (fun (label, _) -> matches event label) candidates
+    in
+    let best =
+      match
+        List.find_opt
+          (fun (label, _) -> provenance_consistent event label)
+          matching
+      with
+      | Some _ as exact -> exact
+      | None -> ( match matching with m :: _ -> Some m | [] -> None)
+    in
+    match best with
+    | Some (label, next) ->
+      t.state <- next;
+      (match risk_alert t label with
+      | Some risk -> [ Risky (event, risk) ]
+      | None -> [])
+    | None -> [ Off_model event ])
+
+let run_trace t events = List.concat_map (observe t) events
+
+let pp_alert ppf = function
+  | Denied (e, reason) -> Format.fprintf ppf "DENIED %a: %s" Event.pp e reason
+  | Risky (e, risk) ->
+    Format.fprintf ppf "RISK %a: %a" Event.pp e Core.Action.pp_risk risk
+  | Off_model e -> Format.fprintf ppf "OFF-MODEL %a" Event.pp e

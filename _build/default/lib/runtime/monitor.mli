@@ -1,0 +1,42 @@
+(** Runtime privacy monitor (paper §I: the models also "monitor the
+    privacy risks during the lifetime of the service").
+
+    One monitor tracks one data subject's journey through the generated
+    (and risk-annotated) LTS. Each observed event is first put through the
+    {!Enforce} PEP, then matched against the outgoing transitions of the
+    current LTS state:
+
+    - a matching risk-annotated transition raises a {!Risky} alert (and
+      the state advances);
+    - a matching unannotated transition advances silently;
+    - a denied event raises {!Denied} and does not advance;
+    - an event matching no transition raises {!Off_model} — behaviour the
+      design never predicted, the strongest signal — and does not
+      advance. *)
+
+type alert =
+  | Denied of Event.t * string
+  | Risky of Event.t * Mdp_core.Action.risk
+  | Off_model of Event.t
+
+type t
+
+val create :
+  ?min_level:Mdp_core.Level.t ->
+  Mdp_core.Universe.t ->
+  Mdp_core.Plts.t ->
+  t
+(** [min_level] (default [Low]) is the smallest disclosure-risk level that
+    raises [Risky]; value-risk annotations always raise when they carry at
+    least one violation. The LTS should already be annotated (run
+    {!Mdp_core.Disclosure_risk.analyse} / {!Mdp_core.Pseudonym_risk.analyse}
+    first). *)
+
+val current_state : t -> Mdp_core.Plts.state_id
+val observe : t -> Event.t -> alert list
+(** At most one alert per event today; a list for forward compatibility. *)
+
+val run_trace : t -> Event.t list -> alert list
+(** Observe a whole trace; alerts in event order. *)
+
+val pp_alert : Format.formatter -> alert -> unit

@@ -1,0 +1,60 @@
+type t = Event.t list
+
+let to_lines trace = String.concat "\n" (List.map Event.to_line trace)
+
+let of_lines text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
+    | line :: rest -> (
+      match Event.of_line line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok event -> (
+        match acc with
+        | prev :: _ when event.Event.time <= prev.Event.time ->
+          Error
+            (Printf.sprintf "line %d: timestamp %d not increasing" lineno
+               event.Event.time)
+        | _ -> go (event :: acc) (lineno + 1) rest))
+  in
+  go [] 1 lines
+
+type stats = {
+  events : int;
+  span : int;
+  by_kind : (Mdp_core.Action.kind * int) list;
+  by_actor : (string * int) list;
+  ad_hoc : int;
+}
+
+let stats trace =
+  let count_by key =
+    Mdp_prelude.Listx.group_by ~key trace
+    |> List.map (fun (k, es) -> (k, List.length es))
+  in
+  let span =
+    match trace with
+    | [] | [ _ ] -> 0
+    | first :: _ ->
+      let last = List.nth trace (List.length trace - 1) in
+      last.Event.time - first.Event.time
+  in
+  {
+    events = List.length trace;
+    span;
+    by_kind = count_by (fun e -> e.Event.kind);
+    by_actor = count_by (fun e -> e.Event.actor);
+    ad_hoc = Mdp_prelude.Listx.count (fun e -> e.Event.service = None) trace;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d events over %d ticks (%d ad-hoc); by kind: %s; by actor: %s"
+    s.events s.span s.ad_hoc
+    (String.concat ", "
+       (List.map
+          (fun (k, c) ->
+            Printf.sprintf "%s %d" (Format.asprintf "%a" Mdp_core.Action.pp_kind k) c)
+          s.by_kind))
+    (String.concat ", "
+       (List.map (fun (a, c) -> Printf.sprintf "%s %d" a c) s.by_actor))

@@ -1,0 +1,23 @@
+(** Trace recording: serialise event streams for offline analysis
+    (the paper's "analysis of running systems with real users" consumes
+    recorded behaviour) and summarise them. *)
+
+type t = Event.t list
+
+val to_lines : t -> string
+(** One {!Event.to_line} per line; empty string for the empty trace. *)
+
+val of_lines : string -> (t, string) result
+(** Skips blank lines; fails on the first malformed one (with its line
+    number). Validates that timestamps strictly increase. *)
+
+type stats = {
+  events : int;
+  span : int;  (** Last timestamp minus first; 0 for traces under 2 events. *)
+  by_kind : (Mdp_core.Action.kind * int) list;
+  by_actor : (string * int) list;  (** First-appearance order. *)
+  ad_hoc : int;  (** Events outside any service context. *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

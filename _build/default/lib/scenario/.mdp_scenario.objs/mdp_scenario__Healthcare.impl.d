@@ -1,0 +1,1 @@
+lib/scenario/healthcare.ml: Actor Datastore Diagram Field Flow List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Schema Service

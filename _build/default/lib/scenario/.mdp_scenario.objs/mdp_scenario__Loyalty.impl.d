@@ -1,0 +1,1 @@
+lib/scenario/loyalty.ml: Actor Array Datastore Diagram Field Float Flow List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Mdp_prelude Printf Schema Service

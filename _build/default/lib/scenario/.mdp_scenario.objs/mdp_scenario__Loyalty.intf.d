@@ -1,0 +1,1 @@
+lib/scenario/loyalty.mli: Diagram Field Mdp_anon Mdp_core Mdp_dataflow Mdp_policy

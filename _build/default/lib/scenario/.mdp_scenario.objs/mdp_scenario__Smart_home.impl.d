@@ -1,0 +1,1 @@
+lib/scenario/smart_home.ml: Actor Datastore Diagram Field Flow List Mdp_core Mdp_dataflow Mdp_policy Schema Service

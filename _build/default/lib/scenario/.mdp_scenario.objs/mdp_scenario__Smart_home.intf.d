@@ -1,0 +1,1 @@
+lib/scenario/smart_home.mli: Diagram Field Mdp_core Mdp_dataflow Mdp_policy

@@ -1,0 +1,1 @@
+lib/scenario/synthetic.ml: Actor Datastore Diagram Field Float Flow Hashtbl List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Mdp_prelude Option Printf Schema Service

@@ -1,0 +1,1 @@
+lib/scenario/synthetic.mli: Mdp_anon Mdp_core Mdp_dataflow Mdp_policy

@@ -1,0 +1,256 @@
+open Mdp_dataflow
+module Policy = Mdp_policy.Policy
+module Acl = Mdp_policy.Acl
+module Permission = Mdp_policy.Permission
+
+(* Fields of the Fig. 1 model. *)
+let name = Field.make "Name"
+let date_of_birth = Field.make "DateOfBirth"
+let appointment = Field.make "Appointment"
+let medical_issues = Field.make "MedicalIssues"
+let diagnosis = Field.make "Diagnosis"
+let treatment = Field.make "Treatment"
+
+let medical_service = "MedicalService"
+let research_service = "MedicalResearchService"
+
+let ehr_fields = [ name; date_of_birth; medical_issues; diagnosis; treatment ]
+let anonymised = List.map Field.anon_of
+
+let diagram =
+  let actors =
+    [
+      Actor.make "Receptionist" ~roles:[ "clerical" ];
+      Actor.make "Doctor" ~roles:[ "clinician" ];
+      Actor.make "Nurse" ~roles:[ "clinician" ];
+      Actor.make "Administrator" ~roles:[ "operations" ];
+      Actor.make "Researcher" ~roles:[ "research" ];
+    ]
+  in
+  let datastores =
+    [
+      Datastore.make ~id:"Appointments"
+        ~schemas:
+          [
+            Schema.make ~id:"AppointmentRecord"
+              ~fields:[ name; date_of_birth; appointment ];
+          ]
+        ();
+      Datastore.make ~id:"EHR"
+        ~schemas:[ Schema.make ~id:"HealthRecord" ~fields:ehr_fields ]
+        ();
+      Datastore.make ~kind:Datastore.Anonymised ~id:"AnonEHR"
+        ~schemas:
+          [
+            Schema.make ~id:"AnonHealthRecord"
+              ~fields:
+                (anonymised [ date_of_birth; medical_issues; diagnosis; treatment ]);
+          ]
+        ();
+    ]
+  in
+  let flow = Flow.make in
+  let services =
+    [
+      Service.make ~id:medical_service
+        ~flows:
+          [
+            flow ~order:1 ~src:Flow.User ~dst:(Flow.Actor "Receptionist")
+              ~fields:[ name; date_of_birth ] ~purpose:"book appointment";
+            flow ~order:2 ~src:(Flow.Actor "Receptionist")
+              ~dst:(Flow.Store "Appointments")
+              ~fields:[ name; date_of_birth; appointment ]
+              ~purpose:"schedule appointment";
+            flow ~order:3 ~src:(Flow.Store "Appointments")
+              ~dst:(Flow.Actor "Doctor")
+              ~fields:[ name; date_of_birth; appointment ]
+              ~purpose:"prepare consultation";
+            flow ~order:4 ~src:Flow.User ~dst:(Flow.Actor "Doctor")
+              ~fields:[ medical_issues ] ~purpose:"consultation";
+            flow ~order:5 ~src:(Flow.Actor "Doctor") ~dst:(Flow.Store "EHR")
+              ~fields:ehr_fields ~purpose:"record diagnosis and treatment";
+            flow ~order:6 ~src:(Flow.Store "EHR") ~dst:(Flow.Actor "Nurse")
+              ~fields:[ name; treatment ] ~purpose:"administer treatment";
+          ];
+      Service.make ~id:research_service
+        ~flows:
+          [
+            flow ~order:1 ~src:(Flow.Store "EHR")
+              ~dst:(Flow.Actor "Administrator") ~fields:ehr_fields
+              ~purpose:"prepare research data";
+            flow ~order:2 ~src:(Flow.Actor "Administrator")
+              ~dst:(Flow.Store "AnonEHR")
+              ~fields:[ date_of_birth; medical_issues; diagnosis; treatment ]
+              ~purpose:"pseudonymise records";
+            flow ~order:3 ~src:(Flow.Store "AnonEHR")
+              ~dst:(Flow.Actor "Researcher")
+              ~fields:
+                (anonymised [ date_of_birth; medical_issues; diagnosis; treatment ])
+              ~purpose:"medical research";
+          ];
+    ]
+  in
+  Diagram.make_exn ~actors ~datastores ~services
+
+let policy =
+  Policy.make
+    [
+      Acl.allow (Acl.Actor_subject "Receptionist") ~store:"Appointments"
+        [ Permission.Read; Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Doctor") ~store:"Appointments"
+        [ Permission.Read ];
+      Acl.allow (Acl.Actor_subject "Doctor") ~store:"EHR"
+        [ Permission.Read; Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Nurse") ~store:"Appointments"
+        [ Permission.Read ];
+      Acl.allow (Acl.Actor_subject "Nurse") ~store:"EHR"
+        ~fields:[ name; treatment ] [ Permission.Read ];
+      (* The §IV-A risk: maintenance access to the whole EHR. *)
+      Acl.allow (Acl.Actor_subject "Administrator") ~store:"EHR"
+        [ Permission.Read; Permission.Delete ];
+      Acl.allow (Acl.Actor_subject "Administrator") ~store:"AnonEHR"
+        [ Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Researcher") ~store:"AnonEHR"
+        [ Permission.Read ];
+    ]
+
+let fixed_policy =
+  Policy.revoke policy
+    ~subject:(Acl.Actor_subject "Administrator")
+    ~store:"EHR" ~fields:[ diagnosis ] [ Permission.Read ]
+
+let profile_case_a =
+  Mdp_core.User_profile.make
+    ~sensitivities:
+      [
+        (diagnosis, Mdp_core.User_profile.of_category `High);
+        (medical_issues, Mdp_core.User_profile.of_category `Low);
+      ]
+    ~agreed_services:[ medical_service ] ()
+
+(* ------------------------------------------------------------------ *)
+(* §IV-B study model. *)
+
+let age = Field.make "Age"
+let height = Field.make "Height"
+let weight = Field.make "Weight"
+
+let study_fields = [ name; age; height; weight ]
+
+let study_diagram =
+  let actors =
+    [
+      Actor.make "Clinician" ~roles:[ "clinician" ];
+      Actor.make "Administrator" ~roles:[ "operations" ];
+      Actor.make "Researcher" ~roles:[ "research" ];
+    ]
+  in
+  let datastores =
+    [
+      Datastore.make ~id:"StudyRecords"
+        ~schemas:[ Schema.make ~id:"PhysicalAttributes" ~fields:study_fields ]
+        ();
+      Datastore.make ~kind:Datastore.Anonymised ~id:"AnonStudy"
+        ~schemas:
+          [
+            Schema.make ~id:"AnonPhysicalAttributes"
+              ~fields:(anonymised [ age; height; weight ]);
+          ]
+        ();
+    ]
+  in
+  let flow = Flow.make in
+  let services =
+    [
+      Service.make ~id:"DataCollection"
+        ~flows:
+          [
+            flow ~order:1 ~src:Flow.User ~dst:(Flow.Actor "Clinician")
+              ~fields:study_fields ~purpose:"physical examination";
+            flow ~order:2 ~src:(Flow.Actor "Clinician")
+              ~dst:(Flow.Store "StudyRecords") ~fields:study_fields
+              ~purpose:"record measurements";
+          ];
+      Service.make ~id:"ResearchStudy"
+        ~flows:
+          [
+            flow ~order:1 ~src:(Flow.Store "StudyRecords")
+              ~dst:(Flow.Actor "Administrator") ~fields:study_fields
+              ~purpose:"prepare release";
+            flow ~order:2 ~src:(Flow.Actor "Administrator")
+              ~dst:(Flow.Store "AnonStudy") ~fields:[ age; height; weight ]
+              ~purpose:"2-anonymise";
+            (* Individual-field reads: the §III-B analysis distinguishes
+               states by exactly which anon fields the researcher has seen. *)
+            flow ~order:3 ~src:(Flow.Store "AnonStudy")
+              ~dst:(Flow.Actor "Researcher")
+              ~fields:[ Field.anon_of weight ]
+              ~purpose:"statistical analysis";
+            flow ~order:4 ~src:(Flow.Store "AnonStudy")
+              ~dst:(Flow.Actor "Researcher")
+              ~fields:[ Field.anon_of height ]
+              ~purpose:"statistical analysis";
+            flow ~order:5 ~src:(Flow.Store "AnonStudy")
+              ~dst:(Flow.Actor "Researcher")
+              ~fields:[ Field.anon_of age ]
+              ~purpose:"statistical analysis";
+          ];
+    ]
+  in
+  Diagram.make_exn ~actors ~datastores ~services
+
+let study_policy =
+  Policy.make
+    [
+      Acl.allow (Acl.Actor_subject "Clinician") ~store:"StudyRecords"
+        [ Permission.Read; Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Administrator") ~store:"StudyRecords"
+        [ Permission.Read; Permission.Delete ];
+      Acl.allow (Acl.Actor_subject "Administrator") ~store:"AnonStudy"
+        [ Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Researcher") ~store:"AnonStudy"
+        [ Permission.Read ];
+    ]
+
+module A = Mdp_anon
+
+let table1_raw =
+  A.Dataset.make
+    ~attrs:
+      [
+        A.Attribute.make ~name:"Name" ~kind:A.Attribute.Identifier;
+        A.Attribute.make ~name:"Age" ~kind:A.Attribute.Quasi;
+        A.Attribute.make ~name:"Height" ~kind:A.Attribute.Quasi;
+        A.Attribute.make ~name:"Weight" ~kind:A.Attribute.Sensitive;
+      ]
+    ~rows:
+      A.Value.
+        [
+          [ Str "Alice"; Int 35; Int 185; Int 100 ];
+          [ Str "Bob"; Int 33; Int 190; Int 102 ];
+          [ Str "Carol"; Int 25; Int 182; Int 110 ];
+          [ Str "Dave"; Int 27; Int 195; Int 111 ];
+          [ Str "Eve"; Int 22; Int 170; Int 80 ];
+          [ Str "Frank"; Int 28; Int 165; Int 110 ];
+        ]
+
+let table1_scheme : A.Kanon.scheme =
+  [
+    ("Age", A.Hierarchy.numeric ~widths:[ 10.0; 20.0 ] ());
+    ("Height", A.Hierarchy.numeric ~widths:[ 20.0; 40.0 ] ());
+  ]
+
+let table1_released =
+  A.Kanon.apply
+    (A.Dataset.drop_identifiers table1_raw)
+    table1_scheme
+    [ ("Age", 1); ("Height", 1) ]
+
+let value_policy : A.Value_risk.policy =
+  { sensitive = "Weight"; closeness = 5.0; confidence = 0.9 }
+
+let study_binding =
+  Mdp_core.Pseudonym_risk.make_binding ~store:"AnonStudy"
+    ~dataset:table1_released
+    ~attr_fields:[ ("Age", age); ("Height", height); ("Weight", weight) ]
+    ~policy:value_policy

@@ -1,0 +1,71 @@
+(** The paper's doctors'-surgery case study, both halves of §IV.
+
+    {2 Fig. 1 model (§IV-A, unwanted disclosure)}
+
+    Five actors (Receptionist, Doctor, Nurse, Administrator, Researcher),
+    six fields (Name, DateOfBirth, Appointment, MedicalIssues, Diagnosis,
+    Treatment), three datastores (Appointments, EHR, AnonEHR), two
+    services (MedicalService, MedicalResearchService) — giving the
+    paper's 2 * 5 * 6 = 60 state variables.
+
+    {2 §IV-B model (pseudonymisation risk, Table I / Fig. 4)}
+
+    A research-study variant whose health records carry Age, Height and
+    Weight; records are 2-anonymised (Age and Height quasi-identifiers)
+    and a Researcher with access only to the pseudonymised release tries
+    to match weights to individuals. *)
+
+open Mdp_dataflow
+
+(** {1 Fields of the Fig. 1 model} *)
+
+val name : Field.t
+val date_of_birth : Field.t
+val appointment : Field.t
+val medical_issues : Field.t
+val diagnosis : Field.t
+val treatment : Field.t
+
+val diagram : Diagram.t
+(** The Fig. 1 data-flow model. *)
+
+val policy : Mdp_policy.Policy.t
+(** The initial access policy — the Administrator may read the whole EHR
+    (the §IV-A risk) and holds its Delete permission for maintenance. *)
+
+val fixed_policy : Mdp_policy.Policy.t
+(** The §IV-A remediation: the Administrator's read of [Diagnosis] in the
+    EHR is revoked, reducing the event's risk from Medium to Low. *)
+
+val profile_case_a : Mdp_core.User_profile.t
+(** Agreed to MedicalService only; Diagnosis sensitivity High (0.9),
+    MedicalIssues Low (0.2). *)
+
+val medical_service : string
+val research_service : string
+
+(** {1 §IV-B study model} *)
+
+val age : Field.t
+val height : Field.t
+val weight : Field.t
+
+val study_diagram : Diagram.t
+val study_policy : Mdp_policy.Policy.t
+
+val table1_raw : Mdp_anon.Dataset.t
+(** The six §IV-B records with their direct identifier. *)
+
+val table1_scheme : Mdp_anon.Kanon.scheme
+(** Age in decades, Height in 20 cm bands. *)
+
+val table1_released : Mdp_anon.Dataset.t
+(** 2-anonymised release: identifiers dropped, quasi columns generalised
+    one level — exactly the Table I record set. *)
+
+val value_policy : Mdp_anon.Value_risk.policy
+(** "predict an individual's weight to within 5 kg with at least 90%
+    confidence". *)
+
+val study_binding : Mdp_core.Pseudonym_risk.binding
+(** Binds the release to the study model's anonymised store. *)

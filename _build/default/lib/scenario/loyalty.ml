@@ -1,0 +1,152 @@
+open Mdp_dataflow
+module Policy = Mdp_policy.Policy
+module Acl = Mdp_policy.Acl
+module Permission = Mdp_policy.Permission
+module A = Mdp_anon
+module Prng = Mdp_prelude.Prng
+
+let card_id = Field.make "CardId"
+let postcode = Field.make "Postcode"
+let age = Field.make "Age"
+let spend = Field.make "Spend"
+
+let purchase_service = "PurchaseTracking"
+let insight_service = "CustomerInsight"
+
+let basket_fields = [ card_id; postcode; age; spend ]
+
+let diagram =
+  let actors =
+    [
+      Actor.make "Cashier" ~roles:[ "store-staff" ];
+      Actor.make "CrmOps" ~roles:[ "operations" ];
+      Actor.make "DataScience" ~roles:[ "analytics" ];
+    ]
+  in
+  let datastores =
+    [
+      Datastore.make ~id:"Baskets"
+        ~schemas:[ Schema.make ~id:"BasketRecord" ~fields:basket_fields ]
+        ();
+      Datastore.make ~kind:Datastore.Anonymised ~id:"AnonBaskets"
+        ~schemas:
+          [
+            Schema.make ~id:"AnonBasketRecord"
+              ~fields:(List.map Field.anon_of [ postcode; age; spend ]);
+          ]
+        ();
+    ]
+  in
+  let flow = Flow.make in
+  let services =
+    [
+      Service.make ~id:purchase_service
+        ~flows:
+          [
+            flow ~order:1 ~src:Flow.User ~dst:(Flow.Actor "Cashier")
+              ~fields:basket_fields ~purpose:"checkout";
+            flow ~order:2 ~src:(Flow.Actor "Cashier")
+              ~dst:(Flow.Store "Baskets") ~fields:basket_fields
+              ~purpose:"record purchase";
+          ];
+      Service.make ~id:insight_service
+        ~flows:
+          [
+            flow ~order:1 ~src:(Flow.Store "Baskets")
+              ~dst:(Flow.Actor "CrmOps") ~fields:basket_fields
+              ~purpose:"prepare release";
+            flow ~order:2 ~src:(Flow.Actor "CrmOps")
+              ~dst:(Flow.Store "AnonBaskets")
+              ~fields:[ postcode; age; spend ]
+              ~purpose:"k-anonymise baskets";
+            flow ~order:3 ~src:(Flow.Store "AnonBaskets")
+              ~dst:(Flow.Actor "DataScience")
+              ~fields:[ Field.anon_of spend ]
+              ~purpose:"churn modelling";
+            flow ~order:4 ~src:(Flow.Store "AnonBaskets")
+              ~dst:(Flow.Actor "DataScience")
+              ~fields:[ Field.anon_of postcode ]
+              ~purpose:"churn modelling";
+            flow ~order:5 ~src:(Flow.Store "AnonBaskets")
+              ~dst:(Flow.Actor "DataScience")
+              ~fields:[ Field.anon_of age ]
+              ~purpose:"churn modelling";
+          ];
+    ]
+  in
+  Diagram.make_exn ~actors ~datastores ~services
+
+let policy =
+  Policy.make
+    [
+      Acl.allow (Acl.Actor_subject "Cashier") ~store:"Baskets"
+        [ Permission.Write ];
+      Acl.allow (Acl.Actor_subject "CrmOps") ~store:"Baskets"
+        [ Permission.Read; Permission.Delete ];
+      Acl.allow (Acl.Actor_subject "CrmOps") ~store:"AnonBaskets"
+        [ Permission.Write ];
+      Acl.allow (Acl.Actor_subject "DataScience") ~store:"AnonBaskets"
+        [ Permission.Read ];
+    ]
+
+let districts =
+  [| "N1"; "N7"; "E2"; "E8"; "SE1"; "SE15"; "SW2"; "SW9" |]
+
+let raw_baskets ~seed ~rows =
+  let rng = Prng.create ~seed in
+  let make_row i =
+    let d = Prng.int rng (Array.length districts) in
+    let base_spend = 40.0 +. (15.0 *. float_of_int d) in
+    let spend_v =
+      Float.max 5.0 (Prng.gaussian rng ~mean:base_spend ~stddev:8.0)
+    in
+    A.Value.
+      [
+        Str (Printf.sprintf "card-%04d" i);
+        Str districts.(d);
+        Int (Prng.range rng 18 90);
+        Float (Float.round spend_v);
+      ]
+  in
+  A.Dataset.make
+    ~attrs:
+      [
+        A.Attribute.make ~name:"CardId" ~kind:A.Attribute.Identifier;
+        A.Attribute.make ~name:"Postcode" ~kind:A.Attribute.Quasi;
+        A.Attribute.make ~name:"Age" ~kind:A.Attribute.Quasi;
+        A.Attribute.make ~name:"Spend" ~kind:A.Attribute.Sensitive;
+      ]
+    ~rows:(List.init rows make_row)
+
+let scheme : A.Kanon.scheme =
+  [
+    ( "Postcode",
+      A.Hierarchy.categorical
+        ~levels:
+          [
+            (* district -> area *)
+            [
+              ("N1", "N"); ("N7", "N"); ("E2", "E"); ("E8", "E");
+              ("SE1", "SE"); ("SE15", "SE"); ("SW2", "SW"); ("SW9", "SW");
+            ];
+            (* area -> city *)
+            [ ("N", "London"); ("E", "London"); ("SE", "London"); ("SW", "London") ];
+          ] );
+    ("Age", A.Hierarchy.numeric ~widths:[ 10.0; 20.0 ] ());
+  ]
+
+let value_policy : A.Value_risk.policy =
+  { sensitive = "Spend"; closeness = 10.0; confidence = 0.8 }
+
+let release ~k raw =
+  match
+    A.Kanon.datafly ~k ~max_suppression:0.05 (A.Dataset.drop_identifiers raw)
+      scheme
+  with
+  | Ok (ds, _, _) -> Ok ds
+  | Error e -> Error e
+
+let binding ~dataset =
+  Mdp_core.Pseudonym_risk.make_binding ~store:"AnonBaskets" ~dataset
+    ~attr_fields:[ ("Postcode", postcode); ("Age", age); ("Spend", spend) ]
+    ~policy:value_policy

@@ -1,0 +1,36 @@
+(** Retail loyalty programme: the third domain scenario, with a
+    pseudonymisation (§III-B-style) risk at its centre.
+
+    Purchases are linked to loyalty cards; a data-science team receives a
+    k-anonymised basket release (postcode district and age band as
+    quasi-identifiers, basket spend as the sensitive value) for churn
+    modelling. The seeded value-risk policy: spend must not be predictable
+    to within 10 currency units at 80% confidence. *)
+
+open Mdp_dataflow
+
+val card_id : Field.t
+val postcode : Field.t
+val age : Field.t
+val spend : Field.t
+
+val diagram : Diagram.t
+val policy : Mdp_policy.Policy.t
+val purchase_service : string
+val insight_service : string
+
+val raw_baskets : seed:int -> rows:int -> Mdp_anon.Dataset.t
+(** Synthetic purchase records: postcode districts drawn from eight
+    values, ages 18-90, spends clustered by district (so quasi columns
+    genuinely predict spend and the release carries real value risk). *)
+
+val scheme : Mdp_anon.Kanon.scheme
+(** Postcode to district/area (categorical), age to 10/20-year bands. *)
+
+val value_policy : Mdp_anon.Value_risk.policy
+
+val release : k:int -> Mdp_anon.Dataset.t -> (Mdp_anon.Dataset.t, string) result
+(** Datafly k-anonymisation of [raw_baskets] output (identifiers
+    dropped), with up to 5% suppression. *)
+
+val binding : dataset:Mdp_anon.Dataset.t -> Mdp_core.Pseudonym_risk.binding

@@ -1,0 +1,121 @@
+open Mdp_dataflow
+module Policy = Mdp_policy.Policy
+module Acl = Mdp_policy.Acl
+module Permission = Mdp_policy.Permission
+
+let address = Field.make "Address"
+let meter_id = Field.make "MeterId"
+let consumption = Field.make "Consumption"
+let occupancy = Field.make "Occupancy"
+let tariff = Field.make "Tariff"
+
+let energy_service = "EnergySupply"
+let analytics_service = "DemandAnalytics"
+
+let telemetry_fields = [ meter_id; consumption; occupancy ]
+
+let diagram =
+  let actors =
+    [
+      Actor.make "Installer" ~roles:[ "field-ops" ];
+      Actor.make "SupplierOps" ~roles:[ "operations" ];
+      Actor.make "Billing" ~roles:[ "operations" ];
+      Actor.make "Marketing" ~roles:[ "commercial" ];
+      Actor.make "AnalyticsPartner" ~roles:[ "third-party" ];
+    ]
+  in
+  let datastores =
+    [
+      Datastore.make ~id:"Accounts"
+        ~schemas:
+          [ Schema.make ~id:"AccountRecord" ~fields:[ address; meter_id; tariff ] ]
+        ();
+      Datastore.make ~id:"Telemetry"
+        ~schemas:[ Schema.make ~id:"MeterReadings" ~fields:telemetry_fields ]
+        ();
+      Datastore.make ~kind:Datastore.Anonymised ~id:"AnonProfiles"
+        ~schemas:
+          [
+            Schema.make ~id:"AnonReadings"
+              ~fields:(List.map Field.anon_of [ consumption; occupancy ]);
+          ]
+        ();
+    ]
+  in
+  let flow = Flow.make in
+  let services =
+    [
+      Service.make ~id:energy_service
+        ~flows:
+          [
+            flow ~order:1 ~src:Flow.User ~dst:(Flow.Actor "Installer")
+              ~fields:[ address; meter_id ] ~purpose:"meter installation";
+            flow ~order:2 ~src:(Flow.Actor "Installer")
+              ~dst:(Flow.Store "Accounts") ~fields:[ address; meter_id; tariff ]
+              ~purpose:"open account";
+            flow ~order:3 ~src:Flow.User ~dst:(Flow.Actor "SupplierOps")
+              ~fields:[ meter_id; consumption; occupancy ]
+              ~purpose:"half-hourly readings";
+            flow ~order:4 ~src:(Flow.Actor "SupplierOps")
+              ~dst:(Flow.Store "Telemetry") ~fields:telemetry_fields
+              ~purpose:"store readings";
+            flow ~order:5 ~src:(Flow.Store "Accounts")
+              ~dst:(Flow.Actor "Billing") ~fields:[ address; meter_id; tariff ]
+              ~purpose:"produce bill";
+          ];
+      Service.make ~id:analytics_service
+        ~flows:
+          [
+            flow ~order:1 ~src:(Flow.Store "Telemetry")
+              ~dst:(Flow.Actor "SupplierOps") ~fields:telemetry_fields
+              ~purpose:"extract profiles";
+            flow ~order:2 ~src:(Flow.Actor "SupplierOps")
+              ~dst:(Flow.Store "AnonProfiles")
+              ~fields:[ consumption; occupancy ]
+              ~purpose:"pseudonymise profiles";
+            flow ~order:3 ~src:(Flow.Store "AnonProfiles")
+              ~dst:(Flow.Actor "AnalyticsPartner")
+              ~fields:(List.map Field.anon_of [ consumption; occupancy ])
+              ~purpose:"demand forecasting";
+          ];
+    ]
+  in
+  Diagram.make_exn ~actors ~datastores ~services
+
+let policy =
+  Policy.make
+    ~rbac:(Mdp_policy.Rbac.create ~hierarchy:[ ("operations", "field-ops") ] ())
+    [
+      Acl.allow (Acl.Role_subject "field-ops") ~store:"Accounts"
+        [ Permission.Read; Permission.Write ];
+      Acl.allow (Acl.Actor_subject "SupplierOps") ~store:"Telemetry"
+        [ Permission.Read; Permission.Write; Permission.Delete ];
+      Acl.allow (Acl.Actor_subject "SupplierOps") ~store:"AnonProfiles"
+        [ Permission.Write ];
+      Acl.allow (Acl.Actor_subject "Billing") ~store:"Accounts"
+        [ Permission.Read ];
+      (* The seeded risk: commercial access to raw telemetry. *)
+      Acl.allow (Acl.Actor_subject "Marketing") ~store:"Telemetry"
+        [ Permission.Read ];
+      Acl.allow (Acl.Actor_subject "Marketing") ~store:"Accounts"
+        ~fields:[ address; tariff ] [ Permission.Read ];
+      Acl.allow (Acl.Actor_subject "AnalyticsPartner") ~store:"AnonProfiles"
+        [ Permission.Read ];
+    ]
+
+let fixed_policy =
+  Policy.revoke policy
+    ~subject:(Acl.Actor_subject "Marketing")
+    ~store:"Telemetry"
+    ~fields:[ occupancy; consumption ]
+    [ Permission.Read ]
+
+let profile =
+  Mdp_core.User_profile.make
+    ~sensitivities:
+      [
+        (occupancy, Mdp_core.User_profile.of_category `High);
+        (consumption, Mdp_core.User_profile.of_category `Medium);
+        (address, Mdp_core.User_profile.of_category `Low);
+      ]
+    ~agreed_services:[ energy_service ] ()

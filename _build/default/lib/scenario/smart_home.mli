@@ -1,0 +1,30 @@
+(** Smart-home energy service: a second domain exercising the API.
+
+    A household's smart meter feeds half-hourly consumption data to an
+    energy supplier; an installer technician configures devices; a
+    third-party analytics partner receives pseudonymised consumption
+    profiles for demand forecasting. The privacy tension mirrors the
+    paper's: occupancy patterns are inferable from fine-grained
+    consumption, and the marketing team's access to the raw telemetry
+    store is the unwanted-disclosure risk. *)
+
+open Mdp_dataflow
+
+val address : Field.t
+val meter_id : Field.t
+val consumption : Field.t
+val occupancy : Field.t
+val tariff : Field.t
+
+val diagram : Diagram.t
+val policy : Mdp_policy.Policy.t
+(** Marketing may read the telemetry store (the seeded risk). *)
+
+val fixed_policy : Mdp_policy.Policy.t
+(** Marketing's read of [occupancy] and [consumption] revoked. *)
+
+val profile : Mdp_core.User_profile.t
+(** Agreed to EnergySupply only; occupancy High, consumption Medium. *)
+
+val energy_service : string
+val analytics_service : string

@@ -1,0 +1,31 @@
+(** Synthetic model and dataset generators for scaling benchmarks and
+    property tests. Everything is deterministic in the seed. *)
+
+type spec = {
+  seed : int;
+  nactors : int;
+  nfields : int;
+  nstores : int;
+  nservices : int;
+  flows_per_service : int;
+}
+
+val model : spec -> Mdp_dataflow.Diagram.t * Mdp_policy.Policy.t
+(** A random but well-formed diagram: each service starts with a collect,
+    interleaves creates and reads over random stores and field subsets,
+    and the policy grants each actor read/write on the stores its flows
+    touch, plus one gratuitous read grant per store to a random actor
+    (so potential-read transitions exist). Field counts are clamped so
+    every flow carries at least one field. *)
+
+val profile : spec -> Mdp_dataflow.Diagram.t -> Mdp_core.User_profile.t
+(** Agrees to the first half of the services; a random third of the
+    fields get sensitivity 0.9, another third 0.4. *)
+
+val dataset : seed:int -> rows:int -> quasi:int -> Mdp_anon.Dataset.t
+(** Numeric microdata: [quasi] quasi-identifier columns uniform in
+    [0, 100), one sensitive column correlated with the first quasi
+    column. *)
+
+val scheme_for : quasi:int -> Mdp_anon.Kanon.scheme
+(** Width-10/25 numeric hierarchies for {!dataset}'s quasi columns. *)

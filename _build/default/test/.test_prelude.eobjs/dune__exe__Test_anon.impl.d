@@ -1,0 +1,1 @@
+test/test_anon.ml: Alcotest List Mdp_anon Mdp_prelude Mdp_scenario QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Field Float Flow Format List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Mdp_prelude Mdp_scenario Option QCheck QCheck_alcotest String

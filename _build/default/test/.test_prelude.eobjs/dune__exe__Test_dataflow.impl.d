@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Actor Alcotest Builder Datastore Diagram Dot Field Flow List Mdp_dataflow Mdp_scenario Option Schema Service String

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Field List Mdp_core Mdp_dataflow Mdp_runtime Mdp_scenario String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest List Mdp_core Mdp_dataflow Mdp_dsl Mdp_policy Mdp_scenario QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Field List Mdp_anon Mdp_core Mdp_dataflow Mdp_prelude Mdp_scenario Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Diagram Field Format Fun Int List Mdp_anon Mdp_core Mdp_dataflow Mdp_dsl Mdp_prelude Mdp_runtime Mdp_scenario Option

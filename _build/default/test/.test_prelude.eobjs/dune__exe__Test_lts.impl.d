@@ -1,0 +1,1 @@
+test/test_lts.ml: Alcotest Format Hashtbl Int List Mdp_lts Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_policy.ml: Actor Alcotest Datastore Diagram Field Flow List Mdp_dataflow Mdp_policy Option QCheck QCheck_alcotest Schema Service String

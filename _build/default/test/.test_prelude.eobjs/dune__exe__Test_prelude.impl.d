@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Bitset Float Frac Fun Int Interner List Listx Mdp_prelude Prng QCheck QCheck_alcotest String Texttable Validate

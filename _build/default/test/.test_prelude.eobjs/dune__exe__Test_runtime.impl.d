@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Field List Mdp_anon Mdp_core Mdp_dataflow Mdp_runtime Mdp_scenario Option Printf String

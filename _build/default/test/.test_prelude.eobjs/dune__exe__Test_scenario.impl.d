@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest List Mdp_anon Mdp_core Mdp_dataflow Mdp_policy Mdp_scenario Option

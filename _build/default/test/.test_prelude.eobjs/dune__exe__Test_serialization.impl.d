@@ -1,0 +1,1 @@
+test/test_serialization.ml: Alcotest List Mdp_core Mdp_dataflow Mdp_prelude Mdp_runtime Mdp_scenario Option

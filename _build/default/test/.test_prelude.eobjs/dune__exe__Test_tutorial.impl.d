@@ -1,0 +1,1 @@
+test/test_tutorial.ml: Alcotest Builder Field List Mdp_core Mdp_dataflow Mdp_dsl Mdp_policy Option

@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest List Mdp_core Mdp_dataflow Mdp_prelude Mdp_runtime Mdp_scenario Option QCheck QCheck_alcotest

@@ -1,0 +1,528 @@
+(* Tests for the anonymisation substrate: values, datasets, hierarchies,
+   k-anonymity (checker, Datafly, optimal lattice), Mondrian, l-diversity,
+   §III-B value risk (incl. the exact Table I figures), utility metrics,
+   re-identification risk and the CSV bridge. *)
+
+module A = Mdp_anon
+module V = A.Value
+module Frac = Mdp_prelude.Frac
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let float_ = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_close () =
+  check bool_ "ints close" true (V.close ~closeness:5.0 (V.Int 100) (V.Int 104));
+  check bool_ "ints at boundary" true (V.close ~closeness:5.0 (V.Int 100) (V.Int 105));
+  check bool_ "ints far" false (V.close ~closeness:5.0 (V.Int 100) (V.Int 106));
+  check bool_ "int/float mix" true (V.close ~closeness:0.5 (V.Int 1) (V.Float 1.4));
+  check bool_ "strings equal" true (V.close ~closeness:0.0 (V.Str "x") (V.Str "x"));
+  check bool_ "strings differ" false (V.close ~closeness:9.0 (V.Str "x") (V.Str "y"));
+  check bool_ "suppressed close to nothing" false
+    (V.close ~closeness:9.0 V.Suppressed V.Suppressed)
+
+let test_value_covers () =
+  check bool_ "interval covers int" true (V.covers (V.Interval (20.0, 30.0)) (V.Int 25));
+  check bool_ "interval lower inclusive" true (V.covers (V.Interval (20.0, 30.0)) (V.Int 20));
+  check bool_ "interval upper exclusive" false (V.covers (V.Interval (20.0, 30.0)) (V.Int 30));
+  check bool_ "set covers member" true (V.covers (V.str_set [ "a"; "b" ]) (V.Str "a"));
+  check bool_ "suppressed covers all" true (V.covers V.Suppressed (V.Str "zzz"));
+  check bool_ "equal covers" true (V.covers (V.Int 3) (V.Int 3))
+
+let test_value_strings () =
+  check Alcotest.string "interval" "20-30" (V.to_string (V.Interval (20.0, 30.0)));
+  check Alcotest.string "suppressed" "*" (V.to_string V.Suppressed);
+  check Alcotest.string "float int-like" "80" (V.to_string (V.Float 80.0));
+  check Alcotest.string "set" "{a, b}" (V.to_string (V.str_set [ "b"; "a"; "a" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Dataset *)
+
+let mini () =
+  A.Dataset.make
+    ~attrs:
+      [
+        A.Attribute.make ~name:"Id" ~kind:A.Attribute.Identifier;
+        A.Attribute.make ~name:"Q" ~kind:A.Attribute.Quasi;
+        A.Attribute.make ~name:"S" ~kind:A.Attribute.Sensitive;
+      ]
+    ~rows:
+      [
+        [ V.Str "a"; V.Int 1; V.Int 10 ];
+        [ V.Str "b"; V.Int 1; V.Int 20 ];
+        [ V.Str "c"; V.Int 2; V.Int 30 ];
+      ]
+
+let test_dataset_accessors () =
+  let d = mini () in
+  check int_ "nrows" 3 (A.Dataset.nrows d);
+  check int_ "ncols" 3 (A.Dataset.ncols d);
+  check int_ "col_index" 1 (A.Dataset.col_index d "Q");
+  check (Alcotest.list int_) "quasi idx" [ 1 ] (A.Dataset.quasi_indices d);
+  check (Alcotest.list int_) "sensitive idx" [ 2 ] (A.Dataset.sensitive_indices d);
+  check bool_ "column" true (A.Dataset.column d "S" = [ V.Int 10; V.Int 20; V.Int 30 ]);
+  let d' = A.Dataset.drop_identifiers d in
+  check int_ "dropped id col" 2 (A.Dataset.ncols d');
+  let classes = A.Dataset.equivalence_classes d ~by:[ 1 ] in
+  check (Alcotest.list (Alcotest.list int_)) "classes" [ [ 0; 1 ]; [ 2 ] ] classes
+
+let test_dataset_invalid () =
+  (match
+     A.Dataset.make
+       ~attrs:[ A.Attribute.make ~name:"X" ~kind:A.Attribute.Quasi ]
+       ~rows:[ [ V.Int 1; V.Int 2 ] ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged row accepted");
+  match
+    A.Dataset.make
+      ~attrs:
+        [
+          A.Attribute.make ~name:"X" ~kind:A.Attribute.Quasi;
+          A.Attribute.make ~name:"X" ~kind:A.Attribute.Quasi;
+        ]
+      ~rows:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate attr accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy *)
+
+let test_numeric_hierarchy () =
+  let h = A.Hierarchy.numeric ~widths:[ 10.0; 20.0 ] () in
+  check int_ "nlevels" 3 (A.Hierarchy.nlevels h);
+  check bool_ "level0 identity" true
+    (V.equal (A.Hierarchy.generalise h ~level:0 (V.Int 35)) (V.Int 35));
+  check bool_ "level1 decade" true
+    (V.equal (A.Hierarchy.generalise h ~level:1 (V.Int 35)) (V.Interval (30.0, 40.0)));
+  check bool_ "level2 score" true
+    (V.equal (A.Hierarchy.generalise h ~level:2 (V.Int 35)) (V.Interval (20.0, 40.0)));
+  check bool_ "top suppresses" true
+    (V.equal (A.Hierarchy.generalise h ~level:3 (V.Int 35)) V.Suppressed);
+  check bool_ "non-numeric suppressed" true
+    (V.equal (A.Hierarchy.generalise h ~level:1 (V.Str "x")) V.Suppressed);
+  Alcotest.check_raises "level out of range"
+    (Invalid_argument "Hierarchy.generalise: bad level") (fun () ->
+      ignore (A.Hierarchy.generalise h ~level:4 (V.Int 1)))
+
+let test_categorical_hierarchy () =
+  let h =
+    A.Hierarchy.categorical
+      ~levels:[ [ ("N1", "N"); ("E2", "E") ]; [ ("N", "London"); ("E", "London") ] ]
+  in
+  check bool_ "level1" true
+    (V.equal (A.Hierarchy.generalise h ~level:1 (V.Str "N1")) (V.Str "N"));
+  check bool_ "level2" true
+    (V.equal (A.Hierarchy.generalise h ~level:2 (V.Str "E2")) (V.Str "London"));
+  check bool_ "unknown suppressed" true
+    (V.equal (A.Hierarchy.generalise h ~level:1 (V.Str "XX")) V.Suppressed);
+  check bool_ "top" true
+    (V.equal (A.Hierarchy.generalise h ~level:3 (V.Str "N1")) V.Suppressed)
+
+let test_hierarchy_invalid () =
+  (match A.Hierarchy.numeric ~widths:[ 10.0; 5.0 ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing widths accepted");
+  match A.Hierarchy.numeric ~widths:[ -1.0 ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative width accepted"
+
+(* ------------------------------------------------------------------ *)
+(* k-anonymity *)
+
+let table1 = Mdp_scenario.Healthcare.table1_released
+
+let test_kanon_checker () =
+  check bool_ "table1 is 2-anonymous" true (A.Kanon.is_k_anonymous ~k:2 table1);
+  check bool_ "table1 not 3-anonymous" false (A.Kanon.is_k_anonymous ~k:3 table1);
+  check int_ "min class size" 2 (A.Kanon.min_class_size table1);
+  check int_ "three classes" 3 (List.length (A.Kanon.classes table1))
+
+let test_datafly_reaches_k () =
+  let raw = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  match A.Kanon.datafly ~k:2 raw Mdp_scenario.Healthcare.table1_scheme with
+  | Ok (ds, levels, suppressed) ->
+    check bool_ "result 2-anonymous" true (A.Kanon.is_k_anonymous ~k:2 ds);
+    check int_ "no suppression needed" 0 suppressed;
+    check bool_ "levels at most max" true
+      (List.for_all (fun (_, l) -> l <= 3) levels)
+  | Error e -> Alcotest.fail e
+
+let test_datafly_with_suppression () =
+  (* An outlier row that no generalisation groups: needs suppression. *)
+  let ds =
+    A.Dataset.make
+      ~attrs:
+        [
+          A.Attribute.make ~name:"Q" ~kind:A.Attribute.Quasi;
+          A.Attribute.make ~name:"S" ~kind:A.Attribute.Sensitive;
+        ]
+      ~rows:
+        [
+          [ V.Str "x"; V.Int 1 ];
+          [ V.Str "x"; V.Int 2 ];
+          [ V.Str "y"; V.Int 3 ];
+        ]
+  in
+  let scheme = [ ("Q", A.Hierarchy.suppress_only) ] in
+  (* With suppress-only hierarchy level 1 makes everything one class, so
+     k=2 is reachable without suppression... *)
+  (match A.Kanon.datafly ~k:2 ds scheme with
+  | Ok (out, _, suppressed) ->
+    check bool_ "2-anonymous" true (A.Kanon.is_k_anonymous ~k:2 out);
+    check int_ "rows kept" (3 - suppressed) (A.Dataset.nrows out)
+  | Error e -> Alcotest.fail e);
+  (* ...but k=4 is unreachable even fully generalised. *)
+  match A.Kanon.datafly ~k:4 ds scheme with
+  | Error _ -> ()
+  | Ok (_, _, _) -> Alcotest.fail "expected failure at k=4"
+
+let test_optimal_minimal () =
+  let raw = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  match A.Kanon.optimal ~k:2 raw Mdp_scenario.Healthcare.table1_scheme with
+  | Some (ds, levels) ->
+    check bool_ "optimal is 2-anonymous" true (A.Kanon.is_k_anonymous ~k:2 ds);
+    let total = Mdp_prelude.Listx.sum_by snd levels in
+    check int_ "minimal total level" 2 total
+  | None -> Alcotest.fail "no lattice point found"
+
+let prop_datafly_k_anonymous =
+  QCheck.Test.make ~name:"datafly output is k-anonymous" ~count:40
+    QCheck.(pair (int_range 2 4) (int_range 10 60))
+    (fun (k, rows) ->
+      let ds = Mdp_scenario.Synthetic.dataset ~seed:(k * rows) ~rows ~quasi:2 in
+      let scheme = Mdp_scenario.Synthetic.scheme_for ~quasi:2 in
+      match A.Kanon.datafly ~k ~max_suppression:0.3 ds scheme with
+      | Ok (out, _, _) -> A.Kanon.is_k_anonymous ~k out
+      | Error _ -> true (* allowed to fail; must not lie *))
+
+(* ------------------------------------------------------------------ *)
+(* Mondrian *)
+
+let test_mondrian () =
+  let ds = Mdp_scenario.Synthetic.dataset ~seed:5 ~rows:100 ~quasi:2 in
+  match A.Mondrian.anonymise ~k:5 ds with
+  | Ok out ->
+    check bool_ "5-anonymous" true (A.Kanon.is_k_anonymous ~k:5 out);
+    check int_ "row count preserved" 100 (A.Dataset.nrows out);
+    (* Generalised cells must cover the original values. *)
+    let q0 = A.Dataset.col_index ds "Q0" in
+    for r = 0 to 99 do
+      if
+        not
+          (V.covers (A.Dataset.get out ~row:r ~col:q0) (A.Dataset.get ds ~row:r ~col:q0))
+      then Alcotest.failf "row %d not covered" r
+    done
+  | Error e -> Alcotest.fail e
+
+let test_mondrian_errors () =
+  (match A.Mondrian.anonymise ~k:10 (Mdp_scenario.Synthetic.dataset ~seed:1 ~rows:5 ~quasi:1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "k larger than dataset accepted");
+  let non_numeric =
+    A.Dataset.make
+      ~attrs:[ A.Attribute.make ~name:"Q" ~kind:A.Attribute.Quasi ]
+      ~rows:[ [ V.Str "x" ]; [ V.Str "y" ] ]
+  in
+  match A.Mondrian.anonymise ~k:2 non_numeric with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric quasi accepted"
+
+let prop_mondrian_k_anonymous =
+  QCheck.Test.make ~name:"mondrian output is k-anonymous" ~count:30
+    QCheck.(pair (int_range 2 6) (int_range 20 80))
+    (fun (k, rows) ->
+      let ds = Mdp_scenario.Synthetic.dataset ~seed:(k + rows) ~rows ~quasi:2 in
+      match A.Mondrian.anonymise ~k ds with
+      | Ok out -> A.Kanon.is_k_anonymous ~k out
+      | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* l-diversity *)
+
+let test_ldiversity () =
+  check int_ "table1 distinct l" 2 (A.Ldiv.distinct table1 ~sensitive:"Weight");
+  check bool_ "is 2-diverse" true (A.Ldiv.is_distinct_diverse ~l:2 table1 ~sensitive:"Weight");
+  check bool_ "not 3-diverse" false (A.Ldiv.is_distinct_diverse ~l:3 table1 ~sensitive:"Weight");
+  let e = A.Ldiv.entropy table1 ~sensitive:"Weight" in
+  check bool_ "entropy l at least 1" true (e >= 1.0);
+  check bool_ "entropy l at most distinct l" true (e <= 2.0 +. 1e-9)
+
+let test_ldiversity_constant_class () =
+  let ds =
+    A.Dataset.make
+      ~attrs:
+        [
+          A.Attribute.make ~name:"Q" ~kind:A.Attribute.Quasi;
+          A.Attribute.make ~name:"S" ~kind:A.Attribute.Sensitive;
+        ]
+      ~rows:[ [ V.Int 1; V.Int 9 ]; [ V.Int 1; V.Int 9 ] ]
+  in
+  check int_ "constant class l=1" 1 (A.Ldiv.distinct ds ~sensitive:"S");
+  check (Alcotest.float 1e-6) "entropy 1" 1.0 (A.Ldiv.entropy ds ~sensitive:"S")
+
+(* ------------------------------------------------------------------ *)
+(* Value risk: the paper's Table I, exactly *)
+
+let policy = Mdp_scenario.Healthcare.value_policy
+
+let risks fields_read =
+  let r = A.Value_risk.assess table1 ~fields_read policy in
+  (List.map (fun (s : A.Value_risk.score) -> Frac.to_string s.risk) r.scores, r.violations)
+
+let test_table1_height () =
+  let rs, v = risks [ "Height" ] in
+  check (Alcotest.list Alcotest.string) "height risks"
+    [ "2/4"; "2/4"; "2/4"; "2/4"; "1/2"; "1/2" ] rs;
+  check int_ "0 violations" 0 v
+
+let test_table1_age () =
+  let rs, v = risks [ "Age" ] in
+  check (Alcotest.list Alcotest.string) "age risks"
+    [ "2/2"; "2/2"; "3/4"; "3/4"; "1/4"; "3/4" ] rs;
+  check int_ "2 violations" 2 v
+
+let test_table1_age_height () =
+  let rs, v = risks [ "Age"; "Height" ] in
+  check (Alcotest.list Alcotest.string) "age+height risks"
+    [ "2/2"; "2/2"; "2/2"; "2/2"; "1/2"; "1/2" ] rs;
+  check int_ "4 violations" 4 v
+
+let test_value_risk_no_fields_read () =
+  let r = A.Value_risk.assess table1 ~fields_read:[] policy in
+  (* One set of six records. *)
+  List.iter
+    (fun (s : A.Value_risk.score) -> check int_ "den 6" 6 s.risk.Frac.den)
+    r.scores;
+  check int_ "no violations" 0 r.violations
+
+let test_value_risk_sweep () =
+  let reports = A.Value_risk.sweep table1 policy in
+  check int_ "3 subsets of 2 quasi attrs" 3 (List.length reports);
+  (* ordered by subset size *)
+  check int_ "singletons first" 1
+    (List.length (List.hd reports).A.Value_risk.fields_read)
+
+let prop_value_risk_bounds =
+  QCheck.Test.make ~name:"value risk in (0,1], never empty sets" ~count:40
+    QCheck.(int_range 10 80)
+    (fun rows ->
+      let ds = Mdp_scenario.Synthetic.dataset ~seed:rows ~rows ~quasi:2 in
+      let p = { A.Value_risk.sensitive = "S"; closeness = 5.0; confidence = 0.9 } in
+      let r = A.Value_risk.assess ds ~fields_read:[ "Q0" ] p in
+      List.for_all
+        (fun (s : A.Value_risk.score) ->
+          s.risk.Frac.num >= 1 (* own value is always close to itself *)
+          && s.risk.Frac.num <= s.risk.Frac.den)
+        r.scores)
+
+let prop_value_risk_monotone_in_fields =
+  (* Reading more quasi fields weakly increases each record's risk:
+     finer partitions shrink the sets around each record. *)
+  QCheck.Test.make ~name:"value risk monotone in fields_read" ~count:30
+    QCheck.(int_range 10 60)
+    (fun rows ->
+      let ds = Mdp_scenario.Synthetic.dataset ~seed:(rows * 3) ~rows ~quasi:2 in
+      let p = { A.Value_risk.sensitive = "S"; closeness = 5.0; confidence = 0.9 } in
+      let r1 = A.Value_risk.assess ds ~fields_read:[ "Q0" ] p in
+      let r2 = A.Value_risk.assess ds ~fields_read:[ "Q0"; "Q1" ] p in
+      List.for_all2
+        (fun (a : A.Value_risk.score) (b : A.Value_risk.score) ->
+          Frac.to_float b.risk >= Frac.to_float a.risk -. 1e-9)
+        r1.scores r2.scores)
+
+(* ------------------------------------------------------------------ *)
+(* Utility *)
+
+let test_utility_means () =
+  let raw = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  (* Weight survives generalisation untouched. *)
+  check (Alcotest.option float_) "weight mean drift" (Some 0.0)
+    (A.Utility.mean_drift ~original:raw ~release:table1 "Weight");
+  (* Age becomes interval midpoints: drift bounded by half the band. *)
+  (match A.Utility.mean_drift ~original:raw ~release:table1 "Age" with
+  | Some d -> check bool_ "age drift bounded" true (d <= 5.0)
+  | None -> Alcotest.fail "age mean should exist");
+  match A.Utility.variance_drift ~original:raw ~release:table1 "Weight" with
+  | Some d -> check float_ "weight variance drift" 0.0 d
+  | None -> Alcotest.fail "variance should exist"
+
+let test_utility_precision_and_discernibility () =
+  check float_ "precision untouched" 1.0
+    (A.Utility.precision ~scheme:Mdp_scenario.Healthcare.table1_scheme ~levels:[]);
+  let p =
+    A.Utility.precision ~scheme:Mdp_scenario.Healthcare.table1_scheme
+      ~levels:[ ("Age", 1); ("Height", 1) ]
+  in
+  check bool_ "partial precision" true (p > 0.5 && p < 1.0);
+  check int_ "discernibility of table1" 12 (A.Utility.discernibility table1);
+  check float_ "avg class size" 2.0 (A.Utility.avg_class_size table1)
+
+(* ------------------------------------------------------------------ *)
+(* Re-identification *)
+
+let test_reident () =
+  check float_ "prosecutor" 0.5 (A.Reident.prosecutor table1);
+  check float_ "marketer" 0.5 (A.Reident.marketer table1);
+  let population = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  match A.Reident.journalist ~release:table1 ~population with
+  | Some r -> check float_ "journalist equals prosecutor here" 0.5 r
+  | None -> Alcotest.fail "population should cover the release"
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let test_csv_roundtrip () =
+  let text = A.Csv.render table1 in
+  match
+    A.Csv.parse
+      ~kinds:
+        [
+          ("Age", A.Attribute.Quasi);
+          ("Height", A.Attribute.Quasi);
+          ("Weight", A.Attribute.Sensitive);
+        ]
+      text
+  with
+  | Error e -> Alcotest.fail e
+  | Ok ds ->
+    check int_ "rows" 6 (A.Dataset.nrows ds);
+    check bool_ "interval survived" true
+      (V.equal (A.Dataset.get ds ~row:0 ~col:0) (V.Interval (30.0, 40.0)));
+    check bool_ "ints survived" true
+      (V.equal (A.Dataset.get ds ~row:0 ~col:2) (V.Int 100))
+
+let test_csv_errors () =
+  (match A.Csv.parse ~kinds:[] "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  match A.Csv.parse ~kinds:[] "a,b\n1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ragged accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Release gate *)
+
+let test_release_gate_accepts_and_rejects () =
+  let raw = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  let release = table1 in
+  (* k alone: accepted. *)
+  let base = A.Release_gate.default ~k:2 in
+  let v = A.Release_gate.evaluate ~original:raw ~release base in
+  check bool_ "k=2 accepted" true v.accepted;
+  (* k=3: rejected with a message. *)
+  let v3 = A.Release_gate.evaluate ~original:raw ~release { base with k = 3 } in
+  check bool_ "k=3 rejected" false v3.accepted;
+  check int_ "one failure" 1 (List.length v3.failures);
+  (* l-diversity and value risk together: the Table-I release fails the
+     value-risk criterion at the paper's thresholds. *)
+  let strict =
+    {
+      base with
+      l = Some 2;
+      max_violation_ratio = Some 0.5;
+      value_policy = Some Mdp_scenario.Healthcare.value_policy;
+    }
+  in
+  let vs = A.Release_gate.evaluate ~original:raw ~release strict in
+  check bool_ "value risk trips the gate" false vs.accepted;
+  check bool_ "failure names the read set" true
+    (List.exists
+       (fun m ->
+         String.length m > 10
+         && (let rec contains i =
+               i + 3 <= String.length m
+               && (String.sub m i 3 = "Age" || contains (i + 1))
+             in
+             contains 0))
+       vs.failures)
+
+let test_release_gate_utility () =
+  let raw = A.Dataset.drop_identifiers Mdp_scenario.Healthcare.table1_raw in
+  (* The release keeps Weight raw: zero drift, so a tight bound passes. *)
+  let criteria =
+    { (A.Release_gate.default ~k:2) with max_mean_drift = Some 0.001 }
+  in
+  let v = A.Release_gate.evaluate ~original:raw ~release:table1 criteria in
+  check bool_ "no drift on raw sensitive column" true v.accepted;
+  (* Misconfiguration is itself a failure. *)
+  let bad =
+    { (A.Release_gate.default ~k:2) with max_violation_ratio = Some 0.5 }
+  in
+  let vb = A.Release_gate.evaluate ~original:raw ~release:table1 bad in
+  check bool_ "ratio without policy rejected" false vb.accepted
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "anon"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "close" `Quick test_value_close;
+          Alcotest.test_case "covers" `Quick test_value_covers;
+          Alcotest.test_case "to_string" `Quick test_value_strings;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "accessors" `Quick test_dataset_accessors;
+          Alcotest.test_case "invalid" `Quick test_dataset_invalid;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "numeric" `Quick test_numeric_hierarchy;
+          Alcotest.test_case "categorical" `Quick test_categorical_hierarchy;
+          Alcotest.test_case "invalid" `Quick test_hierarchy_invalid;
+        ] );
+      ( "kanon",
+        [
+          Alcotest.test_case "checker" `Quick test_kanon_checker;
+          Alcotest.test_case "datafly reaches k" `Quick test_datafly_reaches_k;
+          Alcotest.test_case "datafly suppression" `Quick test_datafly_with_suppression;
+          Alcotest.test_case "optimal minimal" `Quick test_optimal_minimal;
+          qtest prop_datafly_k_anonymous;
+        ] );
+      ( "mondrian",
+        [
+          Alcotest.test_case "partitions" `Quick test_mondrian;
+          Alcotest.test_case "errors" `Quick test_mondrian_errors;
+          qtest prop_mondrian_k_anonymous;
+        ] );
+      ( "ldiversity",
+        [
+          Alcotest.test_case "table1" `Quick test_ldiversity;
+          Alcotest.test_case "constant class" `Quick test_ldiversity_constant_class;
+        ] );
+      ( "value-risk (Table I)",
+        [
+          Alcotest.test_case "height column" `Quick test_table1_height;
+          Alcotest.test_case "age column" `Quick test_table1_age;
+          Alcotest.test_case "age+height column" `Quick test_table1_age_height;
+          Alcotest.test_case "empty fields_read" `Quick test_value_risk_no_fields_read;
+          Alcotest.test_case "sweep" `Quick test_value_risk_sweep;
+          qtest prop_value_risk_bounds;
+          qtest prop_value_risk_monotone_in_fields;
+        ] );
+      ( "utility",
+        [
+          Alcotest.test_case "means/variances" `Quick test_utility_means;
+          Alcotest.test_case "precision/discernibility" `Quick
+            test_utility_precision_and_discernibility;
+        ] );
+      ("reident", [ Alcotest.test_case "attacker models" `Quick test_reident ]);
+      ( "release gate",
+        [
+          Alcotest.test_case "accept/reject" `Quick test_release_gate_accepts_and_rejects;
+          Alcotest.test_case "utility" `Quick test_release_gate_utility;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+        ] );
+    ]

@@ -1,0 +1,888 @@
+(* Tests for the paper's core: the variable universe, privacy states,
+   action labels, LTS generation semantics (§II-B), user profiles, the
+   risk matrix, disclosure-risk analysis (§III-A), pseudonymisation risk
+   (§III-B) and the model/policy consistency check. *)
+
+open Mdp_dataflow
+module Core = Mdp_core
+module H = Mdp_scenario.Healthcare
+module Acl = Mdp_policy.Acl
+module Permission = Mdp_policy.Permission
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let level_t = Alcotest.testable Core.Level.pp Core.Level.equal
+
+let universe () = Core.Universe.make H.diagram H.policy
+
+(* ------------------------------------------------------------------ *)
+(* Level *)
+
+let test_level_order () =
+  check bool_ "ordering" true
+    (Core.Level.compare Core.Level.None_ Core.Level.Low < 0
+    && Core.Level.compare Core.Level.Low Core.Level.Medium < 0
+    && Core.Level.compare Core.Level.Medium Core.Level.High < 0);
+  check level_t "max" Core.Level.High (Core.Level.max Core.Level.Low Core.Level.High);
+  List.iter
+    (fun l ->
+      check bool_ "string roundtrip" true
+        (Core.Level.of_string (Core.Level.to_string l) = Some l))
+    [ Core.Level.None_; Core.Level.Low; Core.Level.Medium; Core.Level.High ]
+
+(* ------------------------------------------------------------------ *)
+(* Universe *)
+
+let test_universe_dimensions () =
+  let u = universe () in
+  check int_ "actors" 5 (Core.Universe.nactors u);
+  (* 6 base + 4 anon variants *)
+  check int_ "fields" 10 (Core.Universe.nfields u);
+  check int_ "stores" 3 (Core.Universe.nstores u);
+  check int_ "flows" 9 (Core.Universe.nflows u);
+  check int_ "state variables (per has/could copy)" 50 (Core.Universe.nvars u)
+
+let test_universe_indexing () =
+  let u = universe () in
+  let a = Core.Universe.actor_index u "Doctor" in
+  check Alcotest.string "actor roundtrip" "Doctor" (Core.Universe.actor_name u a);
+  let f = Core.Universe.field_index u H.diagnosis in
+  check bool_ "field roundtrip" true
+    (Field.equal H.diagnosis (Core.Universe.field_at u f));
+  let v = Core.Universe.var u ~actor:a ~field:f in
+  check int_ "var actor" a (Core.Universe.var_actor u v);
+  check int_ "var field" f (Core.Universe.var_field u v);
+  match Core.Universe.actor_index u "Nobody" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown actor resolved"
+
+let test_universe_policy_caches () =
+  let u = universe () in
+  let ehr = Core.Universe.store_index u "EHR" in
+  let diag = Core.Universe.field_index u H.diagnosis in
+  let readers =
+    List.map (Core.Universe.actor_name u)
+      (Core.Universe.readers u ~store:ehr ~field:diag)
+  in
+  check (Alcotest.list Alcotest.string) "diagnosis readers"
+    [ "Doctor"; "Administrator" ] readers;
+  let deleters =
+    List.map (Core.Universe.actor_name u) (Core.Universe.deleters u ~store:ehr)
+  in
+  check (Alcotest.list Alcotest.string) "EHR deleters" [ "Administrator" ] deleters;
+  let nurse = Core.Universe.actor_index u "Nurse" in
+  check int_ "nurse reads 2 EHR fields" 2
+    (List.length (Core.Universe.readable_by u ~actor:nurse ~store:ehr))
+
+let test_universe_with_policy () =
+  let u = universe () in
+  let u' = Core.Universe.with_policy u H.fixed_policy in
+  let ehr = Core.Universe.store_index u' "EHR" in
+  let diag = Core.Universe.field_index u' H.diagnosis in
+  let readers =
+    List.map (Core.Universe.actor_name u')
+      (Core.Universe.readers u' ~store:ehr ~field:diag)
+  in
+  check (Alcotest.list Alcotest.string) "admin revoked" [ "Doctor" ] readers;
+  check int_ "original untouched" 2
+    (List.length (Core.Universe.readers u ~store:ehr ~field:diag))
+
+let test_universe_rejects_bad_policy () =
+  let bad =
+    Mdp_policy.Policy.make
+      [ Acl.allow (Acl.Actor_subject "Ghost") ~store:"EHR" [ Permission.Read ] ]
+  in
+  match Core.Universe.make H.diagram bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid policy accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Privacy state *)
+
+let test_privacy_state () =
+  let u = universe () in
+  let s = Core.Privacy_state.absolute u in
+  check bool_ "absolute has none" true
+    (Core.Privacy_state.identified_pairs u s = []);
+  let s' = Core.Privacy_state.copy s in
+  Mdp_prelude.Bitset.set s'.Core.Privacy_state.has
+    (Core.Universe.var u
+       ~actor:(Core.Universe.actor_index u "Doctor")
+       ~field:(Core.Universe.field_index u H.diagnosis));
+  check bool_ "copy isolated" false (Core.Privacy_state.equal s s');
+  check bool_ "has query" true
+    (Core.Privacy_state.has u s' ~actor:"Doctor" ~field:H.diagnosis);
+  check bool_ "could untouched" false
+    (Core.Privacy_state.could u s' ~actor:"Doctor" ~field:H.diagnosis);
+  check
+    (Alcotest.list
+       (Alcotest.pair Alcotest.string (Alcotest.testable Field.pp Field.equal)))
+    "identified pairs"
+    [ ("Doctor", H.diagnosis) ]
+    (Core.Privacy_state.identified_pairs u s');
+  (* The Fig. 2 table renders header + rule + one row per actor. *)
+  let rendered = Format.asprintf "%a" (Core.Privacy_state.pp_table u) s' in
+  check int_ "table line count" 7
+    (List.length (String.split_on_char '\n' rendered))
+
+
+(* ------------------------------------------------------------------ *)
+(* Action labels *)
+
+let test_action_label () =
+  let k = Alcotest.testable Core.Action.pp_kind ( = ) in
+  check k "collect" Core.Action.Collect (Core.Action.kind_of_flow Flow.Collect);
+  check k "disclose" Core.Action.Disclose (Core.Action.kind_of_flow Flow.Disclose);
+  check k "create" Core.Action.Create (Core.Action.kind_of_flow Flow.Create);
+  check k "anon" Core.Action.Anon (Core.Action.kind_of_flow Flow.Anon);
+  check k "read" Core.Action.Read (Core.Action.kind_of_flow Flow.Read);
+  let a =
+    Core.Action.make ~schema:"HealthRecord" ~store:"EHR" ~purpose:"p"
+      ~kind:Core.Action.Read ~fields:[ H.diagnosis ] ~actor:"Administrator"
+      Core.Action.Potential
+  in
+  let printed = Format.asprintf "%a" Core.Action.pp a in
+  let contains needle =
+    let hn = String.length printed and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub printed i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_ "prints kind" true (contains "read");
+  check bool_ "prints schema" true (contains ":HealthRecord");
+  check bool_ "prints provenance" true (contains "[potential]");
+  check bool_ "prints purpose" true (contains "for \"p\"");
+  (* risk annotation changes equality and printing *)
+  let a' =
+    Core.Action.with_risk a
+      (Core.Action.Disclosure_risk
+         { impact = Core.Level.High; likelihood = Core.Level.Low; level = Core.Level.Medium })
+  in
+  check bool_ "risk breaks equality" false (Core.Action.equal a a');
+  check bool_ "risk printed" true
+    (let p = Format.asprintf "%a" Core.Action.pp a' in
+     String.length p > String.length printed);
+  match Core.Action.make ~kind:Core.Action.Read ~fields:[] ~actor:"x" Core.Action.Potential with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty field list accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Generation semantics *)
+
+let run_lts ?(options = Core.Generate.default_options) () =
+  let u = universe () in
+  (u, Core.Generate.run ~options u)
+
+let test_generation_initial_state () =
+  let u, lts = run_lts () in
+  let init = Core.Plts.state_data lts (Core.Plts.initial lts) in
+  check bool_ "initial is absolute privacy" true
+    (Core.Privacy_state.equal init.Core.Config.privacy
+       (Core.Privacy_state.absolute u))
+
+let test_generation_flow_only_medical () =
+  (* Fig. 3: the Medical Service alone is a 7-state chain. *)
+  let u = universe () in
+  let lts =
+    Core.Generate.run
+      ~options:
+        { Core.Generate.flow_only with services = Some [ H.medical_service ] }
+      u
+  in
+  check int_ "states" 7 (Core.Plts.num_states lts);
+  check int_ "transitions" 6 (Core.Plts.num_transitions lts);
+  check bool_ "acyclic" true (Core.Plts.is_acyclic lts);
+  check bool_ "deterministic" true (Core.Plts.is_deterministic lts)
+
+let test_generation_strict_ordering () =
+  let _, lts = run_lts ~options:Core.Generate.flow_only () in
+  let init = Core.Plts.initial lts in
+  List.iter
+    (fun ((label : Core.Action.t), _) ->
+      match label.provenance with
+      | Core.Action.From_flow { order; _ } ->
+        check int_ "only first flows enabled initially" 1 order
+      | Core.Action.Potential | Core.Action.Inferred ->
+        Alcotest.fail "flow_only should not emit potential actions")
+    (Core.Plts.successors lts init)
+
+let test_generation_data_driven_larger () =
+  let u = universe () in
+  let strict = Core.Generate.run ~options:Core.Generate.flow_only u in
+  let dd =
+    Core.Generate.run
+      ~options:
+        { Core.Generate.flow_only with ordering = Core.Generate.Data_driven }
+      u
+  in
+  check bool_ "data-driven explores at least as many states" true
+    (Core.Plts.num_states dd >= Core.Plts.num_states strict)
+
+let test_generation_could_semantics () =
+  (* After the Doctor creates the EHR record, every policy-permitted
+     reader could identify the stored fields. *)
+  let u, lts = run_lts ~options:Core.Generate.flow_only () in
+  let created =
+    Core.Plts.states_where lts (fun s ->
+        let cfg = Core.Plts.state_data lts s in
+        Core.Privacy_state.could u cfg.Core.Config.privacy
+          ~actor:"Administrator" ~field:H.diagnosis)
+  in
+  check bool_ "admin could identify diagnosis somewhere" true (created <> []);
+  List.iter
+    (fun s ->
+      let cfg = Core.Plts.state_data lts s in
+      check bool_ "nurse could treatment" true
+        (Core.Privacy_state.could u cfg.Core.Config.privacy ~actor:"Nurse"
+           ~field:H.treatment);
+      check bool_ "nurse could not diagnosis" false
+        (Core.Privacy_state.could u cfg.Core.Config.privacy ~actor:"Nurse"
+           ~field:H.diagnosis))
+    created
+
+let test_generation_potential_reads_appear () =
+  let _, lts = run_lts () in
+  let has_potential = ref false in
+  Core.Plts.iter_transitions lts (fun tr ->
+      if tr.label.Core.Action.provenance = Core.Action.Potential then begin
+        has_potential := true;
+        check bool_ "potential actions are reads" true
+          (tr.label.Core.Action.kind = Core.Action.Read)
+      end);
+  check bool_ "some potential read exists" true !has_potential
+
+let test_generation_granular_vs_coarse () =
+  let u = universe () in
+  let coarse = Core.Generate.run u in
+  let granular =
+    Core.Generate.run
+      ~options:{ Core.Generate.default_options with granular_reads = true }
+      u
+  in
+  check bool_ "granular at least as many states" true
+    (Core.Plts.num_states granular >= Core.Plts.num_states coarse);
+  Core.Plts.iter_transitions granular (fun tr ->
+      if tr.label.Core.Action.provenance = Core.Action.Potential then
+        check int_ "one field per granular read" 1
+          (List.length tr.label.Core.Action.fields))
+
+let test_generation_enforcement () =
+  (* Under the fixed policy no read by the Administrator delivers the
+     Diagnosis. *)
+  let u = Core.Universe.make H.diagram H.fixed_policy in
+  let lts = Core.Generate.run u in
+  Core.Plts.iter_transitions lts (fun tr ->
+      let l = tr.label in
+      if
+        l.Core.Action.kind = Core.Action.Read
+        && l.Core.Action.actor = "Administrator"
+      then
+        check bool_ "no diagnosis delivered to admin" false
+          (List.exists (Field.equal H.diagnosis) l.Core.Action.fields))
+
+let test_generation_deletes () =
+  let u = universe () in
+  let lts =
+    Core.Generate.run
+      ~options:{ Core.Generate.default_options with potential_deletes = true }
+      u
+  in
+  let found = ref false in
+  Core.Plts.iter_transitions lts (fun tr ->
+      if tr.label.Core.Action.kind = Core.Action.Delete then begin
+        found := true;
+        check Alcotest.string "only the EHR deleter" "Administrator"
+          tr.label.Core.Action.actor;
+        let dst = Core.Plts.state_data lts tr.dst in
+        let store =
+          Core.Universe.store_index u (Option.get tr.label.Core.Action.store)
+        in
+        check bool_ "store emptied" true
+          (Mdp_prelude.Bitset.is_empty dst.Core.Config.stores.(store))
+      end);
+  check bool_ "a delete transition exists" true !found
+
+let test_generation_determinism () =
+  let _, a = run_lts () in
+  let _, b = run_lts () in
+  check int_ "same states" (Core.Plts.num_states a) (Core.Plts.num_states b);
+  check int_ "same transitions" (Core.Plts.num_transitions a)
+    (Core.Plts.num_transitions b)
+
+let prop_generation_synthetic_bounded =
+  QCheck.Test.make ~name:"synthetic models generate acyclic LTSs" ~count:15
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let spec =
+        {
+          Mdp_scenario.Synthetic.seed;
+          nactors = 3;
+          nfields = 4;
+          nstores = 2;
+          nservices = 2;
+          flows_per_service = 3;
+        }
+      in
+      let diagram, policy = Mdp_scenario.Synthetic.model spec in
+      let u = Core.Universe.make diagram policy in
+      let lts = Core.Generate.run u in
+      Core.Plts.num_states lts >= 1 && Core.Plts.is_acyclic lts)
+
+
+let prop_strict_subset_of_data_driven =
+  (* Relaxing the ordering can only add behaviour: every configuration
+     reachable under Strict is reachable under Data_driven. *)
+  QCheck.Test.make ~name:"strict-reachable subset of data-driven" ~count:10
+    QCheck.(int_range 1 200)
+    (fun seed ->
+      let spec =
+        {
+          Mdp_scenario.Synthetic.seed;
+          nactors = 3;
+          nfields = 3;
+          nstores = 2;
+          nservices = 2;
+          flows_per_service = 3;
+        }
+      in
+      let diagram, policy = Mdp_scenario.Synthetic.model spec in
+      let u = Core.Universe.make diagram policy in
+      let strict = Core.Generate.run ~options:Core.Generate.flow_only u in
+      let dd =
+        Core.Generate.run
+          ~options:
+            { Core.Generate.flow_only with ordering = Core.Generate.Data_driven }
+          u
+      in
+      List.for_all
+        (fun s -> Core.Plts.find_state dd (Core.Plts.state_data strict s) <> None)
+        (Core.Plts.states strict))
+
+let test_lts_render_smoke () =
+  let u = universe () in
+  let lts = Core.Generate.run u in
+  ignore (Core.Disclosure_risk.analyse u lts H.profile_case_a);
+  let dot = Core.Lts_render.to_dot ~verbose_states:true u lts in
+  let contains needle =
+    let hn = String.length dot and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub dot i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_ "digraph" true (contains "digraph privacy_lts");
+  check bool_ "dashed potential" true (contains "style=dashed");
+  check bool_ "risk colour" true (contains "color=orange");
+  check bool_ "verbose state labels" true (contains "(has)");
+  let summary = Core.Lts_render.summary u lts in
+  check bool_ "summary mentions counts" true
+    (String.length summary > 10 && contains "digraph" = contains "digraph")
+
+(* ------------------------------------------------------------------ *)
+(* User profile *)
+
+let test_profile_basics () =
+  let p = H.profile_case_a in
+  check bool_ "agrees medical" true
+    (Core.User_profile.agrees_to p H.medical_service);
+  check bool_ "not research" false
+    (Core.User_profile.agrees_to p H.research_service);
+  check (Alcotest.float 1e-9) "diagnosis sigma" 0.9
+    (Core.User_profile.sensitivity p H.diagnosis);
+  check (Alcotest.float 1e-9) "unlisted field" 0.0
+    (Core.User_profile.sensitivity p H.treatment);
+  check (Alcotest.float 1e-9) "anon not inherited" 0.0
+    (Core.User_profile.sensitivity p (Field.anon_of H.diagnosis))
+
+let test_profile_allowed_actors () =
+  let p = H.profile_case_a in
+  check (Alcotest.list Alcotest.string) "allowed"
+    [ "Receptionist"; "Doctor"; "Nurse" ]
+    (Core.User_profile.allowed_actors p H.diagram);
+  check (Alcotest.list Alcotest.string) "non-allowed"
+    [ "Administrator"; "Researcher" ]
+    (Core.User_profile.non_allowed_actors p H.diagram);
+  check (Alcotest.float 1e-9) "sigma allowed actor" 0.0
+    (Core.User_profile.sigma p H.diagram ~actor:"Doctor" H.diagnosis);
+  check (Alcotest.float 1e-9) "sigma non-allowed actor" 0.9
+    (Core.User_profile.sigma p H.diagram ~actor:"Administrator" H.diagnosis)
+
+let test_profile_invalid () =
+  (match
+     Core.User_profile.make
+       ~sensitivities:[ (H.diagnosis, 1.5) ]
+       ~agreed_services:[] ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sensitivity > 1 accepted");
+  match
+    Core.User_profile.make
+      ~sensitivities:[ (H.diagnosis, 0.5); (H.diagnosis, 0.6) ]
+      ~agreed_services:[] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate field accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Risk matrix *)
+
+let test_risk_matrix_default () =
+  let m = Core.Risk_matrix.default in
+  check level_t "zero impact" Core.Level.None_ (Core.Risk_matrix.impact_level m 0.0);
+  check level_t "low impact" Core.Level.Low (Core.Risk_matrix.impact_level m 0.2);
+  check level_t "medium impact" Core.Level.Medium (Core.Risk_matrix.impact_level m 0.5);
+  check level_t "high impact" Core.Level.High (Core.Risk_matrix.impact_level m 0.9);
+  check level_t "low likelihood" Core.Level.Low
+    (Core.Risk_matrix.likelihood_level m 0.05);
+  check level_t "H x L = Medium" Core.Level.Medium
+    (Core.Risk_matrix.level m ~impact:Core.Level.High ~likelihood:Core.Level.Low);
+  check level_t "L x L = Low" Core.Level.Low
+    (Core.Risk_matrix.level m ~impact:Core.Level.Low ~likelihood:Core.Level.Low);
+  check level_t "H x H = High" Core.Level.High
+    (Core.Risk_matrix.level m ~impact:Core.Level.High ~likelihood:Core.Level.High);
+  check level_t "None collapses" Core.Level.None_
+    (Core.Risk_matrix.level m ~impact:Core.Level.None_ ~likelihood:Core.Level.High)
+
+let test_risk_matrix_custom () =
+  (match Core.Risk_matrix.make ~impact_thresholds:(0.7, 0.4) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing thresholds accepted");
+  let strict_table =
+    [|
+      [| Core.Level.Medium; Core.Level.High; Core.Level.High |];
+      [| Core.Level.High; Core.Level.High; Core.Level.High |];
+      [| Core.Level.High; Core.Level.High; Core.Level.High |];
+    |]
+  in
+  let m = Core.Risk_matrix.make ~table:strict_table () in
+  check level_t "custom table" Core.Level.Medium
+    (Core.Risk_matrix.level m ~impact:Core.Level.Low ~likelihood:Core.Level.Low)
+
+
+let prop_risk_matrix_monotone =
+  (* Raising either dimension never lowers the resulting level. *)
+  QCheck.Test.make ~name:"risk matrix monotone in both dimensions" ~count:200
+    QCheck.(pair (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+              (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun ((i1, l1), (i2, l2)) ->
+      let m = Core.Risk_matrix.default in
+      let level i l =
+        Core.Risk_matrix.level m
+          ~impact:(Core.Risk_matrix.impact_level m i)
+          ~likelihood:(Core.Risk_matrix.likelihood_level m l)
+      in
+      let lo_i = Float.min i1 i2 and hi_i = Float.max i1 i2 in
+      let lo_l = Float.min l1 l2 and hi_l = Float.max l1 l2 in
+      Core.Level.compare (level hi_i lo_l) (level lo_i lo_l) >= 0
+      && Core.Level.compare (level lo_i hi_l) (level lo_i lo_l) >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Disclosure risk (§III-A / §IV-A) *)
+
+let case_a () =
+  let u = universe () in
+  let lts = Core.Generate.run u in
+  let report = Core.Disclosure_risk.analyse u lts H.profile_case_a in
+  (u, lts, report)
+
+let test_case_a_non_allowed () =
+  let _, _, report = case_a () in
+  check (Alcotest.list Alcotest.string) "non-allowed"
+    [ "Administrator"; "Researcher" ] report.non_allowed
+
+let test_case_a_medium () =
+  let _, _, report = case_a () in
+  check level_t "admin/EHR/Diagnosis is Medium" Core.Level.Medium
+    (Core.Disclosure_risk.level_for report ~actor:"Administrator" ~store:"EHR"
+       ~field:H.diagnosis);
+  check level_t "max is Medium" Core.Level.Medium
+    (Core.Disclosure_risk.max_level report)
+
+let test_case_a_no_researcher_findings () =
+  let _, _, report = case_a () in
+  check int_ "researcher has no findings (anon data only)" 0
+    (List.length (Core.Disclosure_risk.findings_for report ~actor:"Researcher"))
+
+let test_case_a_witnesses_reach_src () =
+  let _, lts, report = case_a () in
+  List.iter
+    (fun (f : Core.Disclosure_risk.finding) ->
+      (* Replaying the witness labels from the initial state must land on
+         the finding's source state (modulo risk annotations added after
+         the witness was captured). *)
+      let state = ref (Core.Plts.initial lts) in
+      List.iter
+        (fun (a : Core.Action.t) ->
+          match
+            List.find_opt
+              (fun ((l : Core.Action.t), _) ->
+                Core.Action.equal { l with risk = None } { a with risk = None })
+              (Core.Plts.successors lts !state)
+          with
+          | Some (_, next) -> state := next
+          | None -> Alcotest.fail "witness step not found")
+        f.witness;
+      check int_ "witness reaches finding source" f.src !state)
+    (Mdp_prelude.Listx.take 5 report.findings)
+
+let test_case_a_fix_reduces_to_low () =
+  let u, _, _ = case_a () in
+  let u' = Core.Universe.with_policy u H.fixed_policy in
+  let lts' = Core.Generate.run u' in
+  let report' = Core.Disclosure_risk.analyse u' lts' H.profile_case_a in
+  check level_t "after fix: Low" Core.Level.Low
+    (Core.Disclosure_risk.max_level report');
+  check level_t "diagnosis event gone" Core.Level.None_
+    (Core.Disclosure_risk.level_for report' ~actor:"Administrator" ~store:"EHR"
+       ~field:H.diagnosis)
+
+let test_annotation_in_place () =
+  let _, lts, _ = case_a () in
+  let annotated = ref 0 in
+  Core.Plts.iter_transitions lts (fun tr ->
+      if tr.label.Core.Action.kind = Core.Action.Read then begin
+        match tr.label.Core.Action.risk with
+        | Some (Core.Action.Disclosure_risk _) -> incr annotated
+        | Some (Core.Action.Value_risk _) | None ->
+          Alcotest.fail "read transition left unannotated"
+      end);
+  check bool_ "reads annotated" true (!annotated > 0)
+
+let test_exposures_reported () =
+  let _, _, report = case_a () in
+  check bool_ "create exposure present" true
+    (List.exists
+       (fun (f : Core.Disclosure_risk.finding) ->
+         f.action.Core.Action.kind = Core.Action.Create
+         && List.exists (Field.equal H.diagnosis) f.action.Core.Action.fields)
+       report.exposures)
+
+let test_likelihood_scenarios () =
+  let u = universe () in
+  let model = Core.Disclosure_risk.default_likelihood in
+  (* Potential read by the Administrator: accidental (0.05) + maintenance
+     (0.02, it may Delete) + rogue service (0.01, the research service
+     reads the EHR into it). *)
+  let action =
+    Core.Action.make ~store:"EHR" ~kind:Core.Action.Read
+      ~fields:[ H.diagnosis ] ~actor:"Administrator" Core.Action.Potential
+  in
+  check (Alcotest.float 1e-9) "admin potential likelihood" 0.08
+    (Core.Disclosure_risk.transition_likelihood u H.profile_case_a model action);
+  let agreed_flow =
+    Core.Action.make ~store:"EHR" ~kind:Core.Action.Read
+      ~fields:[ H.treatment ] ~actor:"Nurse"
+      (Core.Action.From_flow { service = H.medical_service; order = 6 })
+  in
+  check (Alcotest.float 1e-9) "agreed flow likelihood" 0.0
+    (Core.Disclosure_risk.transition_likelihood u H.profile_case_a model
+       agreed_flow);
+  let create =
+    Core.Action.make ~store:"EHR" ~kind:Core.Action.Create
+      ~fields:[ H.diagnosis ] ~actor:"Doctor"
+      (Core.Action.From_flow { service = H.medical_service; order = 5 })
+  in
+  check (Alcotest.float 1e-9) "create likelihood" 0.0
+    (Core.Disclosure_risk.transition_likelihood u H.profile_case_a model create)
+
+let test_impact_computation () =
+  let u = universe () in
+  let read =
+    Core.Action.make ~store:"EHR" ~kind:Core.Action.Read
+      ~fields:[ H.diagnosis; H.treatment ]
+      ~actor:"Administrator" Core.Action.Potential
+  in
+  check (Alcotest.float 1e-9) "read impact = max sigma" 0.9
+    (Core.Disclosure_risk.transition_impact u H.profile_case_a read);
+  let allowed_read = { read with Core.Action.actor = "Doctor" } in
+  check (Alcotest.float 1e-9) "allowed actor impact 0" 0.0
+    (Core.Disclosure_risk.transition_impact u H.profile_case_a allowed_read);
+  let create =
+    Core.Action.make ~store:"EHR" ~kind:Core.Action.Create
+      ~fields:[ H.diagnosis ] ~actor:"Doctor"
+      (Core.Action.From_flow { service = H.medical_service; order = 5 })
+  in
+  check (Alcotest.float 1e-9) "create impact via admin reader" 0.9
+    (Core.Disclosure_risk.transition_impact u H.profile_case_a create)
+
+
+let test_disclosure_preserves_value_risk_annotations () =
+  (* Running the disclosure pass AFTER the pseudonymisation pass must not
+     clobber the Value_risk annotations on inferred transitions. *)
+  let u = Core.Universe.make H.study_diagram H.study_policy in
+  let lts =
+    Core.Generate.run
+      ~options:{ Core.Generate.default_options with granular_reads = true }
+      u
+  in
+  let rts = Core.Pseudonym_risk.analyse u lts H.study_binding in
+  check bool_ "risk transitions exist" true (rts <> []);
+  let profile =
+    Core.User_profile.make
+      ~sensitivities:[ (H.weight, 0.9) ]
+      ~agreed_services:[ "DataCollection" ] ()
+  in
+  let report = Core.Disclosure_risk.analyse u lts profile in
+  (* Inferred transitions keep their Value_risk... *)
+  Core.Plts.iter_transitions lts (fun tr ->
+      if tr.label.Core.Action.provenance = Core.Action.Inferred then
+        match tr.label.Core.Action.risk with
+        | Some (Core.Action.Value_risk _) -> ()
+        | _ -> Alcotest.fail "value-risk annotation clobbered");
+  (* ...and never appear among the disclosure findings. *)
+  List.iter
+    (fun (f : Core.Disclosure_risk.finding) ->
+      check bool_ "no inferred disclosure findings" true
+        (f.action.Core.Action.provenance <> Core.Action.Inferred))
+    report.findings
+
+let prop_fix_never_raises_risk =
+  QCheck.Test.make ~name:"revocation monotone on max level" ~count:10
+    QCheck.(int_bound 4)
+    (fun actor_i ->
+      let u = universe () in
+      let lts = Core.Generate.run u in
+      let before =
+        Core.Disclosure_risk.max_level
+          (Core.Disclosure_risk.analyse u lts H.profile_case_a)
+      in
+      let actor = Core.Universe.actor_name u actor_i in
+      let policy' =
+        Mdp_policy.Policy.revoke H.policy ~subject:(Acl.Actor_subject actor)
+          ~store:"EHR" [ Permission.Read ]
+      in
+      let u' = Core.Universe.with_policy u policy' in
+      let lts' = Core.Generate.run u' in
+      let after =
+        Core.Disclosure_risk.max_level
+          (Core.Disclosure_risk.analyse u' lts' H.profile_case_a)
+      in
+      Core.Level.compare after before <= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pseudonymisation risk (§III-B / §IV-B / Fig. 4) *)
+
+let study () =
+  let options = { Core.Generate.default_options with granular_reads = true } in
+  Core.Analysis.run ~options ~bindings:[ H.study_binding ] H.study_diagram
+    H.study_policy
+
+let test_study_risk_transitions_exist () =
+  let a = study () in
+  check bool_ "risk transitions found" true (a.pseudonym <> []);
+  List.iter
+    (fun (rt : Core.Pseudonym_risk.risk_transition) ->
+      check Alcotest.string "researcher is the at-risk actor" "Researcher"
+        rt.actor;
+      check bool_ "field is Weight" true (Field.equal rt.field H.weight))
+    a.pseudonym
+
+let test_study_violation_counts () =
+  let a = study () in
+  let by_fields =
+    List.map
+      (fun (rt : Core.Pseudonym_risk.risk_transition) ->
+        ( List.sort String.compare (List.map Field.name rt.fields_read),
+          rt.report.Mdp_anon.Value_risk.violations ))
+      a.pseudonym
+    |> Mdp_prelude.Listx.dedup
+    |> List.sort compare
+  in
+  (* Fig. 4's labels: reading nothing or Height alone -> 0 violations;
+     Age -> 2; Age+Height -> 4. *)
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.list Alcotest.string) int_))
+    "violations by fields read"
+    [
+      ([], 0);
+      ([ "Age~anon" ], 2);
+      ([ "Age~anon"; "Height~anon" ], 4);
+      ([ "Height~anon" ], 0);
+    ]
+    by_fields
+
+let test_study_risk_transitions_annotated () =
+  let a = study () in
+  let inferred = ref 0 in
+  Core.Plts.iter_transitions a.lts (fun tr ->
+      if tr.label.Core.Action.provenance = Core.Action.Inferred then begin
+        incr inferred;
+        match tr.label.Core.Action.risk with
+        | Some (Core.Action.Value_risk { total = 6; _ }) -> ()
+        | _ -> Alcotest.fail "inferred transition lacks value-risk annotation"
+      end);
+  check int_ "annotated = reported" (List.length a.pseudonym) !inferred
+
+let test_study_gate () =
+  let a = study () in
+  (match Core.Pseudonym_risk.check ~max_violation_ratio:0.5 a.pseudonym with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "4/6 violations should trip a 50% gate");
+  match Core.Pseudonym_risk.check ~max_violation_ratio:0.7 a.pseudonym with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_no_risk_when_raw_access_allowed () =
+  let policy' =
+    Mdp_policy.Policy.grant H.study_policy
+      (Acl.allow (Acl.Actor_subject "Researcher") ~store:"StudyRecords"
+         ~fields:[ H.weight ] [ Permission.Read ])
+  in
+  let options = { Core.Generate.default_options with granular_reads = true } in
+  let a =
+    Core.Analysis.run ~options ~bindings:[ H.study_binding ] H.study_diagram
+      policy'
+  in
+  check int_ "no inferred transitions" 0 (List.length a.pseudonym)
+
+let test_binding_validation () =
+  (match
+     Core.Pseudonym_risk.make_binding ~store:"AnonStudy"
+       ~dataset:H.table1_released
+       ~attr_fields:[ ("Age", H.age) ]
+       ~policy:H.value_policy
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unbound sensitive accepted");
+  match
+    Core.Pseudonym_risk.make_binding ~store:"AnonStudy"
+      ~dataset:H.table1_released
+      ~attr_fields:
+        [
+          ("Age", H.age);
+          ("Height", H.height);
+          ("Weight", H.weight);
+          ("Ghost", H.name);
+        ]
+      ~policy:H.value_policy
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign attribute accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Consistency *)
+
+let test_consistency_clean () =
+  let u = universe () in
+  check int_ "healthcare policy covers all flows" 0
+    (List.length (Core.Consistency.check u))
+
+let test_consistency_gap_after_fix () =
+  let u = Core.Universe.make H.diagram H.fixed_policy in
+  match Core.Consistency.check u with
+  | [ gap ] ->
+    check Alcotest.string "actor" "Administrator" gap.actor;
+    check Alcotest.string "store" "EHR" gap.store;
+    check bool_ "missing read" true (gap.missing = Permission.Read);
+    check (Alcotest.list Alcotest.string) "field" [ "Diagnosis" ]
+      (List.map Field.name gap.fields)
+  | gaps -> Alcotest.failf "expected exactly one gap, got %d" (List.length gaps)
+
+let test_consistency_write_gap () =
+  let policy' =
+    Mdp_policy.Policy.revoke H.policy ~subject:(Acl.Actor_subject "Doctor")
+      ~store:"EHR" [ Permission.Write ]
+  in
+  let u = Core.Universe.make H.diagram policy' in
+  check bool_ "write gap reported" true
+    (List.exists
+       (fun (g : Core.Consistency.gap) ->
+         g.actor = "Doctor" && g.missing = Permission.Write)
+       (Core.Consistency.check u))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis façade *)
+
+let test_analysis_facade () =
+  let a = Core.Analysis.run ~profile:H.profile_case_a H.diagram H.policy in
+  check bool_ "disclosure present" true (a.disclosure <> None);
+  check int_ "no gaps" 0 (List.length a.consistency);
+  let a' = Core.Analysis.rerun_with_policy a H.fixed_policy in
+  check level_t "rerun reduces" Core.Level.Low
+    (Core.Disclosure_risk.max_level (Option.get a'.disclosure));
+  check bool_ "profile kept across rerun" true (a'.params.profile <> None)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "core"
+    [
+      ("level", [ Alcotest.test_case "ordering" `Quick test_level_order ]);
+      ( "universe",
+        [
+          Alcotest.test_case "dimensions" `Quick test_universe_dimensions;
+          Alcotest.test_case "indexing" `Quick test_universe_indexing;
+          Alcotest.test_case "policy caches" `Quick test_universe_policy_caches;
+          Alcotest.test_case "with_policy" `Quick test_universe_with_policy;
+          Alcotest.test_case "rejects bad policy" `Quick
+            test_universe_rejects_bad_policy;
+        ] );
+      ("action", [ Alcotest.test_case "labels" `Quick test_action_label ]);
+      ( "privacy state",
+        [ Alcotest.test_case "queries/table" `Quick test_privacy_state ] );
+      ( "generation",
+        [
+          Alcotest.test_case "initial state" `Quick test_generation_initial_state;
+          Alcotest.test_case "Fig 3 medical service" `Quick
+            test_generation_flow_only_medical;
+          Alcotest.test_case "strict ordering" `Quick test_generation_strict_ordering;
+          Alcotest.test_case "data-driven wider" `Quick
+            test_generation_data_driven_larger;
+          Alcotest.test_case "could semantics" `Quick test_generation_could_semantics;
+          Alcotest.test_case "potential reads" `Quick
+            test_generation_potential_reads_appear;
+          Alcotest.test_case "granular reads" `Quick test_generation_granular_vs_coarse;
+          Alcotest.test_case "enforcement" `Quick test_generation_enforcement;
+          Alcotest.test_case "deletes" `Quick test_generation_deletes;
+          Alcotest.test_case "determinism" `Quick test_generation_determinism;
+          qtest prop_generation_synthetic_bounded;
+          qtest prop_strict_subset_of_data_driven;
+          Alcotest.test_case "render smoke" `Quick test_lts_render_smoke;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "allowed actors" `Quick test_profile_allowed_actors;
+          Alcotest.test_case "invalid" `Quick test_profile_invalid;
+        ] );
+      ( "risk matrix",
+        [
+          Alcotest.test_case "default" `Quick test_risk_matrix_default;
+          Alcotest.test_case "custom" `Quick test_risk_matrix_custom;
+          qtest prop_risk_matrix_monotone;
+        ] );
+      ( "disclosure risk (section IV-A)",
+        [
+          Alcotest.test_case "non-allowed actors" `Quick test_case_a_non_allowed;
+          Alcotest.test_case "Medium before fix" `Quick test_case_a_medium;
+          Alcotest.test_case "researcher clean" `Quick
+            test_case_a_no_researcher_findings;
+          Alcotest.test_case "witness paths" `Quick test_case_a_witnesses_reach_src;
+          Alcotest.test_case "Low after fix" `Quick test_case_a_fix_reduces_to_low;
+          Alcotest.test_case "labels annotated" `Quick test_annotation_in_place;
+          Alcotest.test_case "exposures" `Quick test_exposures_reported;
+          Alcotest.test_case "likelihood scenarios" `Quick test_likelihood_scenarios;
+          Alcotest.test_case "impact computation" `Quick test_impact_computation;
+          qtest prop_fix_never_raises_risk;
+          Alcotest.test_case "pseudonym annotations survive" `Quick
+            test_disclosure_preserves_value_risk_annotations;
+        ] );
+      ( "pseudonym risk (section IV-B)",
+        [
+          Alcotest.test_case "risk transitions" `Quick
+            test_study_risk_transitions_exist;
+          Alcotest.test_case "violation counts (Fig 4)" `Quick
+            test_study_violation_counts;
+          Alcotest.test_case "annotations" `Quick
+            test_study_risk_transitions_annotated;
+          Alcotest.test_case "design gate" `Quick test_study_gate;
+          Alcotest.test_case "raw access removes risk" `Quick
+            test_no_risk_when_raw_access_allowed;
+          Alcotest.test_case "binding validation" `Quick test_binding_validation;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "clean" `Quick test_consistency_clean;
+          Alcotest.test_case "gap after fix" `Quick test_consistency_gap_after_fix;
+          Alcotest.test_case "write gap" `Quick test_consistency_write_gap;
+        ] );
+      ("analysis", [ Alcotest.test_case "facade" `Quick test_analysis_facade ]);
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the generic LTS library: hash-consing, exploration,
+   reachability, witness paths, EF/AG queries, acyclicity, determinism,
+   bisimulation minimisation and DOT export. *)
+
+module IntState = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+  let pp = Format.pp_print_int
+end
+
+module StrLabel = struct
+  type t = string
+
+  let equal = String.equal
+  let pp = Format.pp_print_string
+end
+
+module L = Mdp_lts.Lts.Make (IntState) (StrLabel)
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* A diamond: 0 -a-> 1 -c-> 3, 0 -b-> 2 -c-> 3. *)
+let diamond () =
+  let t = L.create () in
+  let s0 = L.add_state t 0 in
+  let s1 = L.add_state t 1 in
+  let s2 = L.add_state t 2 in
+  let s3 = L.add_state t 3 in
+  ignore (L.add_transition t ~src:s0 ~label:"a" ~dst:s1 : bool);
+  ignore (L.add_transition t ~src:s0 ~label:"b" ~dst:s2 : bool);
+  ignore (L.add_transition t ~src:s1 ~label:"c" ~dst:s3 : bool);
+  ignore (L.add_transition t ~src:s2 ~label:"c" ~dst:s3 : bool);
+  (t, s0, s1, s2, s3)
+
+let test_hash_consing () =
+  let t = L.create () in
+  let a = L.add_state t 42 in
+  let b = L.add_state t 42 in
+  check int_ "same id" a b;
+  check int_ "one state" 1 (L.num_states t);
+  check Alcotest.(option int_) "find_state" (Some a) (L.find_state t 42);
+  check Alcotest.(option int_) "find_state missing" None (L.find_state t 7)
+
+let test_duplicate_transitions () =
+  let t = L.create () in
+  let a = L.add_state t 0 and b = L.add_state t 1 in
+  check bool_ "first insert" true (L.add_transition t ~src:a ~label:"x" ~dst:b);
+  check bool_ "duplicate" false (L.add_transition t ~src:a ~label:"x" ~dst:b);
+  check bool_ "different label" true (L.add_transition t ~src:a ~label:"y" ~dst:b);
+  check int_ "two transitions" 2 (L.num_transitions t)
+
+let test_initial () =
+  let t = L.create () in
+  Alcotest.check_raises "empty initial" (Invalid_argument "Lts.initial: empty LTS")
+    (fun () -> ignore (L.initial t));
+  let a = L.add_state t 0 in
+  check int_ "first state is initial" a (L.initial t);
+  let b = L.add_state t 1 in
+  L.set_initial t b;
+  check int_ "set_initial" b (L.initial t)
+
+let test_successors_predecessors () =
+  let t, s0, s1, s2, s3 = diamond () in
+  check int_ "out degree of s0" 2 (List.length (L.successors t s0));
+  check (Alcotest.list (Alcotest.pair Alcotest.string int_)) "succ order"
+    [ ("a", s1); ("b", s2) ] (L.successors t s0);
+  check int_ "in degree of s3" 2 (List.length (L.predecessors t s3));
+  check (Alcotest.list (Alcotest.pair int_ Alcotest.string)) "preds"
+    [ (s1, "c"); (s2, "c") ] (L.predecessors t s3)
+
+let test_reachability_and_paths () =
+  let t, s0, _, _, s3 = diamond () in
+  let orphan = L.add_state t 99 in
+  check int_ "reachable excludes orphan" 4 (List.length (L.reachable t));
+  check bool_ "EF goal" true (L.exists_finally t (fun s -> s = s3));
+  check bool_ "EF orphan" false (L.exists_finally t (fun s -> s = orphan));
+  check bool_ "AG on reachable only" true
+    (L.always_globally t (fun s -> s <> orphan));
+  (match L.path_to t (fun s -> s = s3) with
+  | Some steps ->
+    check int_ "shortest path length" 2 (List.length steps);
+    check int_ "path ends at goal" s3 (snd (List.nth steps 1))
+  | None -> Alcotest.fail "expected a path");
+  check bool_ "path to initial is empty" true (L.path_to t (fun s -> s = s0) = Some [])
+
+let test_acyclic_and_deterministic () =
+  let t, s0, s1, _, _ = diamond () in
+  check bool_ "diamond acyclic" true (L.is_acyclic t);
+  check bool_ "diamond deterministic" true (L.is_deterministic t);
+  ignore (L.add_transition t ~src:s1 ~label:"back" ~dst:s0 : bool);
+  check bool_ "cycle detected" false (L.is_acyclic t);
+  ignore (L.add_transition t ~src:s0 ~label:"a" ~dst:s0 : bool);
+  check bool_ "nondeterminism detected" false (L.is_deterministic t)
+
+let test_explore () =
+  (* Count to 5 with two labels; states are hash-consed ints. *)
+  let t =
+    L.explore ~init:0
+      ~step:(fun s -> if s >= 5 then [] else [ ("inc", s + 1); ("двa", min 5 (s + 2)) ])
+      ()
+  in
+  check int_ "state count" 6 (L.num_states t);
+  check bool_ "reaches 5" true (L.exists_finally t (fun s -> L.state_data t s = 5))
+
+let test_explore_max_states () =
+  match
+    L.explore ~max_states:10 ~init:0 ~step:(fun s -> [ ("i", s + 1) ]) ()
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected max_states failure"
+
+let test_map_labels () =
+  let t, s0, s1, _, _ = diamond () in
+  L.map_labels t (fun { L.label; _ } -> String.uppercase_ascii label);
+  check (Alcotest.list (Alcotest.pair Alcotest.string int_)) "rewritten"
+    [ ("A", s1) ]
+    (List.filter (fun (_, d) -> d = s1) (L.successors t s0))
+
+let test_quotient_merges_bisimilar () =
+  (* Two branches with identical continuations collapse. *)
+  let t = L.create () in
+  let s0 = L.add_state t 0 in
+  let s1 = L.add_state t 1 in
+  let s2 = L.add_state t 2 in
+  let s3 = L.add_state t 3 in
+  let s4 = L.add_state t 4 in
+  ignore (L.add_transition t ~src:s0 ~label:"a" ~dst:s1 : bool);
+  ignore (L.add_transition t ~src:s0 ~label:"a" ~dst:s2 : bool);
+  ignore (L.add_transition t ~src:s1 ~label:"b" ~dst:s3 : bool);
+  ignore (L.add_transition t ~src:s2 ~label:"b" ~dst:s4 : bool);
+  (* s3 and s4 are both deadlocked, s1 and s2 behave identically. *)
+  let q, map = L.quotient t ~init_key:(fun _ -> "same") in
+  check int_ "quotient states" 3 (L.num_states q);
+  check int_ "s1 s2 merged" (map s1) (map s2);
+  check int_ "s3 s4 merged" (map s3) (map s4);
+  check bool_ "initial preserved" true (L.initial q = map s0);
+  (* Distinguishing initial keys keeps states apart. *)
+  let q2, _ = L.quotient t ~init_key:string_of_int in
+  check int_ "fully distinguished" 5 (L.num_states q2)
+
+let test_quotient_respects_labels () =
+  let t = L.create () in
+  let s0 = L.add_state t 0 in
+  let s1 = L.add_state t 1 in
+  let s2 = L.add_state t 2 in
+  ignore (L.add_transition t ~src:s0 ~label:"a" ~dst:s1 : bool);
+  ignore (L.add_transition t ~src:s0 ~label:"b" ~dst:s2 : bool);
+  (* s1/s2 are both deadlocked hence bisimilar; s0 is not. *)
+  let q, map = L.quotient t ~init_key:(fun _ -> "same") in
+  check int_ "two classes" 2 (L.num_states q);
+  check bool_ "deadlocks merged" true (map s1 = map s2);
+  check bool_ "root separate" true (map s0 <> map s1)
+
+let test_dag_statistics () =
+  let t, _, _, _, _ = diamond () in
+  check Alcotest.(option int_) "diamond longest path" (Some 2) (L.longest_path t);
+  check Alcotest.(option int_) "diamond has two maximal paths" (Some 2)
+    (L.count_maximal_paths t);
+  (* A chain has one path. *)
+  let chain = L.create () in
+  let a = L.add_state chain 0 and b = L.add_state chain 1 and c = L.add_state chain 2 in
+  ignore (L.add_transition chain ~src:a ~label:"x" ~dst:b : bool);
+  ignore (L.add_transition chain ~src:b ~label:"y" ~dst:c : bool);
+  check Alcotest.(option int_) "chain depth" (Some 2) (L.longest_path chain);
+  check Alcotest.(option int_) "chain paths" (Some 1) (L.count_maximal_paths chain);
+  (* Single state: depth 0, one (empty) path. *)
+  let single = L.create () in
+  ignore (L.add_state single 7);
+  check Alcotest.(option int_) "single depth" (Some 0) (L.longest_path single);
+  check Alcotest.(option int_) "single path" (Some 1) (L.count_maximal_paths single);
+  (* Cyclic: None. *)
+  let cyc = L.create () in
+  let x = L.add_state cyc 0 and y = L.add_state cyc 1 in
+  ignore (L.add_transition cyc ~src:x ~label:"a" ~dst:y : bool);
+  ignore (L.add_transition cyc ~src:y ~label:"b" ~dst:x : bool);
+  check Alcotest.(option int_) "cycle longest" None (L.longest_path cyc);
+  check Alcotest.(option int_) "cycle paths" None (L.count_maximal_paths cyc)
+
+let test_dot () =
+  let t, _, _, _, _ = diamond () in
+  let dot =
+    L.to_dot ~graph_name:"g" ~state_label:(fun s -> Printf.sprintf "S%d" s)
+      ~transition_style:(fun { L.label; _ } -> if label = "a" then "color=red" else "")
+      t
+  in
+  let contains needle =
+    let hn = String.length dot and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub dot i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_ "graph name" true (contains "digraph g");
+  check bool_ "state label" true (contains "S0");
+  check bool_ "styled edge" true (contains "color=red");
+  check bool_ "initial bold" true (contains "penwidth=2")
+
+let prop_explore_deterministic =
+  QCheck.Test.make ~name:"explore is deterministic" ~count:50
+    QCheck.(int_bound 20)
+    (fun n ->
+      let build () =
+        L.explore ~init:0
+          ~step:(fun s ->
+            if s >= n then []
+            else [ ("a", (s + 1) mod (n + 1)); ("b", (s * 2) mod (n + 1)) ])
+          ()
+      in
+      let a = build () and b = build () in
+      L.num_states a = L.num_states b && L.num_transitions a = L.num_transitions b)
+
+let () =
+  Alcotest.run "lts"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "hash-consing" `Quick test_hash_consing;
+          Alcotest.test_case "duplicate transitions" `Quick test_duplicate_transitions;
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "successors/predecessors" `Quick test_successors_predecessors;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "reachability/paths" `Quick test_reachability_and_paths;
+          Alcotest.test_case "acyclic/deterministic" `Quick test_acyclic_and_deterministic;
+          Alcotest.test_case "map_labels" `Quick test_map_labels;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "fixed point" `Quick test_explore;
+          Alcotest.test_case "max states guard" `Quick test_explore_max_states;
+          QCheck_alcotest.to_alcotest prop_explore_deterministic;
+        ] );
+      ( "minimisation",
+        [
+          Alcotest.test_case "merges bisimilar" `Quick test_quotient_merges_bisimilar;
+          Alcotest.test_case "respects labels" `Quick test_quotient_respects_labels;
+        ] );
+      ( "statistics",
+        [ Alcotest.test_case "dag depth/paths" `Quick test_dag_statistics ] );
+      ("output", [ Alcotest.test_case "dot" `Quick test_dot ]);
+    ]
