@@ -61,7 +61,7 @@ let () =
   section "Transparency report after a monitored medical-service run";
   let monitor = R.Monitor.create u lts in
   let trace =
-    R.Sim.run u { seed = 11; services = [ Healthcare.medical_service ]; snoopers = [] }
+    R.Sim.run_exn u { seed = 11; services = [ Healthcare.medical_service ]; snoopers = [] }
   in
   ignore (R.Monitor.run_trace monitor trace);
   Format.printf "@[<v>%a@]@."

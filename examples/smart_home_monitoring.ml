@@ -15,7 +15,7 @@ let section title = Format.printf "@.== %s ==@." title
 let replay analysis ~seed =
   let monitor = R.Monitor.create analysis.Core.Analysis.universe analysis.Core.Analysis.lts in
   let trace =
-    R.Sim.run analysis.Core.Analysis.universe
+    R.Sim.run_exn analysis.Core.Analysis.universe
       {
         seed;
         services = [ Smart_home.energy_service; Smart_home.analytics_service ];

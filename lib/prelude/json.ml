@@ -225,4 +225,8 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | Null | Bool _ | Num _ | Str _ | List _ -> None
 
+let to_int_opt = function Num n -> Some (int_of_float n) | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -24,4 +24,10 @@ val of_string : string -> (t, string) result
 val member : string -> t -> t option
 (** Object field lookup; [None] on non-objects. *)
 
+val to_int_opt : t -> int option
+(** [Num] truncated to int; [None] otherwise. *)
+
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option
+
 val pp : Format.formatter -> t -> unit

@@ -28,6 +28,11 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
+let rec drop n = function
+  | [] -> []
+  | l when n <= 0 -> l
+  | _ :: rest -> drop (n - 1) rest
+
 let index_of p l =
   let rec go i = function
     | [] -> None

@@ -1,0 +1,226 @@
+module Prng = Mdp_prelude.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Trace perturbation *)
+
+type profile = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : float;
+  max_delay : int;
+}
+
+let no_faults =
+  { drop = 0.0; duplicate = 0.0; reorder = 0.0; delay = 0.0; max_delay = 0 }
+
+let uniform ?(max_delay = 3) rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Faults.uniform: rate not in [0,1]";
+  { drop = rate; duplicate = rate; reorder = rate; delay = rate; max_delay }
+
+type fault =
+  | Dropped of Event.t
+  | Duplicated of Event.t
+  | Reordered of Event.t
+  | Delayed of Event.t * int
+
+type injection = { delivered : Event.t list; faults : fault list }
+
+let fires rng p = p > 0.0 && Prng.float rng 1.0 < p
+
+(* Each surviving event carries a float arrival key, initially its input
+   index. Delay pushes the key d(+0.5) positions later; a duplicate is a
+   second entry k(+0.25) positions later; reorder swaps the keys of two
+   adjacent survivors. A final stable sort by key yields the arrival
+   order. The PRNG is consumed in one deterministic left-to-right pass. *)
+let inject ~seed profile events =
+  let rng = Prng.create ~seed in
+  let rev_faults = ref [] in
+  let note f = rev_faults := f :: !rev_faults in
+  let survivors =
+    List.filteri
+      (fun _ event ->
+        if fires rng profile.drop then begin
+          note (Dropped event);
+          false
+        end
+        else true)
+      events
+  in
+  let keyed = ref [] in
+  List.iteri
+    (fun i event ->
+      let key = ref (float_of_int i) in
+      if fires rng profile.duplicate then begin
+        let gap = 1 + Prng.int rng (max 1 profile.max_delay) in
+        note (Duplicated event);
+        keyed := (ref (float_of_int (i + gap) +. 0.25), event) :: !keyed
+      end;
+      if fires rng profile.delay then begin
+        let d = 1 + Prng.int rng (max 1 profile.max_delay) in
+        note (Delayed (event, d));
+        key := !key +. float_of_int d +. 0.5
+      end;
+      keyed := (key, event) :: !keyed)
+    survivors;
+  let keyed = List.rev !keyed in
+  (* Adjacent transpositions on the original (un-delayed) neighbours. *)
+  let arr = Array.of_list keyed in
+  Array.iteri
+    (fun i (key, event) ->
+      if i + 1 < Array.length arr && fires rng profile.reorder then begin
+        let key', _ = arr.(i + 1) in
+        let tmp = !key in
+        key := !key';
+        key' := tmp;
+        note (Reordered event)
+      end)
+    arr;
+  let delivered =
+    Array.to_list arr
+    |> List.stable_sort (fun (a, _) (b, _) -> Float.compare !a !b)
+    |> List.map snd
+  in
+  { delivered; faults = List.rev !rev_faults }
+
+let pp_fault ppf = function
+  | Dropped e -> Format.fprintf ppf "drop %a" Event.pp e
+  | Duplicated e -> Format.fprintf ppf "duplicate %a" Event.pp e
+  | Reordered e -> Format.fprintf ppf "reorder %a" Event.pp e
+  | Delayed (e, d) -> Format.fprintf ppf "delay+%d %a" d Event.pp e
+
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+}
+
+let stats faults =
+  List.fold_left
+    (fun acc -> function
+      | Dropped _ -> { acc with dropped = acc.dropped + 1 }
+      | Duplicated _ -> { acc with duplicated = acc.duplicated + 1 }
+      | Reordered _ -> { acc with reordered = acc.reordered + 1 }
+      | Delayed _ -> { acc with delayed = acc.delayed + 1 })
+    { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 }
+    faults
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d dropped, %d duplicated, %d reordered, %d delayed"
+    s.dropped s.duplicated s.reordered s.delayed
+
+(* ------------------------------------------------------------------ *)
+(* Deployment chaos *)
+
+(* [down]/[cut] map a node / region pair to the tick at which the outage
+   lifts; [max_int] marks a manual outage that only an explicit
+   recover/heal removes. *)
+type chaos = {
+  deployment : Deployment.t;
+  rng : Prng.t;
+  mutable now : int;
+  down : (string, int) Hashtbl.t;
+  cut : (string * string, int) Hashtbl.t;
+}
+
+let chaos ?(seed = 1) deployment =
+  {
+    deployment;
+    rng = Prng.create ~seed;
+    now = 0;
+    down = Hashtbl.create 8;
+    cut = Hashtbl.create 8;
+  }
+
+let clock t = t.now
+
+let expire tbl now =
+  let gone =
+    Hashtbl.fold (fun k until acc -> if until <= now then k :: acc else acc) tbl []
+  in
+  List.iter (Hashtbl.remove tbl) gone
+
+let tick t =
+  t.now <- t.now + 1;
+  expire t.down t.now;
+  expire t.cut t.now
+
+let crash_node ?for_ticks t node =
+  let until = match for_ticks with None -> max_int | Some d -> t.now + max 1 d in
+  Hashtbl.replace t.down node until
+
+let recover_node t node = Hashtbl.remove t.down node
+let node_up t node = not (Hashtbl.mem t.down node)
+
+let pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let partition ?for_ticks t ra rb =
+  let until = match for_ticks with None -> max_int | Some d -> t.now + max 1 d in
+  Hashtbl.replace t.cut (pair ra rb) until
+
+let heal t ra rb = Hashtbl.remove t.cut (pair ra rb)
+let regions_connected t ra rb = ra = rb || not (Hashtbl.mem t.cut (pair ra rb))
+
+let store_available t store =
+  match Deployment.node_of_store t.deployment store with
+  | node -> node_up t node.Deployment.id
+  | exception Not_found -> true
+
+let actor_available t actor =
+  match Deployment.node_of_actor t.deployment actor with
+  | node -> node_up t node.Deployment.id
+  | exception Not_found -> true
+
+let transfer_possible t (tr : Deployment.transfer) =
+  node_up t tr.to_node.Deployment.id
+  && match tr.from_node with
+     | None -> true
+     | Some f ->
+       node_up t f.Deployment.id
+       && regions_connected t f.Deployment.region tr.to_node.Deployment.region
+
+let sync_stores t sim =
+  List.iter
+    (fun (store, (node : Deployment.node)) ->
+      Store_sim.set_available sim ~store (node_up t node.id))
+    (Deployment.store_placements t.deployment)
+
+let auto_step t ~crash_probability ~mean_downtime =
+  tick t;
+  if fires t.rng crash_probability then begin
+    let healthy =
+      List.filter (node_up t)
+        (Deployment.node_ids t.deployment)
+    in
+    if healthy <> [] then
+      let node = Prng.choose t.rng healthy in
+      let downtime = max 1 (Prng.range t.rng 1 (2 * max 1 mean_downtime)) in
+      crash_node ~for_ticks:downtime t node
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bounded exponential backoff *)
+
+type backoff = { base_wait : int; max_wait : int; max_attempts : int }
+
+let default_backoff = { base_wait = 1; max_wait = 8; max_attempts = 6 }
+
+type retry_outcome = { attempts : int; waited : int }
+
+let with_backoff ?(policy = default_backoff) t op =
+  let rec go attempt waited =
+    match op () with
+    | Ok _ as ok -> (ok, { attempts = attempt; waited })
+    | Error msg when Store_sim.is_retriable msg && attempt < policy.max_attempts
+      ->
+      let wait =
+        min policy.max_wait (policy.base_wait * (1 lsl (attempt - 1)))
+      in
+      for _ = 1 to wait do
+        tick t
+      done;
+      go (attempt + 1) (waited + wait)
+    | Error _ as err -> (err, { attempts = attempt; waited })
+  in
+  go 1 0

@@ -1,0 +1,136 @@
+(** Fault injection for the runtime layer.
+
+    A deployed distributed data service does not deliver the clean,
+    lossless, strictly-ordered event stream {!Sim} produces: observation
+    points drop events, network retries duplicate them, concurrent nodes
+    reorder and delay them, and whole nodes crash or lose connectivity to
+    other regions. This module perturbs a trace (and the availability
+    state of a {!Deployment}) in all of those ways, reproducibly from a
+    PRNG seed, so the resilience of the monitoring pipeline
+    (Sim -> Faults -> Enforce -> {!Monitor}/{!Fleet}) can be exercised
+    and measured. *)
+
+(** {1 Trace perturbation} *)
+
+type profile = {
+  drop : float;  (** Per-event probability the event is lost. *)
+  duplicate : float;  (** Per-event probability a copy arrives later. *)
+  reorder : float;  (** Per-event probability of swapping with its successor. *)
+  delay : float;  (** Per-event probability of late delivery. *)
+  max_delay : int;  (** Upper bound on late delivery, in stream positions. *)
+}
+
+val no_faults : profile
+
+val uniform : ?max_delay:int -> float -> profile
+(** All four probabilities set to the given rate; [max_delay] defaults
+    to 3. *)
+
+type fault =
+  | Dropped of Event.t
+  | Duplicated of Event.t
+  | Reordered of Event.t  (** Swapped with the next surviving event. *)
+  | Delayed of Event.t * int  (** Displaced this many positions later. *)
+
+type injection = {
+  delivered : Event.t list;  (** The perturbed stream, in arrival order. *)
+  faults : fault list;  (** Ground truth of what was injected, in decision
+                            order — for statistics and test oracles. *)
+}
+
+val inject : seed:int -> profile -> Event.t list -> injection
+(** Deterministic for a given [seed], [profile] and input trace.
+    Timestamps are left untouched: a delayed or reordered event arrives
+    out of order carrying its original (now stale) timestamp, exactly as
+    a real collector would see it. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+}
+
+val stats : fault list -> fault_stats
+val pp_stats : Format.formatter -> fault_stats -> unit
+
+(** {1 Deployment chaos}
+
+    Mutable availability state layered over a {!Deployment}: nodes crash
+    and recover, region pairs partition and heal, and logical time
+    advances tick by tick. Crashes and partitions installed with a
+    duration expire on their own as the clock advances — that is what the
+    {!with_backoff} retry loop waits for. *)
+
+type chaos
+
+val chaos : ?seed:int -> Deployment.t -> chaos
+(** The seed drives {!auto_step} only. *)
+
+val clock : chaos -> int
+val tick : chaos -> unit
+(** Advance the clock one tick; crashes and partitions whose duration
+    has expired are lifted. *)
+
+val crash_node : ?for_ticks:int -> chaos -> string -> unit
+(** Mark a node down. Without [for_ticks] the node stays down until
+    {!recover_node}. *)
+
+val recover_node : chaos -> string -> unit
+val node_up : chaos -> string -> bool
+(** Unknown node ids are reported up: chaos only tracks declared
+    outages. *)
+
+val partition : ?for_ticks:int -> chaos -> string -> string -> unit
+(** Sever the link between two regions (symmetric). *)
+
+val heal : chaos -> string -> string -> unit
+val regions_connected : chaos -> string -> string -> bool
+
+val store_available : chaos -> string -> bool
+(** The node hosting the datastore is up. Unknown stores are available. *)
+
+val actor_available : chaos -> string -> bool
+
+val transfer_possible : chaos -> Deployment.transfer -> bool
+(** Both endpoints up and, for a cross-region transfer, the two regions
+    connected. *)
+
+val sync_stores : chaos -> Store_sim.t -> unit
+(** Mirror node state into a {!Store_sim}: every placed datastore is
+    marked available iff its hosting node is up. Call after
+    {!crash_node}/{!recover_node}/{!tick} so simulated writes fail
+    retriably while the node is down. *)
+
+val auto_step : chaos -> crash_probability:float -> mean_downtime:int -> unit
+(** One step of background chaos: ticks the clock, then with the given
+    probability crashes one random healthy node for a downtime drawn
+    around [mean_downtime]. *)
+
+(** {1 Bounded exponential backoff} *)
+
+type backoff = {
+  base_wait : int;  (** Ticks waited after the first failure. *)
+  max_wait : int;  (** Cap on a single wait. *)
+  max_attempts : int;
+}
+
+val default_backoff : backoff
+(** base 1, cap 8, 6 attempts. *)
+
+type retry_outcome = {
+  attempts : int;
+  waited : int;  (** Total ticks spent waiting between attempts. *)
+}
+
+val with_backoff :
+  ?policy:backoff ->
+  chaos ->
+  (unit -> ('a, string) result) ->
+  ('a, string) result * retry_outcome
+(** Run the operation; on a retriable error (see {!Store_sim.is_retriable})
+    wait [base_wait * 2^(attempt-1)] ticks — advancing the chaos clock, so
+    timed outages heal — and try again, up to [max_attempts]. A
+    non-retriable error is returned immediately. *)

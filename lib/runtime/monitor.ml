@@ -1,21 +1,86 @@
+open Mdp_dataflow
 module Core = Mdp_core
+module Json = Mdp_prelude.Json
 
 type alert =
   | Denied of Event.t * string
   | Risky of Event.t * Core.Action.risk
   | Off_model of Event.t
+  | Resynced of Event.t * int
+
+(* A transition the monitor skipped while resynchronising: just enough of
+   the label to recognise the event if it turns up late. *)
+type pending = {
+  p_kind : Core.Action.kind;
+  p_actor : string;
+  p_store : string option;
+  p_fields : Field.t list;
+}
+
+type stats = {
+  observed : int;
+  placed : int;
+  duplicates : int;
+  late : int;
+  resyncs : int;
+  skipped : int;
+  dead : int;
+  consecutive_dead : int;
+}
 
 type t = {
   universe : Core.Universe.t;
   lts : Core.Plts.t;
   min_level : Core.Level.t;
+  resync_depth : int;
   mutable state : Core.Plts.state_id;
+  mutable last_time : int;
+  seen : (string, unit) Hashtbl.t;
+  mutable pending : pending list;
+  mutable rev_dead : Event.t list;
+  mutable observed : int;
+  mutable placed : int;
+  mutable duplicates : int;
+  mutable late : int;
+  mutable resyncs : int;
+  mutable skipped : int;
+  mutable consecutive_dead : int;
 }
 
-let create ?(min_level = Core.Level.Low) universe lts =
-  { universe; lts; min_level; state = Core.Plts.initial lts }
+let create ?(min_level = Core.Level.Low) ?(resync_depth = 0) universe lts =
+  {
+    universe;
+    lts;
+    min_level;
+    resync_depth;
+    state = Core.Plts.initial lts;
+    last_time = min_int;
+    seen = Hashtbl.create 64;
+    pending = [];
+    rev_dead = [];
+    observed = 0;
+    placed = 0;
+    duplicates = 0;
+    late = 0;
+    resyncs = 0;
+    skipped = 0;
+    consecutive_dead = 0;
+  }
 
 let current_state t = t.state
+let dead_letters t = List.rev t.rev_dead
+
+let stats t =
+  {
+    observed = t.observed;
+    placed = t.placed;
+    duplicates = t.duplicates;
+    late = t.late;
+    resyncs = t.resyncs;
+    skipped = t.skipped;
+    dead = List.length t.rev_dead;
+    consecutive_dead = t.consecutive_dead;
+  }
 
 let matches (event : Event.t) (label : Core.Action.t) =
   label.Core.Action.kind = event.Event.kind
@@ -34,6 +99,17 @@ let provenance_consistent (event : Event.t) (label : Core.Action.t) =
   | None, Core.Action.From_flow _ ->
     false
 
+let best_match t state event =
+  let candidates = Core.Plts.successors t.lts state in
+  let matching =
+    List.filter (fun (label, _) -> matches event label) candidates
+  in
+  match
+    List.find_opt (fun (label, _) -> provenance_consistent event label) matching
+  with
+  | Some _ as exact -> exact
+  | None -> ( match matching with m :: _ -> Some m | [] -> None)
+
 let risk_alert t (label : Core.Action.t) =
   match label.Core.Action.risk with
   | Some (Core.Action.Disclosure_risk { level; _ } as risk)
@@ -45,35 +121,275 @@ let risk_alert t (label : Core.Action.t) =
   | Some (Core.Action.Disclosure_risk _ | Core.Action.Value_risk _) | None ->
     None
 
+(* ------------------------------------------------------------------ *)
+(* Resilience *)
+
+let pending_of_label (label : Core.Action.t) =
+  {
+    p_kind = label.Core.Action.kind;
+    p_actor = label.Core.Action.actor;
+    p_store = label.Core.Action.store;
+    p_fields = label.Core.Action.fields;
+  }
+
+let pending_matches (event : Event.t) p =
+  p.p_kind = event.Event.kind
+  && p.p_actor = event.Event.actor
+  && p.p_store = event.Event.store
+  && Event.fields_equal p.p_fields event.Event.fields
+
+(* Consume the first pending entry the event accounts for, if any. *)
+let absorb_pending t event =
+  let rec go acc = function
+    | [] -> false
+    | p :: rest when pending_matches event p ->
+      t.pending <- List.rev_append acc rest;
+      true
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] t.pending
+
+(* Breadth-first forward search, bounded by [resync_depth]: the nearest
+   state (fewest skipped transitions) with an outgoing transition matching
+   the event. Forward-only on purpose — an unmatched on-model event means
+   the system moved ahead of us (dropped events), never backwards. *)
+let resync t event =
+  let visited = Hashtbl.create 32 in
+  let q = Queue.create () in
+  Queue.add (t.state, []) q;
+  Hashtbl.add visited t.state ();
+  let result = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let state, rev_path = Queue.pop q in
+       let depth = List.length rev_path in
+       (match if depth = 0 then None else best_match t state event with
+       | Some (label, next) ->
+         result := Some (List.rev rev_path, label, next, depth);
+         raise Exit
+       | None -> ());
+       if depth < t.resync_depth then
+         List.iter
+           (fun (label, next) ->
+             if not (Hashtbl.mem visited next) then begin
+               Hashtbl.add visited next ();
+               Queue.add (next, label :: rev_path) q
+             end)
+           (Core.Plts.successors t.lts state)
+     done
+   with Exit -> ());
+  !result
+
+let advance t (event : Event.t) next =
+  t.state <- next;
+  t.placed <- t.placed + 1;
+  t.consecutive_dead <- 0;
+  if event.Event.time > t.last_time then t.last_time <- event.Event.time
+
+let dead_letter t event =
+  t.rev_dead <- event :: t.rev_dead;
+  t.consecutive_dead <- t.consecutive_dead + 1;
+  [ Off_model event ]
+
+let place t orig event =
+  match best_match t t.state event with
+  | Some (label, next) ->
+    advance t event next;
+    (match risk_alert t label with
+    | Some risk -> [ Risky (orig, risk) ]
+    | None -> [])
+  | None when t.resync_depth > 0 -> (
+    match resync t event with
+    | Some (skipped_labels, label, next, depth) ->
+      t.pending <- t.pending @ List.map pending_of_label skipped_labels;
+      t.resyncs <- t.resyncs + 1;
+      t.skipped <- t.skipped + depth;
+      advance t event next;
+      Resynced (orig, depth)
+      :: (match risk_alert t label with
+         | Some risk -> [ Risky (orig, risk) ]
+         | None -> [])
+    | None -> dead_letter t orig)
+  | None -> dead_letter t orig
+
 let observe t event =
-  match Enforce.decide t.universe event with
-  | Enforce.Denied reason -> [ Denied (event, reason) ]
-  | Enforce.Allowed event -> (
-    let candidates = Core.Plts.successors t.lts t.state in
-    let matching =
-      List.filter (fun (label, _) -> matches event label) candidates
-    in
-    let best =
-      match
-        List.find_opt
-          (fun (label, _) -> provenance_consistent event label)
-          matching
-      with
-      | Some _ as exact -> exact
-      | None -> ( match matching with m :: _ -> Some m | [] -> None)
-    in
-    match best with
-    | Some (label, next) ->
-      t.state <- next;
-      (match risk_alert t label with
-      | Some risk -> [ Risky (event, risk) ]
-      | None -> [])
-    | None -> [ Off_model event ])
+  t.observed <- t.observed + 1;
+  let line = Event.to_line event in
+  if Hashtbl.mem t.seen line then begin
+    t.duplicates <- t.duplicates + 1;
+    []
+  end
+  else begin
+    Hashtbl.add t.seen line ();
+    match Enforce.decide t.universe event with
+    | Enforce.Denied reason ->
+      (* The action was blocked, so the state must not advance; but an
+         attempt the model never predicted is still the strongest
+         signal, so report both facets. *)
+      let modelled =
+        List.exists
+          (fun (label, _) -> matches event label)
+          (Core.Plts.successors t.lts t.state)
+      in
+      Denied (event, reason) :: (if modelled then [] else [ Off_model event ])
+    | Enforce.Allowed narrowed ->
+      (* A stale timestamp accounted for by a transition we skipped while
+         resynchronising is a late arrival, not a new action: absorb it.
+         Matching uses the narrowed event — pending entries carry the
+         LTS label's (already narrowed) field set. *)
+      if event.Event.time <= t.last_time && absorb_pending t narrowed then begin
+        t.late <- t.late + 1;
+        t.consecutive_dead <- 0;
+        []
+      end
+      else place t event narrowed
+  end
 
 let run_trace t events = List.concat_map (observe t) events
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing *)
+
+let pending_to_json p =
+  Json.Obj
+    [
+      ("kind", Json.Str (Event.kind_to_string p.p_kind));
+      ("actor", Json.Str p.p_actor);
+      ( "store",
+        match p.p_store with None -> Json.Null | Some s -> Json.Str s );
+      ("fields", Json.List (List.map (fun f -> Json.Str (Field.name f)) p.p_fields));
+    ]
+
+let to_json t =
+  let event_lines events =
+    Json.List (List.map (fun e -> Json.Str (Event.to_line e)) events)
+  in
+  let seen_lines =
+    Hashtbl.fold (fun line () acc -> Json.Str line :: acc) t.seen []
+  in
+  Json.Obj
+    [
+      ("version", Json.int 1);
+      ("state", Json.int t.state);
+      ("last_time", Json.int t.last_time);
+      ("min_level", Json.Str (Core.Level.to_string t.min_level));
+      ("resync_depth", Json.int t.resync_depth);
+      ("seen", Json.List seen_lines);
+      ("pending", Json.List (List.map pending_to_json t.pending));
+      ("dead", event_lines (dead_letters t));
+      ("observed", Json.int t.observed);
+      ("placed", Json.int t.placed);
+      ("duplicates", Json.int t.duplicates);
+      ("late", Json.int t.late);
+      ("resyncs", Json.int t.resyncs);
+      ("skipped", Json.int t.skipped);
+      ("consecutive_dead", Json.int t.consecutive_dead);
+    ]
+
+let ( let* ) = Result.bind
+
+let field_of name json ~f =
+  match Json.member name json with
+  | Some v -> f v
+  | None -> Error (Printf.sprintf "checkpoint: missing field %S" name)
+
+let as_int name = function
+  | Json.Num n -> Ok (int_of_float n)
+  | _ -> Error (Printf.sprintf "checkpoint: %s is not a number" name)
+
+let as_str name = function
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "checkpoint: %s is not a string" name)
+
+let as_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "checkpoint: %s is not a list" name)
+
+let int_field name json = field_of name json ~f:(as_int name)
+let str_field name json = field_of name json ~f:(as_str name)
+let list_field name json = field_of name json ~f:(as_list name)
+
+let collect f items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* v = f item in
+      Ok (v :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let pending_of_json json =
+  let* kind_s = str_field "kind" json in
+  let* actor = str_field "actor" json in
+  let* fields = list_field "fields" json in
+  let* p_fields = collect (as_str "field") fields in
+  let* p_kind =
+    match Event.kind_of_string kind_s with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "checkpoint: bad action kind %S" kind_s)
+  in
+  let p_store =
+    match Json.member "store" json with
+    | Some (Json.Str s) -> Some s
+    | Some _ | None -> None
+  in
+  Ok
+    {
+      p_kind;
+      p_actor = actor;
+      p_store;
+      p_fields = List.map Field.of_name p_fields;
+    }
+
+let of_json universe lts json =
+  let* state = int_field "state" json in
+  let* last_time = int_field "last_time" json in
+  let* level_s = str_field "min_level" json in
+  let* resync_depth = int_field "resync_depth" json in
+  let* seen_l = list_field "seen" json in
+  let* seen_lines = collect (as_str "seen entry") seen_l in
+  let* pending_l = list_field "pending" json in
+  let* pending = collect pending_of_json pending_l in
+  let* dead_l = list_field "dead" json in
+  let* dead_lines = collect (as_str "dead letter") dead_l in
+  let* dead = collect Event.of_line dead_lines in
+  let* observed = int_field "observed" json in
+  let* placed = int_field "placed" json in
+  let* duplicates = int_field "duplicates" json in
+  let* late = int_field "late" json in
+  let* resyncs = int_field "resyncs" json in
+  let* skipped = int_field "skipped" json in
+  let* consecutive_dead = int_field "consecutive_dead" json in
+  let* min_level =
+    match Core.Level.of_string level_s with
+    | Some l -> Ok l
+    | None -> Error (Printf.sprintf "checkpoint: bad level %S" level_s)
+  in
+  if state < 0 || state >= Core.Plts.num_states lts then
+    Error
+      (Printf.sprintf "checkpoint: state %d outside the LTS (%d states)" state
+         (Core.Plts.num_states lts))
+  else begin
+    let t = create ~min_level ~resync_depth universe lts in
+    t.state <- state;
+    t.last_time <- last_time;
+    List.iter (fun line -> Hashtbl.replace t.seen line ()) seen_lines;
+    t.pending <- pending;
+    t.rev_dead <- List.rev dead;
+    t.observed <- observed;
+    t.placed <- placed;
+    t.duplicates <- duplicates;
+    t.late <- late;
+    t.resyncs <- resyncs;
+    t.skipped <- skipped;
+    t.consecutive_dead <- consecutive_dead;
+    Ok t
+  end
 
 let pp_alert ppf = function
   | Denied (e, reason) -> Format.fprintf ppf "DENIED %a: %s" Event.pp e reason
   | Risky (e, risk) ->
     Format.fprintf ppf "RISK %a: %a" Event.pp e Core.Action.pp_risk risk
   | Off_model e -> Format.fprintf ppf "OFF-MODEL %a" Event.pp e
+  | Resynced (e, skipped) ->
+    Format.fprintf ppf "RESYNCED (+%d skipped) %a" skipped Event.pp e

@@ -9,34 +9,95 @@
     - a matching risk-annotated transition raises a {!Risky} alert (and
       the state advances);
     - a matching unannotated transition advances silently;
-    - a denied event raises {!Denied} and does not advance;
-    - an event matching no transition raises {!Off_model} — behaviour the
-      design never predicted, the strongest signal — and does not
-      advance. *)
+    - a denied event raises {!Denied} (plus {!Off_model} when the attempt
+      was not even predicted by the model) and does not advance;
+    - an event matching no transition is handled by the resilience layer
+      below.
+
+    {2 Resilience}
+
+    A real distributed service delivers an imperfect stream: events are
+    dropped, duplicated, reordered and delayed (see {!Faults}). With
+    [resync_depth > 0] the monitor degrades gracefully instead of wedging
+    on the first gap:
+
+    - an unmatched event triggers a bounded forward search of the LTS for
+      the nearest state from which it {e does} match; on success the
+      monitor re-aligns and raises {!Resynced} with the number of
+      transitions it had to skip — the bridged gap;
+    - the skipped transitions are remembered, so a skipped event that
+      later arrives out of order (a delay or reorder rather than a drop)
+      is absorbed silently;
+    - an exact duplicate of an already-observed event is absorbed
+      silently;
+    - an event that cannot be placed at all goes to the dead-letter queue
+      and raises {!Off_model}.
+
+    {!stats} exposes the counters; {!to_json}/{!of_json} checkpoint the
+    whole monitor state so a crashed monitoring node can resume without
+    replaying the full trace. *)
 
 type alert =
   | Denied of Event.t * string
   | Risky of Event.t * Mdp_core.Action.risk
   | Off_model of Event.t
+  | Resynced of Event.t * int
+      (** Re-aligned after a gap, skipping this many transitions. *)
 
 type t
 
 val create :
   ?min_level:Mdp_core.Level.t ->
+  ?resync_depth:int ->
   Mdp_core.Universe.t ->
   Mdp_core.Plts.t ->
   t
 (** [min_level] (default [Low]) is the smallest disclosure-risk level that
     raises [Risky]; value-risk annotations always raise when they carry at
-    least one violation. The LTS should already be annotated (run
-    {!Mdp_core.Disclosure_risk.analyse} / {!Mdp_core.Pseudonym_risk.analyse}
-    first). *)
+    least one violation. [resync_depth] (default 0: off) bounds how many
+    transitions a resynchronisation may skip. The LTS should already be
+    annotated (run {!Mdp_core.Disclosure_risk.analyse} /
+    {!Mdp_core.Pseudonym_risk.analyse} first). *)
 
 val current_state : t -> Mdp_core.Plts.state_id
+
 val observe : t -> Event.t -> alert list
-(** At most one alert per event today; a list for forward compatibility. *)
+(** All alerts the event raises, in severity order — e.g. a denied event
+    that is also off-model reports both. Absorbed duplicates and late
+    arrivals raise none. *)
 
 val run_trace : t -> Event.t list -> alert list
 (** Observe a whole trace; alerts in event order. *)
+
+val dead_letters : t -> Event.t list
+(** Events the monitor could not place anywhere, in arrival order. *)
+
+type stats = {
+  observed : int;  (** Events fed to {!observe}. *)
+  placed : int;  (** Events that advanced the LTS state. *)
+  duplicates : int;  (** Exact duplicates absorbed. *)
+  late : int;  (** Out-of-order arrivals absorbed against skipped
+                   transitions. *)
+  resyncs : int;  (** Gaps bridged. *)
+  skipped : int;  (** Transitions skipped across all resyncs. *)
+  dead : int;  (** Dead-lettered events. *)
+  consecutive_dead : int;  (** Current run of dead letters with nothing
+                               placed in between — a high value means the
+                               monitor has lost track entirely. *)
+}
+
+val stats : t -> stats
+
+(** {1 Checkpointing} *)
+
+val to_json : t -> Mdp_prelude.Json.t
+(** The complete resumable state: LTS position, dedup memory, pending
+    skipped transitions, dead letters, counters, configuration. State ids
+    are stable because LTS generation is deterministic; restore against
+    an LTS generated from the same model with the same options. *)
+
+val of_json :
+  Mdp_core.Universe.t -> Mdp_core.Plts.t -> Mdp_prelude.Json.t ->
+  (t, string) result
 
 val pp_alert : Format.formatter -> alert -> unit

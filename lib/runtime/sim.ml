@@ -104,6 +104,19 @@ let run u config =
       rev_events = [];
     }
   in
+  (* One bad entry in a fleet-wide run config must not abort the whole
+     run: unknown service ids are reported, not raised. *)
+  let unknown =
+    List.filter
+      (fun id -> Diagram.find_service diagram id = None)
+      config.services
+  in
+  if unknown <> [] then
+    Error
+      (Printf.sprintf "unknown service%s %s"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " unknown))
+  else begin
   (* Pending flow queues, one per requested service, consumed in order;
      the next service to step is drawn at random among the non-empty. *)
   let queues =
@@ -111,7 +124,7 @@ let run u config =
       (fun id ->
         match Diagram.find_service diagram id with
         | Some svc -> (svc, ref svc.Service.flows)
-        | None -> raise Not_found)
+        | None -> assert false)
       config.services
   in
   (* A queue is ready when its head flow's data is available: store-source
@@ -161,4 +174,10 @@ let run u config =
       loop ()
   in
   loop ();
-  List.rev st.rev_events
+  Ok (List.rev st.rev_events)
+  end
+
+let run_exn u config =
+  match run u config with
+  | Ok trace -> trace
+  | Error msg -> invalid_arg ("Sim.run_exn: " ^ msg)

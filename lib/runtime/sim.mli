@@ -19,5 +19,10 @@ type config = {
   snoopers : snooper list;
 }
 
-val run : Mdp_core.Universe.t -> config -> Event.t list
-(** @raise Not_found on a service id absent from the universe's diagram. *)
+val run : Mdp_core.Universe.t -> config -> (Event.t list, string) result
+(** [Error] names the service ids absent from the universe's diagram —
+    one bad config entry should degrade, not abort, a fleet run. *)
+
+val run_exn : Mdp_core.Universe.t -> config -> Event.t list
+(** Convenience for callers with statically-known service ids.
+    @raise Invalid_argument on an unknown service id. *)

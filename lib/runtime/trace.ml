@@ -2,7 +2,7 @@ type t = Event.t list
 
 let to_lines trace = String.concat "\n" (List.map Event.to_line trace)
 
-let of_lines text =
+let of_lines ?(strict = true) text =
   let lines = String.split_on_char '\n' text in
   let rec go acc lineno = function
     | [] -> Ok (List.rev acc)
@@ -12,13 +12,20 @@ let of_lines text =
       | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
       | Ok event -> (
         match acc with
-        | prev :: _ when event.Event.time <= prev.Event.time ->
+        | prev :: _ when strict && event.Event.time <= prev.Event.time ->
           Error
             (Printf.sprintf "line %d: timestamp %d not increasing" lineno
                event.Event.time)
         | _ -> go (event :: acc) (lineno + 1) rest))
   in
   go [] 1 lines
+
+let interleave traces =
+  List.concat_map
+    (fun (subject, events) -> List.map (fun e -> (subject, e)) events)
+    traces
+  |> List.stable_sort (fun (_, a) (_, b) ->
+         compare a.Event.time b.Event.time)
 
 type stats = {
   events : int;

@@ -7,9 +7,17 @@ type t = Event.t list
 val to_lines : t -> string
 (** One {!Event.to_line} per line; empty string for the empty trace. *)
 
-val of_lines : string -> (t, string) result
+val of_lines : ?strict:bool -> string -> (t, string) result
 (** Skips blank lines; fails on the first malformed one (with its line
-    number). Validates that timestamps strictly increase. *)
+    number). With [strict] (the default) timestamps must strictly
+    increase; pass [~strict:false] to re-read a trace recorded from a
+    faulty stream, where duplicates and reorderings are expected. *)
+
+val interleave : (string * t) list -> (string * Event.t) list
+(** Merge per-subject traces into one stream ordered by timestamp
+    (stable: ties keep the input's subject order) — the shape a deployed
+    multi-subject service actually emits, ready for
+    {!Fleet.observe}. *)
 
 type stats = {
   events : int;

@@ -26,7 +26,7 @@ let test_transparency_tracks_monitor () =
   let a = Core.Analysis.run ~profile:H.profile_case_a H.diagram H.policy in
   let monitor = R.Monitor.create a.universe a.lts in
   let trace =
-    R.Sim.run a.universe
+    R.Sim.run_exn a.universe
       { seed = 4; services = [ H.medical_service ]; snoopers = [] }
   in
   ignore (R.Monitor.run_trace monitor trace);

@@ -90,7 +90,7 @@ let test_dsl_to_monitor () =
     (* ... and supports monitoring. *)
     let monitor = R.Monitor.create a.universe a.lts in
     let trace =
-      R.Sim.run a.universe
+      R.Sim.run_exn a.universe
         {
           seed = 5;
           services = [ H.medical_service; H.research_service ];

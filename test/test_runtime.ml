@@ -130,14 +130,14 @@ let sim_config ?(seed = 42) ?(snoopers = []) services =
 let test_sim_deterministic () =
   let u = universe () in
   let cfg = sim_config [ H.medical_service; H.research_service ] in
-  let a = R.Sim.run u cfg and b = R.Sim.run u cfg in
+  let a = R.Sim.run_exn u cfg and b = R.Sim.run_exn u cfg in
   check bool_ "same trace" true (a = b);
-  let c = R.Sim.run u { cfg with seed = 43 } in
+  let c = R.Sim.run_exn u { cfg with seed = 43 } in
   check int_ "same length without snoopers" (List.length a) (List.length c)
 
 let test_sim_covers_flows () =
   let u = universe () in
-  let trace = R.Sim.run u (sim_config [ H.medical_service ]) in
+  let trace = R.Sim.run_exn u (sim_config [ H.medical_service ]) in
   check int_ "one event per flow" 6 (List.length trace);
   let times = List.map (fun e -> e.R.Event.time) trace in
   check (Alcotest.list int_) "strictly increasing times"
@@ -150,7 +150,7 @@ let test_sim_respects_data_dependencies () =
   let u = universe () in
   for seed = 1 to 20 do
     let trace =
-      R.Sim.run u (sim_config ~seed [ H.medical_service; H.research_service ])
+      R.Sim.run_exn u (sim_config ~seed [ H.medical_service; H.research_service ])
     in
     let time_of pred =
       match List.find_opt pred trace with
@@ -178,7 +178,7 @@ let test_sim_snoopers_fire () =
       ~snoopers:[ { R.Sim.actor = "Administrator"; store = "EHR"; probability = 1.0 } ]
       [ H.medical_service ]
   in
-  let trace = R.Sim.run u cfg in
+  let trace = R.Sim.run_exn u cfg in
   check bool_ "snoop read present" true
     (List.exists
        (fun e ->
@@ -188,7 +188,7 @@ let test_sim_snoopers_fire () =
        trace);
   (* probability 0 never fires *)
   let quiet =
-    R.Sim.run u
+    R.Sim.run_exn u
       (sim_config ~seed:42
          ~snoopers:
            [ { R.Sim.actor = "Administrator"; store = "EHR"; probability = 0.0 } ]
@@ -206,14 +206,14 @@ let monitored ?profile () =
 
 let test_monitor_clean_medical_run () =
   let a, monitor = monitored () in
-  let trace = R.Sim.run a.universe (sim_config [ H.medical_service ]) in
+  let trace = R.Sim.run_exn a.universe (sim_config [ H.medical_service ]) in
   let alerts = R.Monitor.run_trace monitor trace in
   check int_ "no alerts on the agreed service" 0 (List.length alerts)
 
 let test_monitor_flags_snoop_as_risky () =
   let a, monitor = monitored () in
   let trace =
-    R.Sim.run a.universe
+    R.Sim.run_exn a.universe
       (sim_config ~seed:42
          ~snoopers:
            [ { R.Sim.actor = "Administrator"; store = "EHR"; probability = 1.0 } ]
@@ -234,9 +234,11 @@ let test_monitor_denied () =
     R.Event.make ~time:1 ~kind:Core.Action.Read ~actor:"Researcher"
       ~fields:[ H.diagnosis ] ~store:"EHR" ()
   in
+  (* Blocked by the PEP and never predicted by the model: both facets
+     are reported, most severe first. *)
   match R.Monitor.observe monitor bad with
-  | [ R.Monitor.Denied (_, _) ] -> ()
-  | _ -> Alcotest.fail "expected a Denied alert"
+  | [ R.Monitor.Denied (_, _); R.Monitor.Off_model _ ] -> ()
+  | _ -> Alcotest.fail "expected Denied plus Off_model alerts"
 
 let test_monitor_off_model () =
   let _, monitor = monitored () in
@@ -257,7 +259,7 @@ let test_monitor_min_level_filter () =
   let a = Core.Analysis.run ~profile:H.profile_case_a H.diagram H.policy in
   let strict = R.Monitor.create ~min_level:Core.Level.High a.universe a.lts in
   let trace =
-    R.Sim.run a.universe
+    R.Sim.run_exn a.universe
       (sim_config ~seed:42
          ~snoopers:
            [ { R.Sim.actor = "Administrator"; store = "EHR"; probability = 1.0 } ]
@@ -274,7 +276,7 @@ let test_monitor_full_interleaving () =
     let fresh = R.Monitor.create a.universe a.lts in
     ignore monitor;
     let trace =
-      R.Sim.run a.universe
+      R.Sim.run_exn a.universe
         (sim_config ~seed
            ~snoopers:
              [ { R.Sim.actor = "Administrator"; store = "EHR"; probability = 0.5 } ]
@@ -285,6 +287,9 @@ let test_monitor_full_interleaving () =
       (function
         | R.Monitor.Off_model e ->
           Alcotest.failf "seed %d: off-model %s" seed (R.Event.to_line e)
+        | R.Monitor.Resynced (e, _) ->
+          Alcotest.failf "seed %d: resync on a clean trace %s" seed
+            (R.Event.to_line e)
         | R.Monitor.Risky _ | R.Monitor.Denied _ -> ())
       alerts
   done

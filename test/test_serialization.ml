@@ -127,7 +127,7 @@ let test_report_pseudonym () =
 (* Trace *)
 
 let sample_trace u =
-  R.Sim.run u
+  R.Sim.run_exn u
     {
       seed = 3;
       services = [ H.medical_service; H.research_service ];

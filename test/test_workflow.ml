@@ -66,7 +66,7 @@ let fleet_setup () =
   (a, R.Fleet.create a.universe a.lts)
 
 let trace_for a seed =
-  R.Sim.run a.Core.Analysis.universe
+  R.Sim.run_exn a.Core.Analysis.universe
     {
       seed;
       services = [ H.medical_service ];
@@ -148,11 +148,12 @@ let prop_sim_stays_on_model =
           (fun (s : Mdp_dataflow.Service.t) -> s.id)
           diagram.Mdp_dataflow.Diagram.services
       in
-      let trace = R.Sim.run u { seed = sim_seed; services; snoopers = [] } in
+      let trace = R.Sim.run_exn u { seed = sim_seed; services; snoopers = [] } in
       let monitor = R.Monitor.create u lts in
       List.for_all
         (function
-          | R.Monitor.Off_model _ | R.Monitor.Denied _ -> false
+          | R.Monitor.Off_model _ | R.Monitor.Denied _
+          | R.Monitor.Resynced _ -> false
           | R.Monitor.Risky _ -> true)
         (R.Monitor.run_trace monitor trace))
 
