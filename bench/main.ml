@@ -14,6 +14,23 @@ module Frac = Mdp_prelude.Frac
 let section title =
   Printf.printf "\n================ %s ================\n" title
 
+(* Wall-clock seconds for [f ()]: [warmup] discarded runs, then the
+   median of [runs] timed ones — single gettimeofday samples are too
+   noisy to compare engines with. *)
+let time_median ?(warmup = 1) ?(runs = 5) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  match List.sort Float.compare samples with
+  | [] -> 0.
+  | sorted -> List.nth sorted (runs / 2)
+
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: the healthcare data-flow model *)
 
@@ -237,37 +254,41 @@ let ablation_anonymisers () =
   | Ok release -> post "mondrian" release
   | Error _ -> ())
 
-let scaling_generation () =
+let synthetic_spec (na, nf, fps) =
+  {
+    Synthetic.seed = 42;
+    nactors = na;
+    nfields = nf;
+    nstores = 2;
+    nservices = 2;
+    flows_per_service = fps;
+  }
+
+let scaling_generation ~jobs () =
   section "[scaling] LTS generation on synthetic models";
   let table =
     Mdp_prelude.Texttable.create
-      ~header:[ "actors"; "fields"; "flows/svc"; "states"; "transitions"; "ms" ]
+      ~header:
+        [ "actors"; "fields"; "flows/svc"; "states"; "transitions";
+          "ms (median)"; Printf.sprintf "ms (%d jobs)" jobs ]
   in
   List.iter
-    (fun (na, nf, fps) ->
-      let spec =
-        {
-          Synthetic.seed = 42;
-          nactors = na;
-          nfields = nf;
-          nstores = 2;
-          nservices = 2;
-          flows_per_service = fps;
-        }
-      in
-      let diagram, policy = Synthetic.model spec in
+    (fun dims ->
+      let na, nf, fps = dims in
+      let diagram, policy = Synthetic.model (synthetic_spec dims) in
       let u = Core.Universe.make diagram policy in
-      let t0 = Unix.gettimeofday () in
       let lts = Core.Generate.run u in
-      let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let seq = time_median ~runs:3 (fun () -> Core.Generate.run u) in
+      let par = time_median ~runs:3 (fun () -> Core.Generate.run ~jobs u) in
       Mdp_prelude.Texttable.add_row table
         [
           string_of_int na; string_of_int nf; string_of_int fps;
           string_of_int (Core.Plts.num_states lts);
           string_of_int (Core.Plts.num_transitions lts);
-          Printf.sprintf "%.1f" ms;
+          Printf.sprintf "%.1f" (1000.0 *. seq);
+          Printf.sprintf "%.1f" (1000.0 *. par);
         ])
-    [ (2, 4, 3); (4, 6, 4); (6, 8, 5); (8, 10, 6) ];
+    [ (2, 4, 3); (4, 6, 4); (6, 8, 5); (8, 10, 6); (10, 12, 7) ];
   Format.printf "%a@." Mdp_prelude.Texttable.pp table
 
 
@@ -321,11 +342,7 @@ let scaling_anonymisation () =
       ~header:
         [ "records"; "datafly ms"; "mondrian ms"; "value-risk ms"; "emd ms" ]
   in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    f ();
-    Printf.sprintf "%.1f" (1000.0 *. (Unix.gettimeofday () -. t0))
-  in
+  let time f = Printf.sprintf "%.1f" (1000.0 *. time_median ~runs:3 f) in
   List.iter
     (fun rows ->
       let ds = Synthetic.dataset ~seed:rows ~rows ~quasi:2 in
@@ -522,7 +539,164 @@ let perf () =
   in
   List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests
 
+(* ------------------------------------------------------------------ *)
+(* PR 2 before/after: the retired seed engine (bench/baseline.ml)
+   against the current one, sequential and parallel, on the workloads
+   the optimisation targets. Emits machine-readable BENCH_PR2.json and
+   fails if the engines disagree on the generated LTS. *)
+
+let pr2_cases ~smoke =
+  let synth dims = synthetic_spec dims in
+  let u_of (d, p) = Core.Universe.make d p in
+  let granular = { Core.Generate.default_options with granular_reads = true } in
+  if smoke then
+    [
+      ( "synthetic-2-4-3",
+        u_of (Synthetic.model (synth (2, 4, 3))),
+        Core.Generate.default_options );
+      ("healthcare-default", u_of (H.diagram, H.policy), Core.Generate.default_options);
+    ]
+  else
+    [
+      ("healthcare-granular", u_of (H.diagram, H.policy), granular);
+      ("study-granular", u_of (H.study_diagram, H.study_policy), granular);
+      ( "synthetic-8-10-6",
+        u_of (Synthetic.model (synth (8, 10, 6))),
+        Core.Generate.default_options );
+      ( "synthetic-10-12-7",
+        u_of (Synthetic.model (synth (10, 12, 7))),
+        Core.Generate.default_options );
+      (* The headline case: ~307k states / 2.1M transitions, large
+         enough that the seed engine's hash-bucket clustering and
+         linear duplicate scans dominate its runtime. *)
+      ( "synthetic-11-14-8",
+        u_of (Synthetic.model (synth (11, 14, 8))),
+        { Core.Generate.default_options with max_states = 400_000 } );
+    ]
+
+let perf_pr2 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr2] generation engine before/after (jobs=%d)" jobs);
+  let runs = if smoke then 2 else 5 in
+  let ok = ref true in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "states"; "trans"; "before st/s"; "after st/s";
+          Printf.sprintf "par(%d) st/s" jobs; "speedup"; "par speedup" ]
+  in
+  let json_cases =
+    List.map
+      (fun (name, u, options) ->
+        (* Scoped so all three LTSs are collectable before timing —
+           the largest case holds millions of transitions. *)
+        let states, ntrans, agree =
+          let seq = Core.Generate.run ~options u in
+          let par = Core.Generate.run ~options ~jobs u in
+          let base = Baseline.run ~options u in
+          let states = Core.Plts.num_states seq in
+          let agree =
+            states = Core.Plts.num_states par
+            && Core.Plts.num_transitions seq = Core.Plts.num_transitions par
+            && states = Baseline.num_states base
+            && Core.Plts.num_transitions seq = Baseline.num_transitions base
+            && List.for_all
+                 (fun i ->
+                   Core.Config.equal
+                     (Core.Plts.state_data seq i)
+                     (Core.Plts.state_data par i))
+                 (List.init states Fun.id)
+          in
+          if not agree then begin
+            Printf.printf
+              "  %s: ENGINES DISAGREE (seq %d/%d, par %d/%d, baseline %d/%d)\n"
+              name states
+              (Core.Plts.num_transitions seq)
+              (Core.Plts.num_states par)
+              (Core.Plts.num_transitions par)
+              (Baseline.num_states base)
+              (Baseline.num_transitions base);
+            ok := false
+          end;
+          (states, Core.Plts.num_transitions seq, agree)
+        in
+        (* Fewer samples on the heavyweight cases: one seed-engine run
+           there takes tens of seconds, and the gap being measured is
+           far larger than run-to-run noise. *)
+        let runs = if states > 50_000 then min runs 2 else runs in
+        let t_before = time_median ~runs (fun () -> Baseline.run ~options u) in
+        let t_after = time_median ~runs (fun () -> Core.Generate.run ~options u) in
+        let t_par =
+          time_median ~runs (fun () -> Core.Generate.run ~options ~jobs u)
+        in
+        let rate t = float_of_int states /. t in
+        Mdp_prelude.Texttable.add_row table
+          [
+            name;
+            string_of_int states;
+            string_of_int ntrans;
+            Printf.sprintf "%.0f" (rate t_before);
+            Printf.sprintf "%.0f" (rate t_after);
+            Printf.sprintf "%.0f" (rate t_par);
+            Printf.sprintf "%.1fx" (t_before /. t_after);
+            Printf.sprintf "%.1fx" (t_before /. t_par);
+          ];
+        let module J = Mdp_prelude.Json in
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("states", J.int states);
+            ("transitions", J.int ntrans);
+            ("engines_agree", J.Bool agree);
+            ( "before",
+              J.Obj
+                [ ("seconds", J.Num t_before);
+                  ("states_per_sec", J.Num (rate t_before)) ] );
+            ( "after_seq",
+              J.Obj
+                [ ("seconds", J.Num t_after);
+                  ("states_per_sec", J.Num (rate t_after)) ] );
+            ( "after_par",
+              J.Obj
+                [ ("seconds", J.Num t_par);
+                  ("states_per_sec", J.Num (rate t_par)) ] );
+            ("speedup_seq", J.Num (t_before /. t_after));
+            ("speedup_par", J.Num (t_before /. t_par));
+          ])
+      (pr2_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  let module J = Mdp_prelude.Json in
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr2-lts-engine");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("runs_per_sample", J.int runs);
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR2.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR2.json\n";
+  !ok
+
 let () =
+  let argv = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" argv in
+  let pr2_only = List.mem "--pr2" argv in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
+      | _ :: rest -> find rest
+      | [] -> 4
+    in
+    find argv
+  in
+  if smoke || pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
   fig1 ();
   fig2 ();
   fig3 ();
@@ -533,8 +707,10 @@ let () =
   ablation_anonymisers ();
   population ();
   requirements ();
-  scaling_generation ();
+  scaling_generation ~jobs ();
   scaling_anonymisation ();
   chaos_resilience ();
+  let pr2_ok = perf_pr2 ~jobs ~smoke:false () in
   perf ();
-  Printf.printf "\ndone.\n"
+  Printf.printf "\ndone.\n";
+  if not pr2_ok then exit 1

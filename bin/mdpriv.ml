@@ -29,7 +29,24 @@ let services_arg =
   let doc = "Restrict to these services (repeatable)." in
   Arg.(value & opt_all string [] & info [ "service" ] ~docv:"SERVICE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains used for parallel LTS generation. The result is identical \
+     for every value, including state numbering."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let exits_with_error = 1
+
+(* Generate, turning the state-guard exception into a clean message. *)
+let generate ?options ?jobs u k =
+  match Core.Generate.run ?options ?jobs u with
+  | lts -> k lts
+  | exception Mdp_lts.Lts.Too_many_states limit ->
+    Printf.eprintf
+      "LTS exceeds %d states; simplify the model or restrict --service\n"
+      limit;
+    exits_with_error
 
 (* ----- validate ----- *)
 
@@ -59,13 +76,16 @@ let validate_cmd =
 (* ----- dot ----- *)
 
 let dot_cmd =
-  let run path lts_mode flow_only services =
+  let run path lts_mode flow_only services jobs =
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
       exits_with_error
     | Ok { diagram; policy; _ } ->
-      if not lts_mode then print_string (Mdp_dataflow.Dot.to_string diagram)
+      if not lts_mode then begin
+        print_string (Mdp_dataflow.Dot.to_string diagram);
+        0
+      end
       else begin
         let u = Core.Universe.make diagram policy in
         let base =
@@ -77,10 +97,10 @@ let dot_cmd =
           | [] -> base
           | l -> { base with Core.Generate.services = Some l }
         in
-        let lts = Core.Generate.run ~options u in
-        print_string (Core.Lts_render.to_dot u lts)
-      end;
-      0
+        generate ~options ~jobs u (fun lts ->
+            print_string (Core.Lts_render.to_dot u lts);
+            0)
+      end
   in
   let lts_flag =
     Arg.(value & flag & info [ "lts" ] ~doc:"Render the generated LTS instead of the data-flow diagram.")
@@ -90,12 +110,12 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz for the data-flow diagram or the privacy LTS.")
-    Term.(const run $ model_arg $ lts_flag $ flow_only_flag $ services_arg)
+    Term.(const run $ model_arg $ lts_flag $ flow_only_flag $ services_arg $ jobs_arg)
 
 (* ----- lts ----- *)
 
 let lts_cmd =
-  let run path flow_only granular services =
+  let run path flow_only granular services jobs =
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
@@ -113,9 +133,9 @@ let lts_cmd =
           services = (match services with [] -> None | l -> Some l);
         }
       in
-      let lts = Core.Generate.run ~options u in
-      print_endline (Core.Lts_render.summary u lts);
-      0
+      generate ~options ~jobs u (fun lts ->
+          print_endline (Core.Lts_render.summary u lts);
+          0)
   in
   let flow_only_flag =
     Arg.(value & flag & info [ "flow-only" ] ~doc:"Flows only; no potential actions.")
@@ -125,7 +145,9 @@ let lts_cmd =
   in
   Cmd.v
     (Cmd.info "lts" ~doc:"Generate the privacy LTS and print its statistics.")
-    Term.(const run $ model_arg $ flow_only_flag $ granular_flag $ services_arg)
+    Term.(
+      const run $ model_arg $ flow_only_flag $ granular_flag $ services_arg
+      $ jobs_arg)
 
 (* ----- risk ----- *)
 

@@ -40,12 +40,19 @@ let kind_of_flow = function
   | Flow.Read -> Read
 
 let equal a b =
-  a.kind = b.kind
-  && List.length a.fields = List.length b.fields
-  && List.for_all2 Field.equal a.fields b.fields
-  && a.schema = b.schema && a.store = b.store && a.actor = b.actor
-  && a.purpose = b.purpose
-  && a.provenance = b.provenance && a.risk = b.risk
+  a == b
+  || a.kind = b.kind
+     && List.length a.fields = List.length b.fields
+     && List.for_all2 Field.equal a.fields b.fields
+     && a.schema = b.schema && a.store = b.store && a.actor = b.actor
+     && a.purpose = b.purpose
+     && a.provenance = b.provenance && a.risk = b.risk
+
+(* [equal] is structural equality, so the generic structural hash is
+   consistent with it. Deep limits are raised well past the default so
+   actions differing only in a late field (actor, provenance) do not all
+   collide. *)
+let hash t = Hashtbl.hash_param 64 256 t
 
 let pp_kind ppf k =
   Format.pp_print_string ppf

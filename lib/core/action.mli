@@ -52,6 +52,11 @@ val make :
 val with_risk : t -> risk -> t
 val kind_of_flow : Flow.action_kind -> kind
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with {!equal}; used by the LTS for duplicate-transition
+    detection. *)
+
 val pp_kind : Format.formatter -> kind -> unit
 val pp_risk : Format.formatter -> risk -> unit
 val pp : Format.formatter -> t -> unit

@@ -21,15 +21,31 @@ let copy t =
     executed = Bitset.copy t.executed;
   }
 
+(* The generator builds successor configs copy-on-write, so configs
+   reaching the same privacy state usually share bitsets (and often whole
+   store arrays) physically; the [==] fast paths here and in
+   [Bitset.equal] make hash-table probes near-O(1). *)
 let equal a b =
-  Privacy_state.equal a.privacy b.privacy
-  && Bitset.equal a.executed b.executed
-  && Array.for_all2 Bitset.equal a.stores b.stores
+  a == b
+  || Privacy_state.equal a.privacy b.privacy
+     && Bitset.equal a.executed b.executed
+     && (a.stores == b.stores || Array.for_all2 Bitset.equal a.stores b.stores)
+
+(* Multiply-xor combining leaves the low bits badly clustered on sparse
+   bitset words, and [Hashtbl] buckets by low bits only — without a final
+   avalanche step, large state spaces degenerate into a few hundred
+   buckets with chains over a hundred deep. *)
+let fmix h =
+  let h = h lxor (h lsr 33) in
+  let h = h * 0xff51afd7ed558cc in
+  let h = h lxor (h lsr 33) in
+  let h = h * 0xc4ceb9fe1a85ec5 in
+  h lxor (h lsr 33)
 
 let hash t =
   let h = ref (Privacy_state.hash t.privacy) in
   Array.iter (fun s -> h := (!h * 65599) lxor Bitset.hash s) t.stores;
-  (!h * 65599) lxor Bitset.hash t.executed
+  fmix ((!h * 65599) lxor Bitset.hash t.executed) land max_int
 
 let store_has t ~store ~field = Bitset.get t.stores.(store) field
 let executed t ~flow = Bitset.get t.executed flow

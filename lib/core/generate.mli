@@ -59,5 +59,9 @@ val flow_only : options
 (** No policy-derived transitions: exactly the diagram's flows (the Fig. 3
     rendering mode). *)
 
-val run : ?options:options -> Universe.t -> Plts.t
-(** @raise Failure if [max_states] is exceeded. *)
+val run : ?options:options -> ?jobs:int -> Universe.t -> Plts.t
+(** [jobs] (default 1) is the number of domains used for frontier
+    exploration; the resulting LTS — state numbering included — is
+    identical for every value (see {!Mdp_lts.Lts.S.explore}).
+
+    @raise Mdp_lts.Lts.Too_many_states if [max_states] is exceeded. *)

@@ -7,7 +7,8 @@ let absolute u =
 
 let copy t = { has = Bitset.copy t.has; could = Bitset.copy t.could }
 
-let equal a b = Bitset.equal a.has b.has && Bitset.equal a.could b.could
+let equal a b =
+  a == b || (Bitset.equal a.has b.has && Bitset.equal a.could b.could)
 
 let hash t = (Bitset.hash t.has * 65599) lxor Bitset.hash t.could
 

@@ -14,6 +14,10 @@ type t = {
   readers_cache : int list array array; (* store -> field -> actors *)
   readable_cache : int list array array; (* actor -> store -> fields *)
   deleters_cache : int list array; (* store -> actors *)
+  readable_bits_cache : Bitset.t array array;
+      (* actor -> store -> field bitset; the permission matrix the
+         generator intersects with store contents instead of re-querying
+         [Policy.allows] per state. *)
 }
 
 let nactors t = Interner.size t.actors
@@ -81,7 +85,11 @@ let build_caches diagram policy actors fields stores =
       done
     done
   done;
-  (readers, readable, deleters)
+  let readable_bits =
+    Array.init na (fun a ->
+        Array.init ns (fun s -> Bitset.of_list nf readable.(a).(s)))
+  in
+  (readers, readable, deleters, readable_bits)
 
 let make diagram policy =
   (match Mdp_policy.Policy.validate policy diagram with
@@ -103,7 +111,7 @@ let make diagram policy =
     (fun i ((svc : Service.t), (fl : Flow.t)) ->
       Hashtbl.replace flow_ids (svc.id, fl.order) i)
     flows;
-  let readers_cache, readable_cache, deleters_cache =
+  let readers_cache, readable_cache, deleters_cache, readable_bits_cache =
     build_caches diagram policy actors fields stores
   in
   {
@@ -118,6 +126,7 @@ let make diagram policy =
     readers_cache;
     readable_cache;
     deleters_cache;
+    readable_bits_cache;
   }
 
 let with_policy t policy =
@@ -126,11 +135,19 @@ let with_policy t policy =
   | Error msgs ->
     invalid_arg
       ("Universe.with_policy: invalid policy:\n" ^ String.concat "\n" msgs));
-  let readers_cache, readable_cache, deleters_cache =
+  let readers_cache, readable_cache, deleters_cache, readable_bits_cache =
     build_caches t.diagram policy t.actors t.fields t.stores
   in
-  { t with policy; readers_cache; readable_cache; deleters_cache }
+  {
+    t with
+    policy;
+    readers_cache;
+    readable_cache;
+    deleters_cache;
+    readable_bits_cache;
+  }
 
 let readers t ~store ~field = t.readers_cache.(store).(field)
 let deleters t ~store = t.deleters_cache.(store)
 let readable_by t ~actor ~store = t.readable_cache.(actor).(store)
+let readable_bits t ~actor ~store = t.readable_bits_cache.(actor).(store)

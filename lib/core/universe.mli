@@ -51,3 +51,8 @@ val deleters : t -> store:int -> int list
 
 val readable_by : t -> actor:int -> store:int -> int list
 (** Field indices of the store's schema fields the actor may read. *)
+
+val readable_bits : t -> actor:int -> store:int -> Mdp_prelude.Bitset.t
+(** The same permission row as a bitset over field indices — the
+    generator intersects it with store contents instead of querying
+    [Policy.allows] per state. Treat as read-only; it is shared. *)

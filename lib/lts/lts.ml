@@ -10,8 +10,11 @@ module type LABEL = sig
   type t
 
   val equal : t -> t -> bool
+  val hash : t -> int
   val pp : Format.formatter -> t -> unit
 end
+
+exception Too_many_states of int
 
 module Make (S : STATE) (L : LABEL) = struct
   module Tbl = Hashtbl.Make (S)
@@ -20,13 +23,45 @@ module Make (S : STATE) (L : LABEL) = struct
 
   type transition = { src : state_id; label : L.t; dst : state_id }
 
+  (* Per-state successor list as a growable flat array: appends are
+     amortised O(1), iteration touches contiguous memory, and reading
+     never allocates (the seed stored a reversed cons-list and paid a
+     List.rev per [successors] call). *)
+  type succs = { mutable arr : (L.t * state_id) array; mutable len : int }
+
+  let new_succs () = { arr = [||]; len = 0 }
+
+  let push_succ s entry =
+    if s.len = Array.length s.arr then begin
+      let cap = max 4 (2 * s.len) in
+      let bigger = Array.make cap entry in
+      Array.blit s.arr 0 bigger 0 s.len;
+      s.arr <- bigger
+    end;
+    s.arr.(s.len) <- entry;
+    s.len <- s.len + 1
+
+  (* Out-degrees are tiny in generated privacy models, so a linear scan
+     with a physical-equality fast path beats any hashing below this
+     length; past it, a per-graph hash index keyed (src, label hash, dst)
+     keeps duplicate detection O(1) (the seed scanned unconditionally,
+     which is quadratic on high-fan-out states). *)
+  let scan_threshold = 16
+
   type t = {
     ids : state_id Tbl.t;
     mutable data : S.t array;
     mutable n : int;
-    mutable out : (L.t * state_id) list array; (* reversed insertion order *)
+    mutable out : succs array;
     mutable ntrans : int;
     mutable init : state_id option;
+    dup : (int * int * int, L.t list) Hashtbl.t;
+        (* (src, L.hash label, dst) -> labels with that hash; only
+           consulted for sources whose out-degree exceeds
+           [scan_threshold]. *)
+    mutable preds : (state_id * L.t) list array option;
+        (* Reverse index, built lazily by [predecessors]; dropped on any
+           mutation. *)
   }
 
   let create () =
@@ -37,6 +72,8 @@ module Make (S : STATE) (L : LABEL) = struct
       out = [||];
       ntrans = 0;
       init = None;
+      dup = Hashtbl.create 64;
+      preds = None;
     }
 
   let grow t =
@@ -45,7 +82,7 @@ module Make (S : STATE) (L : LABEL) = struct
       let data = Array.make cap t.data.(0) in
       Array.blit t.data 0 data 0 t.n;
       t.data <- data;
-      let out = Array.make cap [] in
+      let out = Array.make cap t.out.(0) in
       Array.blit t.out 0 out 0 t.n;
       t.out <- out
     end
@@ -57,13 +94,14 @@ module Make (S : STATE) (L : LABEL) = struct
       let id = t.n in
       if id = 0 then begin
         t.data <- Array.make 16 s;
-        t.out <- Array.make 16 []
+        t.out <- Array.init 16 (fun _ -> new_succs ())
       end
       else grow t;
       t.data.(id) <- s;
-      t.out.(id) <- [];
+      t.out.(id) <- new_succs ();
       t.n <- id + 1;
       Tbl.add t.ids s id;
+      t.preds <- None;
       if t.init = None then t.init <- Some id;
       id
 
@@ -88,24 +126,69 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let successors t id =
     if id < 0 || id >= t.n then invalid_arg "Lts.successors";
-    List.rev t.out.(id)
+    let s = t.out.(id) in
+    List.init s.len (fun i -> s.arr.(i))
+
+  let iter_successors t id f =
+    if id < 0 || id >= t.n then invalid_arg "Lts.iter_successors";
+    let s = t.out.(id) in
+    for i = 0 to s.len - 1 do
+      let label, dst = s.arr.(i) in
+      f label dst
+    done
+
+  let scan_dup s label dst =
+    let rec go i =
+      i < s.len
+      &&
+      let l, d = s.arr.(i) in
+      (d = dst && L.equal l label) || go (i + 1)
+    in
+    go 0
+
+  let index_succs t src =
+    let s = t.out.(src) in
+    for i = 0 to s.len - 1 do
+      let label, dst = s.arr.(i) in
+      let key = (src, L.hash label, dst) in
+      let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
+      Hashtbl.replace t.dup key (label :: bucket)
+    done
 
   let add_transition t ~src ~label ~dst =
     if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
       invalid_arg "Lts.add_transition";
-    let dup =
-      List.exists (fun (l, d) -> d = dst && L.equal l label) t.out.(src)
+    let s = t.out.(src) in
+    let duplicate =
+      if s.len < scan_threshold then scan_dup s label dst
+      else begin
+        (* Crossing the threshold: index the transitions inserted while
+           scanning was still cheaper. *)
+        if s.len = scan_threshold then index_succs t src;
+        let key = (src, L.hash label, dst) in
+        let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
+        if List.exists (L.equal label) bucket then true
+        else begin
+          Hashtbl.replace t.dup key (label :: bucket);
+          false
+        end
+      end
     in
-    if dup then false
+    if duplicate then false
     else begin
-      t.out.(src) <- (label, dst) :: t.out.(src);
+      push_succ s (label, dst);
       t.ntrans <- t.ntrans + 1;
+      t.preds <- None;
       true
     end
 
   let iter_transitions t f =
     for src = 0 to t.n - 1 do
-      List.iter (fun (label, dst) -> f { src; label; dst }) (List.rev t.out.(src))
+      let s = t.out.(src) in
+      for i = 0 to s.len - 1 do
+        let label, dst = s.arr.(i) in
+        f { src; label; dst }
+      done
     done
 
   let transitions t =
@@ -114,36 +197,43 @@ module Make (S : STATE) (L : LABEL) = struct
     List.rev !acc
 
   let predecessors t id =
-    let acc = ref [] in
+    if id < 0 || id >= t.n then invalid_arg "Lts.predecessors";
+    let index =
+      match t.preds with
+      | Some p -> p
+      | None ->
+        let p = Array.make (max t.n 1) [] in
+        (* Reverse iteration so each list ends up in transition-iteration
+           order, matching the seed's semantics. *)
+        for src = t.n - 1 downto 0 do
+          let s = t.out.(src) in
+          for i = s.len - 1 downto 0 do
+            let label, dst = s.arr.(i) in
+            p.(dst) <- (src, label) :: p.(dst)
+          done
+        done;
+        t.preds <- Some p;
+        p
+    in
+    index.(id)
+
+  let rebuild_dup t =
+    Hashtbl.reset t.dup;
     iter_transitions t (fun { src; label; dst } ->
-        if dst = id then acc := (src, label) :: !acc);
-    List.rev !acc
+        let key = (src, L.hash label, dst) in
+        let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
+        Hashtbl.replace t.dup key (label :: bucket))
 
   let map_labels t f =
     for src = 0 to t.n - 1 do
-      t.out.(src) <-
-        List.map (fun (label, dst) -> (f { src; label; dst }, dst)) t.out.(src)
-    done
-
-  let explore ?(max_states = 200_000) ~init ~step () =
-    let t = create () in
-    let q = Queue.create () in
-    Queue.push (add_state t init) q;
-    while not (Queue.is_empty q) do
-      let src = Queue.pop q in
-      let src_data = state_data t src in
-      List.iter
-        (fun (label, dst_data) ->
-          let before = t.n in
-          let dst = add_state t dst_data in
-          if t.n > max_states then
-            failwith
-              (Printf.sprintf "Lts.explore: more than %d states" max_states);
-          ignore (add_transition t ~src ~label ~dst : bool);
-          if t.n > before then Queue.push dst q)
-        (step src_data)
+      let s = t.out.(src) in
+      for i = 0 to s.len - 1 do
+        let label, dst = s.arr.(i) in
+        s.arr.(i) <- (f { src; label; dst }, dst)
+      done
     done;
-    t
+    t.preds <- None;
+    rebuild_dup t
 
   let reachable t =
     if t.n = 0 then []
@@ -157,13 +247,11 @@ module Make (S : STATE) (L : LABEL) = struct
       while not (Queue.is_empty q) do
         let s = Queue.pop q in
         order := s :: !order;
-        List.iter
-          (fun (_, d) ->
+        iter_successors t s (fun _ d ->
             if not seen.(d) then begin
               seen.(d) <- true;
               Queue.push d q
             end)
-          (successors t s)
       done;
       List.rev !order
     end
@@ -181,19 +269,108 @@ module Make (S : STATE) (L : LABEL) = struct
     !ok
 
   let is_acyclic t =
-    (* Colours: 0 unvisited, 1 on stack, 2 done. *)
+    (* Iterative colouring (0 unvisited, 1 on stack, 2 done): no OCaml
+       stack frame per state, so deep chains cannot overflow. *)
     let colour = Array.make (max t.n 1) 0 in
-    let rec visit s =
-      if colour.(s) = 1 then false
-      else if colour.(s) = 2 then true
-      else begin
-        colour.(s) <- 1;
-        let ok = List.for_all (fun (_, d) -> visit d) (successors t s) in
-        colour.(s) <- 2;
-        ok
+    let ok = ref true in
+    let stack = ref [] in
+    for root = 0 to t.n - 1 do
+      if !ok && colour.(root) = 0 then begin
+        colour.(root) <- 1;
+        stack := [ (root, 0) ];
+        while !ok && !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | (s, i) :: rest ->
+            let su = t.out.(s) in
+            if i >= su.len then begin
+              colour.(s) <- 2;
+              stack := rest
+            end
+            else begin
+              stack := (s, i + 1) :: rest;
+              let _, d = su.arr.(i) in
+              if colour.(d) = 1 then ok := false
+              else if colour.(d) = 0 then begin
+                colour.(d) <- 1;
+                stack := (d, 0) :: !stack
+              end
+            end
+        done
       end
-    in
-    List.for_all visit (states t)
+    done;
+    !ok
+
+  (* ----- exploration ----- *)
+
+  let explore_sequential t ~max_states ~step =
+    let q = Queue.create () in
+    Queue.push (initial t) q;
+    while not (Queue.is_empty q) do
+      let src = Queue.pop q in
+      List.iter
+        (fun (label, dst_data) ->
+          let before = t.n in
+          let dst = add_state t dst_data in
+          if t.n > max_states then raise (Too_many_states max_states);
+          ignore (add_transition t ~src ~label ~dst : bool);
+          if t.n > before then Queue.push dst q)
+        (step t.data.(src))
+    done
+
+  (* Frontier-synchronised BFS: every state of the current frontier is
+     expanded (possibly in parallel), then the results are merged
+     sequentially in frontier order. Because the sequential queue BFS
+     also processes states in discovery order, the merged LTS — state
+     numbering, transition order, everything — is identical for every
+     job count. [step] must be pure: it runs concurrently on multiple
+     domains against shared immutable inputs. *)
+  let explore_parallel t ~max_states ~step ~jobs =
+    let frontier = ref [ initial t ] in
+    while !frontier <> [] do
+      let fr = Array.of_list !frontier in
+      let nf = Array.length fr in
+      let results = Array.make nf [] in
+      let expand lo hi =
+        for i = lo to hi - 1 do
+          results.(i) <- step t.data.(fr.(i))
+        done
+      in
+      let njobs = max 1 (min jobs nf) in
+      if njobs = 1 || nf < 8 then expand 0 nf
+      else begin
+        (* Contiguous chunks; the main domain takes the first. *)
+        let bound k = k * nf / njobs in
+        let workers =
+          List.init (njobs - 1) (fun k ->
+              let lo = bound (k + 1) and hi = bound (k + 2) in
+              Domain.spawn (fun () -> expand lo hi))
+        in
+        expand 0 (bound 1);
+        List.iter Domain.join workers
+      end;
+      let next = ref [] in
+      for i = 0 to nf - 1 do
+        let src = fr.(i) in
+        List.iter
+          (fun (label, dst_data) ->
+            let before = t.n in
+            let dst = add_state t dst_data in
+            if t.n > max_states then raise (Too_many_states max_states);
+            ignore (add_transition t ~src ~label ~dst : bool);
+            if t.n > before then next := dst :: !next)
+          results.(i)
+      done;
+      frontier := List.rev !next
+    done
+
+  let explore ?(max_states = 200_000) ?(jobs = 1) ~init ~step () =
+    let t = create () in
+    ignore (add_state t init : state_id);
+    if t.n > max_states then raise (Too_many_states max_states);
+    if jobs <= 1 then explore_sequential t ~max_states ~step
+    else explore_parallel t ~max_states ~step ~jobs;
+    t
 
   let path_to t pred =
     if t.n = 0 then None
@@ -209,14 +386,12 @@ module Make (S : STATE) (L : LABEL) = struct
         let found = ref None in
         while !found = None && not (Queue.is_empty q) do
           let s = Queue.pop q in
-          List.iter
-            (fun (label, d) ->
+          iter_successors t s (fun label d ->
               if !found = None && not seen.(d) then begin
                 seen.(d) <- true;
                 back.(d) <- Some (s, label);
                 if pred d then found := Some d else Queue.push d q
               end)
-            (successors t s)
         done;
         match !found with
         | None -> None
@@ -250,10 +425,12 @@ module Make (S : STATE) (L : LABEL) = struct
         | None ->
           if on_stack.(s) then raise Cyclic;
           on_stack.(s) <- true;
+          let su = t.out.(s) in
           let v =
-            match successors t s with
-            | [] -> sink
-            | succs -> combine (List.map (fun (_, d) -> value d) succs)
+            if su.len = 0 then sink
+            else
+              combine
+                (List.init su.len (fun i -> value (snd su.arr.(i))))
           in
           on_stack.(s) <- false;
           memo.(s) <- Some v;
@@ -269,18 +446,41 @@ module Make (S : STATE) (L : LABEL) = struct
   let count_maximal_paths t =
     dag_fold t ~sink:1 ~combine:(fun counts -> List.fold_left ( + ) 0 counts)
 
-  (* Partition refinement uses printed labels as signature keys: two labels
-     are treated as the same action for bisimulation iff they print
-     identically. This sidesteps needing ordered/hashable labels and is
-     faithful for our label types, whose printers are injective. *)
-  let label_key l = Format.asprintf "%a" L.pp l
-
+  (* Partition refinement compares labels by their printed form: two
+     labels are the same action for bisimulation iff they print
+     identically. This sidesteps needing ordered labels and is faithful
+     for our label types, whose printers are injective. Unlike the seed —
+     which re-printed every label and built fresh signature strings each
+     refinement round — each distinct printed label is interned to a
+     small integer once up front, and the rounds then work purely on
+     integer keys. *)
   let bisimulation_classes t ~init_key =
     if t.n = 0 then []
     else begin
+      let lids = Hashtbl.create 64 in
+      let nlids = ref 0 in
+      let lid_of label =
+        let key = Format.asprintf "%a" L.pp label in
+        match Hashtbl.find_opt lids key with
+        | Some i -> i
+        | None ->
+          let i = !nlids in
+          incr nlids;
+          Hashtbl.add lids key i;
+          i
+      in
+      (* Per state: (label id, dst) pairs, printed once. *)
+      let edges =
+        Array.init t.n (fun s ->
+            let su = t.out.(s) in
+            Array.init su.len (fun i ->
+                let label, dst = su.arr.(i) in
+                (lid_of label, dst)))
+      in
       let block = Array.make t.n 0 in
       let assign keyed =
-        (* keyed: state -> string; returns number of blocks. *)
+        (* keyed: state -> key; returns number of blocks. Keys are
+           compared structurally, so any value works. *)
         let tbl = Hashtbl.create 16 in
         let next = ref 0 in
         for s = 0 to t.n - 1 do
@@ -295,16 +495,19 @@ module Make (S : STATE) (L : LABEL) = struct
         !next
       in
       let nblocks = ref (assign init_key) in
+      let pair_compare (l1, b1) (l2, b2) =
+        match Int.compare l1 l2 with 0 -> Int.compare b1 b2 | c -> c
+      in
       let changed = ref true in
       while !changed do
         let signature s =
           let sigs =
-            List.map
-              (fun (l, d) -> Printf.sprintf "%s>%d" (label_key l) block.(d))
-              (successors t s)
+            List.sort_uniq pair_compare
+              (List.map
+                 (fun (lid, d) -> (lid, block.(d)))
+                 (Array.to_list edges.(s)))
           in
-          Printf.sprintf "%d|%s" block.(s)
-            (String.concat ";" (List.sort_uniq String.compare sigs))
+          (block.(s), sigs)
         in
         let n' = assign signature in
         changed := n' <> !nblocks;

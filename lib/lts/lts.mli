@@ -3,9 +3,16 @@
     States are hash-consed: adding equal state data twice yields the same
     dense integer id, which is what makes fixed-point exploration of the
     privacy model terminate (paper §II-B generates the LTS as the set of
-    reachable privacy states). Labels are arbitrary and mutable in place
-    (risk analysis annotates transition labels after generation,
-    paper §III). *)
+    reachable privacy states). The state table doubles as an interning
+    table: the first config to reach a state is the canonical
+    representative every later candidate is compared against. Labels are
+    arbitrary and mutable in place (risk analysis annotates transition
+    labels after generation, paper §III).
+
+    Successor sets are stored as flat growable arrays with a hashed
+    duplicate index, so insertion and iteration are O(1) per transition;
+    [explore] optionally expands breadth-first frontiers on multiple
+    OCaml 5 domains with a deterministic merge. *)
 
 module type STATE = sig
   type t
@@ -19,8 +26,17 @@ module type LABEL = sig
   type t
 
   val equal : t -> t -> bool
+  val hash : t -> int
+  (** Must be consistent with [equal]; used for O(1) duplicate-transition
+      detection. *)
+
   val pp : Format.formatter -> t -> unit
 end
+
+exception Too_many_states of int
+(** Raised by [explore] when the state guard is exceeded; carries the
+    limit that was hit. Top-level (outside the functor) so every
+    instantiation raises the same exception. *)
 
 module Make (S : STATE) (L : LABEL) : sig
   type t
@@ -42,14 +58,27 @@ module Make (S : STATE) (L : LABEL) : sig
   val set_initial : t -> state_id -> unit
   val add_transition : t -> src:state_id -> label:L.t -> dst:state_id -> bool
   (** [false] when an identical transition (same endpoints, equal label)
-      already exists; the LTS is unchanged in that case. *)
+      already exists; the LTS is unchanged in that case. Duplicate
+      detection is a hash lookup, not an out-degree scan. *)
 
   val explore :
-    ?max_states:int -> init:S.t -> step:(S.t -> (L.t * S.t) list) -> unit -> t
+    ?max_states:int ->
+    ?jobs:int ->
+    init:S.t ->
+    step:(S.t -> (L.t * S.t) list) ->
+    unit ->
+    t
   (** Breadth-first fixed point: starting from [init], repeatedly expand
       unvisited states with [step].
-      @raise Failure when [max_states] (default 200_000) is exceeded —
-      a guard against accidentally infinite models. *)
+
+      With [jobs > 1], each breadth-first frontier is expanded in
+      parallel on that many OCaml domains and merged sequentially in
+      frontier order, which makes the result — state numbering included —
+      identical to the sequential run. [step] must then be safe to call
+      concurrently (pure up to freshly allocated results).
+
+      @raise Too_many_states when [max_states] (default 200_000) is
+      exceeded — a guard against accidentally infinite models. *)
 
   (** {1 Observation} *)
 
@@ -62,9 +91,16 @@ module Make (S : STATE) (L : LABEL) : sig
   val find_state : t -> S.t -> state_id option
   val states : t -> state_id list
   val successors : t -> state_id -> (L.t * state_id) list
-  (** In insertion order. *)
+  (** In insertion order. Allocates a fresh list; prefer
+      {!iter_successors} on hot paths. *)
+
+  val iter_successors : t -> state_id -> (L.t -> state_id -> unit) -> unit
+  (** Iterate the successor array in insertion order without allocating. *)
 
   val predecessors : t -> state_id -> (state_id * L.t) list
+  (** Served from a cached reverse index (built lazily, invalidated by
+      mutation); in transition-iteration order. *)
+
   val transitions : t -> transition list
   val iter_transitions : t -> (transition -> unit) -> unit
 
@@ -82,6 +118,7 @@ module Make (S : STATE) (L : LABEL) : sig
   (** No state has two outgoing transitions with equal labels. *)
 
   val is_acyclic : t -> bool
+  (** Iterative (explicit stack): safe on arbitrarily deep graphs. *)
 
   val path_to : t -> (state_id -> bool) -> (L.t * state_id) list option
   (** Shortest witness path (sequence of steps from the initial state) to
@@ -109,8 +146,9 @@ module Make (S : STATE) (L : LABEL) : sig
   val bisimulation_classes : t -> init_key:(state_id -> string) -> state_id list list
   (** Partition refinement: coarsest partition refining [init_key] that is
       stable under transitions (strong bisimulation with labels compared
-      by [L.equal] via their printed form — see note in the
-      implementation). Covers all states, reachable or not. *)
+      by their printed form — see note in the implementation). Labels are
+      interned to integer keys once; the refinement rounds are purely
+      integer-keyed. Covers all states, reachable or not. *)
 
   val quotient : t -> init_key:(state_id -> string) -> t * (state_id -> state_id)
   (** Quotient LTS by {!bisimulation_classes}; the function maps original

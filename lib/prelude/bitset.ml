@@ -43,7 +43,11 @@ let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 let same_len a b =
   if a.len <> b.len then invalid_arg "Bitset: length mismatch"
 
-let equal a b = same_len a b; Array.for_all2 ( = ) a.words b.words
+let equal a b =
+  same_len a b;
+  (* Copy-on-write consumers share word arrays heavily; the physical
+     checks make equality O(1) on shared substructure. *)
+  a == b || a.words == b.words || Array.for_all2 ( = ) a.words b.words
 
 let compare a b =
   same_len a b;
@@ -78,9 +82,30 @@ let subset a b =
   in
   go 0
 
+(* Index of the lowest set bit of a one-bit word. *)
+let lsb_index lsb = popcount (lsb - 1)
+
 let iter f t =
-  for i = 0 to t.len - 1 do
-    if get t i then f i
+  (* Word-skipping: empty words cost one comparison, set bits are
+     extracted lowest-first so indices come out in increasing order. *)
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref t.words.(w) in
+    while !bits <> 0 do
+      let lsb = !bits land - !bits in
+      f ((w * bits_per_word) + lsb_index lsb);
+      bits := !bits land lnot lsb
+    done
+  done
+
+let iter_inter f a b =
+  same_len a b;
+  for w = 0 to Array.length a.words - 1 do
+    let bits = ref (a.words.(w) land b.words.(w)) in
+    while !bits <> 0 do
+      let lsb = !bits land - !bits in
+      f ((w * bits_per_word) + lsb_index lsb);
+      bits := !bits land lnot lsb
+    done
   done
 
 let fold f t init =
@@ -95,7 +120,54 @@ let of_list len l =
   List.iter (set t) l;
   t
 
+let with_set t i =
+  if get t i then t
+  else begin
+    let c = copy t in
+    set c i;
+    c
+  end
+
+let with_bits t l =
+  if List.for_all (get t) l then t
+  else begin
+    let c = copy t in
+    List.iter (set c) l;
+    c
+  end
+
 let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
+
+let range_check t pos len =
+  if len < 0 || len > bits_per_word || pos < 0 || pos + len > t.len then
+    invalid_arg "Bitset: word range out of bounds"
+
+let word_mask len = if len >= bits_per_word then lnot 0 else (1 lsl len) - 1
+
+let extract t ~pos ~len =
+  range_check t pos len;
+  if len = 0 then 0
+  else begin
+    let w = pos / bits_per_word and off = pos mod bits_per_word in
+    let lo = t.words.(w) lsr off in
+    let v =
+      if off + len <= bits_per_word then lo
+      else lo lor (t.words.(w + 1) lsl (bits_per_word - off))
+    in
+    v land word_mask len
+  end
+
+let set_word t ~pos ~len bits =
+  range_check t pos len;
+  let bits = bits land word_mask len in
+  if bits <> 0 then begin
+    let w = pos / bits_per_word and off = pos mod bits_per_word in
+    (* [lsl] drops bits shifted past the word width, which is exactly
+       the high part carried into the next word below. *)
+    t.words.(w) <- t.words.(w) lor (bits lsl off);
+    if off + len > bits_per_word then
+      t.words.(w + 1) <- t.words.(w + 1) lor (bits lsr (bits_per_word - off))
+  end
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

@@ -40,12 +40,39 @@ val subset : t -> t -> bool
 (** [subset a b] is true iff every bit set in [a] is set in [b]. *)
 
 val iter : (int -> unit) -> t -> unit
-(** Iterate over set-bit indices in increasing order. *)
+(** Iterate over set-bit indices in increasing order. Word-skipping: cost
+    is proportional to the number of words plus the number of set bits,
+    not to the capacity. *)
+
+val iter_inter : (int -> unit) -> t -> t -> unit
+(** [iter_inter f a b] calls [f] on every index set in both [a] and [b],
+    in increasing order, without materialising the intersection. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> int list
 val of_list : int -> int list -> t
 val clear_all : t -> unit
+
+val with_set : t -> int -> t
+(** Copy-on-write [set]: a fresh bitset with the bit additionally set —
+    or [t] itself (shared, no allocation) when the bit is already set. *)
+
+val with_bits : t -> int list -> t
+(** Copy-on-write [set] of several bits; [t] itself when they are all
+    already set. *)
+
+val bits_per_word : int
+(** Number of payload bits per machine word (63). *)
+
+val extract : t -> pos:int -> len:int -> int
+(** [extract t ~pos ~len] is bits [pos .. pos+len-1] of [t] packed into
+    an int, bit [pos] lowest. [len] must be at most [bits_per_word]; the
+    range must lie within the capacity. *)
+
+val set_word : t -> pos:int -> len:int -> int -> unit
+(** [set_word t ~pos ~len w] sets every bit [pos + i] of [t] for which
+    bit [i] of [w] is set ([i < len]); clears nothing. Inverse direction
+    of {!extract} restricted to unions. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders as e.g. [{1, 4, 7}]. *)

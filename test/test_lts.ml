@@ -14,6 +14,7 @@ module StrLabel = struct
   type t = string
 
   let equal = String.equal
+  let hash = Hashtbl.hash
   let pp = Format.pp_print_string
 end
 
@@ -110,8 +111,8 @@ let test_explore_max_states () =
   match
     L.explore ~max_states:10 ~init:0 ~step:(fun s -> [ ("i", s + 1) ]) ()
   with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected max_states failure"
+  | exception Mdp_lts.Lts.Too_many_states n -> check int_ "carries the limit" 10 n
+  | _ -> Alcotest.fail "expected Too_many_states"
 
 let test_map_labels () =
   let t, s0, s1, _, _ = diamond () in

@@ -61,6 +61,38 @@ let test_bitset_zero_length () =
   check bool_ "empty" true (Bitset.is_empty b);
   check bool_ "equal to copy" true (Bitset.equal b (Bitset.copy b))
 
+let test_bitset_words () =
+  let b = Bitset.of_list 130 [ 0; 5; 62; 63; 64; 100; 129 ] in
+  check int_ "extract low word" ((1 lsl 0) lor (1 lsl 5) lor (1 lsl 62))
+    (Bitset.extract b ~pos:0 ~len:63);
+  (* A slice crossing the 63-bit word boundary. *)
+  check int_ "extract straddling" ((1 lsl 2) lor (1 lsl 3) lor (1 lsl 4))
+    (Bitset.extract b ~pos:60 ~len:10);
+  check int_ "extract empty slice" 0 (Bitset.extract b ~pos:65 ~len:30);
+  check int_ "extract zero len" 0 (Bitset.extract b ~pos:10 ~len:0);
+  Alcotest.check_raises "extract out of range"
+    (Invalid_argument "Bitset: word range out of bounds") (fun () ->
+      ignore (Bitset.extract b ~pos:100 ~len:40));
+  let c = Bitset.create 130 in
+  Bitset.set_word c ~pos:60 ~len:10 ((1 lsl 2) lor (1 lsl 9));
+  check (Alcotest.list int_) "set_word straddling" [ 62; 69 ] (Bitset.to_list c);
+  Bitset.set_word c ~pos:0 ~len:63 (1 lsl 62);
+  check (Alcotest.list int_) "set_word keeps existing" [ 62; 69 ]
+    (Bitset.to_list c)
+
+let prop_bitset_extract_roundtrip =
+  QCheck.Test.make ~name:"set_word then extract roundtrips" ~count:200
+    QCheck.(pair (int_bound 80) (small_list (int_bound 40)))
+    (fun (pos, xs) ->
+      let len = 41 in
+      let bits =
+        List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 xs
+      in
+      let b = Bitset.create (pos + len) in
+      Bitset.set_word b ~pos ~len bits;
+      Bitset.extract b ~pos ~len = bits
+      && Bitset.to_list b = List.map (( + ) pos) (List.sort_uniq Int.compare xs))
+
 let bitset_of_gen_list l = Bitset.of_list 64 l
 
 let prop_bitset_union_commutes =
@@ -239,6 +271,7 @@ let () =
           Alcotest.test_case "set ops" `Quick test_bitset_set_ops;
           Alcotest.test_case "length mismatch" `Quick test_bitset_length_mismatch;
           Alcotest.test_case "zero length" `Quick test_bitset_zero_length;
+          Alcotest.test_case "word extract/set" `Quick test_bitset_words;
         ] );
       qsuite "bitset properties"
         [
@@ -246,6 +279,7 @@ let () =
           prop_bitset_demorgan;
           prop_bitset_roundtrip;
           prop_bitset_hash_equal;
+          prop_bitset_extract_roundtrip;
         ];
       ( "interner",
         [
