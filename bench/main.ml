@@ -630,6 +630,21 @@ let perf_pr2 ~jobs ~smoke () =
           time_median ~runs (fun () -> Core.Generate.run ~options ~jobs u)
         in
         let rate t = float_of_int states /. t in
+        (* PR 3 regression gate: on small models the frontier threshold
+           must route --jobs through the sequential path, so parallel
+           generation may no longer lose to sequential (PR 2 shipped
+           with speedup_par ~0.57x on the 1k-state cases). The margin
+           absorbs timer noise on sub-millisecond runs. *)
+        let small_model = states < 2048 in
+        let par_small_ok =
+          (not small_model) || t_par <= (t_after *. 1.5) +. 0.002
+        in
+        if not par_small_ok then begin
+          Printf.printf
+            "  %s: parallel regression on small model (par %.4fs vs seq %.4fs)\n"
+            name t_par t_after;
+          ok := false
+        end;
         Mdp_prelude.Texttable.add_row table
           [
             name;
@@ -662,6 +677,8 @@ let perf_pr2 ~jobs ~smoke () =
                   ("states_per_sec", J.Num (rate t_par)) ] );
             ("speedup_seq", J.Num (t_before /. t_after));
             ("speedup_par", J.Num (t_before /. t_par));
+            ("small_model", J.Bool small_model);
+            ("par_small_model_ok", J.Bool par_small_ok);
           ])
       (pr2_cases ~smoke)
   in
@@ -684,10 +701,154 @@ let perf_pr2 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR2.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 3 before/after: naive per-profile population analysis (one full
+   disclosure report per user) against the compiled engine (risk-plan
+   compilation + profile equivalence classes + parallel streaming
+   aggregation). Emits machine-readable BENCH_PR3.json and fails if the
+   compiled aggregates differ from the naive ones — structurally or as
+   rendered text — or, in smoke mode, if compiled is slower than naive. *)
+
+let pr3_cases ~smoke =
+  let granular = { Core.Generate.default_options with granular_reads = true } in
+  if smoke then
+    [ ("healthcare-2k", H.diagram, H.policy, Core.Generate.default_options, 2_000) ]
+  else
+    [
+      ("healthcare-granular-1k", H.diagram, H.policy, granular, 1_000);
+      ( "smart-home-20k",
+        Smart_home.diagram,
+        Smart_home.policy,
+        Core.Generate.default_options,
+        20_000 );
+      (* The headline case: >=100k profiles. The naive engine re-walks
+         the whole LTS per profile; the compiled engine analyses one
+         representative per equivalence class and weights by class
+         size, so its cost is bounded by the class count. *)
+      ("healthcare-100k", H.diagram, H.policy, Core.Generate.default_options, 100_000);
+    ]
+
+let perf_pr3 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr3] population engine before/after (jobs=%d)" jobs);
+  let ok = ref true in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "profiles"; "classes"; "naive s"; "compiled s";
+          Printf.sprintf "par(%d) s" jobs; "speedup"; "par speedup" ]
+  in
+  let json_cases =
+    List.map
+      (fun (name, diagram, policy, options, size) ->
+        let u = Core.Universe.make diagram policy in
+        let lts = Core.Generate.run ~options u in
+        let spec =
+          {
+            Core.Population.seed = 2026;
+            size;
+            westin_mix = Core.Population.default_mix;
+            agree_probability = 0.6;
+          }
+        in
+        let profiles = Core.Population.simulate spec diagram in
+        let nclasses = List.length (Core.Population.classes u profiles) in
+        let render agg =
+          Format.asprintf "%a" Core.Population.pp_aggregate agg
+        in
+        let naive = Core.Population.analyse u lts profiles in
+        let seq = Core.Population.analyse_compiled u lts profiles in
+        let par = Core.Population.analyse_compiled ~jobs u lts profiles in
+        let agree =
+          naive = seq && naive = par
+          && render naive = render seq
+          && render naive = render par
+        in
+        if not agree then begin
+          Printf.printf "  %s: ENGINES DISAGREE\n" name;
+          ok := false
+        end;
+        (* One naive sample on the big cases: a single run is minutes
+           long and the gap being measured is orders of magnitude. *)
+        let naive_runs = if size >= 20_000 then 1 else if smoke then 2 else 3 in
+        let t_naive =
+          time_median ~warmup:(min 1 (naive_runs - 1)) ~runs:naive_runs
+            (fun () -> Core.Population.analyse u lts profiles)
+        in
+        let t_seq =
+          time_median ~runs:3 (fun () ->
+              Core.Population.analyse_compiled u lts profiles)
+        in
+        let t_par =
+          time_median ~runs:3 (fun () ->
+              Core.Population.analyse_compiled ~jobs u lts profiles)
+        in
+        if smoke && t_seq > t_naive then begin
+          Printf.printf
+            "  %s: compiled engine slower than naive (%.3fs vs %.3fs)\n" name
+            t_seq t_naive;
+          ok := false
+        end;
+        Mdp_prelude.Texttable.add_row table
+          [
+            name;
+            string_of_int size;
+            string_of_int nclasses;
+            Printf.sprintf "%.3f" t_naive;
+            Printf.sprintf "%.3f" t_seq;
+            Printf.sprintf "%.3f" t_par;
+            Printf.sprintf "%.0fx" (t_naive /. t_seq);
+            Printf.sprintf "%.0fx" (t_naive /. t_par);
+          ];
+        let module J = Mdp_prelude.Json in
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("profiles", J.int size);
+            ("classes", J.int nclasses);
+            ("states", J.int (Core.Plts.num_states lts));
+            ("transitions", J.int (Core.Plts.num_transitions lts));
+            ("aggregates_agree", J.Bool agree);
+            ( "naive",
+              J.Obj
+                [ ("seconds", J.Num t_naive);
+                  ("profiles_per_sec", J.Num (float_of_int size /. t_naive)) ] );
+            ( "compiled_seq",
+              J.Obj
+                [ ("seconds", J.Num t_seq);
+                  ("profiles_per_sec", J.Num (float_of_int size /. t_seq)) ] );
+            ( "compiled_par",
+              J.Obj
+                [ ("seconds", J.Num t_par);
+                  ("profiles_per_sec", J.Num (float_of_int size /. t_par)) ] );
+            ("speedup_seq", J.Num (t_naive /. t_seq));
+            ("speedup_par", J.Num (t_naive /. t_par));
+          ])
+      (pr3_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  let module J = Mdp_prelude.Json in
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr3-population-engine");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR3.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR3.json\n";
+  !ok
+
 let () =
   let argv = Array.to_list Sys.argv in
   let smoke = List.mem "--smoke" argv in
   let pr2_only = List.mem "--pr2" argv in
+  let pr3_only = List.mem "--pr3" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -696,7 +857,13 @@ let () =
     in
     find argv
   in
-  if smoke || pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
+  if smoke then begin
+    let pr2_ok = perf_pr2 ~jobs ~smoke () in
+    let pr3_ok = perf_pr3 ~jobs ~smoke () in
+    exit (if pr2_ok && pr3_ok then 0 else 1)
+  end;
+  if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
+  if pr3_only then exit (if perf_pr3 ~jobs ~smoke () then 0 else 1);
   fig1 ();
   fig2 ();
   fig3 ();
@@ -711,6 +878,7 @@ let () =
   scaling_anonymisation ();
   chaos_resilience ();
   let pr2_ok = perf_pr2 ~jobs ~smoke:false () in
+  let pr3_ok = perf_pr3 ~jobs ~smoke:false () in
   perf ();
   Printf.printf "\ndone.\n";
-  if not pr2_ok then exit 1
+  if not (pr2_ok && pr3_ok) then exit 1

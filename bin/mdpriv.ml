@@ -413,14 +413,14 @@ let check_cmd =
 (* ----- population ----- *)
 
 let population_cmd =
-  let run path size seed agree_probability =
+  let run path size seed agree_probability jobs engine =
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
       exits_with_error
     | Ok { diagram; policy; _ } ->
       let u = Core.Universe.make diagram policy in
-      let lts = Core.Generate.run u in
+      let lts = Core.Generate.run ~jobs u in
       let spec =
         {
           Core.Population.seed;
@@ -430,8 +430,12 @@ let population_cmd =
         }
       in
       let profiles = Core.Population.simulate spec diagram in
-      Format.printf "%a@." Core.Population.pp_aggregate
-        (Core.Population.analyse u lts profiles);
+      let aggregate =
+        match engine with
+        | `Compiled -> Core.Population.analyse_compiled ~jobs u lts profiles
+        | `Naive -> Core.Population.analyse u lts profiles
+      in
+      Format.printf "%a@." Core.Population.pp_aggregate aggregate;
       0
   in
   let size =
@@ -444,10 +448,21 @@ let population_cmd =
       & info [ "agree-probability" ] ~docv:"P"
           ~doc:"Per-service agreement probability.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("compiled", `Compiled); ("naive", `Naive) ]) `Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Population engine: $(b,compiled) (plan compilation + profile \
+             equivalence classes, the default) or $(b,naive) (one full \
+             disclosure analysis per profile). Both produce identical \
+             aggregates.")
+  in
   Cmd.v
     (Cmd.info "population"
        ~doc:"Aggregate disclosure risk over a simulated user population.")
-    Term.(const run $ model_arg $ size $ seed $ agreep)
+    Term.(const run $ model_arg $ size $ seed $ agreep $ jobs_arg $ engine)
 
 
 (* ----- monitor (offline trace replay) ----- *)

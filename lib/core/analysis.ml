@@ -20,10 +20,17 @@ let run_params params diagram policy =
   let lts = Generate.run ~options:params.options universe in
   let consistency = Consistency.check universe in
   let disclosure =
+    (* Compiled plan path: bit-identical to Disclosure_risk.analyse
+       (test_population checks the equality), one witness BFS instead of
+       one per finding. Compiled before the pseudonym pass, which adds
+       transitions and would invalidate the plan. *)
     Option.map
       (fun profile ->
-        Disclosure_risk.analyse ~matrix:params.matrix ~model:params.model
-          universe lts profile)
+        let plan =
+          Risk_plan.compile ~matrix:params.matrix ~model:params.model universe
+            lts
+        in
+        Risk_plan.analyse plan profile)
       params.profile
   in
   let pseudonym =

@@ -59,9 +59,13 @@ val flow_only : options
 (** No policy-derived transitions: exactly the diagram's flows (the Fig. 3
     rendering mode). *)
 
-val run : ?options:options -> ?jobs:int -> Universe.t -> Plts.t
+val run :
+  ?options:options -> ?jobs:int -> ?par_threshold:int -> Universe.t -> Plts.t
 (** [jobs] (default 1) is the number of domains used for frontier
     exploration; the resulting LTS — state numbering included — is
     identical for every value (see {!Mdp_lts.Lts.S.explore}).
+    [par_threshold] is the minimum frontier width worth fanning out
+    (forwarded to [Lts.explore]; frontiers below it expand on the
+    calling domain so that small models never lose to sequential).
 
     @raise Mdp_lts.Lts.Too_many_states if [max_states] is exceeded. *)

@@ -8,6 +8,10 @@ type t = None_ | Low | Medium | High
 val compare : t -> t -> int
 (** [None_ < Low < Medium < High]. *)
 
+val rank : t -> int
+(** [None_] is 0, [High] is 3 — a dense index for per-level counter
+    arrays (population aggregation). *)
+
 val equal : t -> t -> bool
 val max : t -> t -> t
 val to_string : t -> string

@@ -1,6 +1,7 @@
 open Mdp_dataflow
 module Prng = Mdp_prelude.Prng
 module Listx = Mdp_prelude.Listx
+module Parallel = Mdp_prelude.Parallel
 
 type spec = {
   seed : int;
@@ -50,6 +51,21 @@ type aggregate = {
   hotspots : hotspot list;
 }
 
+(* Shared by the naive and compiled paths so that equal hotspot sets
+   render identically: worst level first, then reach, then the (actor,
+   store) key — a total order, so ties cannot depend on hash-table or
+   slot enumeration order. *)
+let sort_hotspots =
+  List.sort (fun a b ->
+      match Level.compare b.worst a.worst with
+      | 0 -> (
+        match Int.compare b.affected a.affected with
+        | 0 -> compare (a.actor, a.store) (b.actor, b.store)
+        | c -> c)
+      | c -> c)
+
+let level_order = [ Level.None_; Level.Low; Level.Medium; Level.High ]
+
 let analyse ?matrix ?model u lts profiles =
   let level_counts = Hashtbl.create 4 in
   let hotspot_tbl = Hashtbl.create 16 in
@@ -59,18 +75,20 @@ let analyse ?matrix ?model u lts profiles =
       let worst = Disclosure_risk.max_level report in
       Hashtbl.replace level_counts worst
         (1 + Option.value (Hashtbl.find_opt level_counts worst) ~default:0);
-      (* Each distinct (actor, store) with a finding counts once per
-         user. *)
-      let accesses =
-        Listx.dedup
-          (List.map
-             (fun (f : Disclosure_risk.finding) ->
-               (f.action.Action.actor, f.action.Action.store, f.level))
-             report.findings)
-      in
+      (* Each user counts at most once per (actor, store) access, at
+         the worst level of their findings on it — findings at two
+         levels on the same access are still one affected user. *)
+      let per_user = Hashtbl.create 8 in
       List.iter
-        (fun (actor, store, level) ->
-          let key = (actor, store) in
+        (fun (f : Disclosure_risk.finding) ->
+          let key = (f.action.Action.actor, f.action.Action.store) in
+          let worst_here =
+            Option.value (Hashtbl.find_opt per_user key) ~default:Level.None_
+          in
+          Hashtbl.replace per_user key (Level.max worst_here f.level))
+        report.findings;
+      Hashtbl.iter
+        (fun key level ->
           let affected, worst_so_far =
             Option.value
               (Hashtbl.find_opt hotspot_tbl key)
@@ -78,23 +96,120 @@ let analyse ?matrix ?model u lts profiles =
           in
           Hashtbl.replace hotspot_tbl key
             (affected + 1, Level.max worst_so_far level))
-        (Listx.dedup (List.map (fun (a, s, l) -> (a, s, l)) accesses)))
+        per_user)
     profiles;
   let by_level =
     List.filter_map
       (fun l ->
         Option.map (fun c -> (l, c)) (Hashtbl.find_opt level_counts l))
-      [ Level.None_; Level.Low; Level.Medium; Level.High ]
+      level_order
   in
   let hotspots =
     Hashtbl.fold
       (fun (actor, store) (affected, worst) acc ->
         { actor; store; affected; worst } :: acc)
       hotspot_tbl []
-    |> List.sort (fun a b ->
-           match Level.compare b.worst a.worst with
-           | 0 -> Int.compare b.affected a.affected
-           | c -> c)
+    |> sort_hotspots
+  in
+  { total = List.length profiles; by_level; hotspots }
+
+(* ----- equivalence classes ----- *)
+
+(* Within one universe, everything the analysis reads off a profile is
+   (a) its sensitivity on each universe field and (b) which diagram
+   services it agreed to (allowance, σ zeroing and the likelihood
+   scenarios all derive from those). Profiles equal on both are
+   indistinguishable, so a simulated population — |segments| baselines
+   x subsets of the service list — collapses to at most
+   |segments| x 2^|services| classes regardless of size. *)
+let classes u profiles =
+  let diagram = Universe.diagram u in
+  let svc_pos = Hashtbl.create 8 in
+  List.iteri
+    (fun i (s : Service.t) -> Hashtbl.replace svc_pos s.id i)
+    diagram.Diagram.services;
+  let nf = Universe.nfields u in
+  let key p =
+    let sens =
+      List.init nf (fun i ->
+          User_profile.sensitivity p (Universe.field_at u i))
+    in
+    let agreed =
+      List.sort_uniq Int.compare
+        (List.filter_map
+           (fun s -> Hashtbl.find_opt svc_pos s)
+           (User_profile.agreed_services p))
+    in
+    (sens, agreed)
+  in
+  let counts = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let k = key p in
+      match Hashtbl.find_opt counts k with
+      | Some r -> incr r
+      | None ->
+        let r = ref 1 in
+        Hashtbl.add counts k r;
+        order := (p, r) :: !order)
+    profiles;
+  List.rev_map (fun (p, r) -> (p, !r)) !order
+
+(* ----- compiled + parallel aggregation ----- *)
+
+let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
+  let plan = Risk_plan.compile ?matrix ?model u lts in
+  let cls = Array.of_list (classes u profiles) in
+  let nslots = Array.length (Risk_plan.slots plan) in
+  (* Per-chunk partials fold classes as they are evaluated — no
+     per-profile reports are ever materialised. The merge below uses
+     only sums and maxes, so the aggregate is identical for every
+     [jobs] (and to the naive per-profile path). *)
+  let parts =
+    Parallel.map_chunks ~jobs (Array.length cls) (fun lo hi ->
+        let counts = Array.make 4 0 in
+        let affected = Array.make (max nslots 1) 0 in
+        let worst = Array.make (max nslots 1) Level.None_ in
+        for c = lo to hi - 1 do
+          let profile, weight = cls.(c) in
+          let s = Risk_plan.summary plan profile in
+          let r = Level.rank s.Risk_plan.worst in
+          counts.(r) <- counts.(r) + weight;
+          Array.iteri
+            (fun i lvl ->
+              if Level.compare lvl Level.None_ > 0 then begin
+                affected.(i) <- affected.(i) + weight;
+                worst.(i) <- Level.max worst.(i) lvl
+              end)
+            s.Risk_plan.slot_levels
+        done;
+        (counts, affected, worst))
+  in
+  let counts = Array.make 4 0 in
+  let affected = Array.make (max nslots 1) 0 in
+  let worst = Array.make (max nslots 1) Level.None_ in
+  List.iter
+    (fun (c, a, w) ->
+      Array.iteri (fun i v -> counts.(i) <- counts.(i) + v) c;
+      Array.iteri (fun i v -> affected.(i) <- affected.(i) + v) a;
+      Array.iteri (fun i v -> worst.(i) <- Level.max worst.(i) v) w)
+    parts;
+  let by_level =
+    List.filter_map
+      (fun l ->
+        let c = counts.(Level.rank l) in
+        if c > 0 then Some (l, c) else None)
+      level_order
+  in
+  let hotspots =
+    Array.to_list
+      (Array.mapi
+         (fun i (actor, store) ->
+           { actor; store; affected = affected.(i); worst = worst.(i) })
+         (Risk_plan.slots plan))
+    |> List.filter (fun h -> h.affected > 0)
+    |> sort_hotspots
   in
   { total = List.length profiles; by_level; hotspots }
 

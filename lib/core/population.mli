@@ -29,7 +29,10 @@ val simulate : spec -> Mdp_dataflow.Diagram.t -> User_profile.t list
 type hotspot = {
   actor : string;
   store : string option;
-  affected : int;  (** Users with at least one finding on this access. *)
+  affected : int;
+      (** Users with at least one finding on this access — each user
+          counted once per (actor, store), whatever the number or
+          levels of their findings there. *)
   worst : Level.t;
 }
 
@@ -38,7 +41,9 @@ type aggregate = {
   by_level : (Level.t * int) list;
       (** Users per worst-finding level, [None_] first. Sums to
           [total]. *)
-  hotspots : hotspot list;  (** Sorted worst level first, then reach. *)
+  hotspots : hotspot list;
+      (** Sorted worst level first, then reach, then (actor, store) —
+          a total order, so the list is deterministic. *)
 }
 
 val analyse :
@@ -48,7 +53,37 @@ val analyse :
   Plts.t ->
   User_profile.t list ->
   aggregate
-(** The LTS is generated once and shared; per-profile label annotations
-    are overwritten on each pass and left in the last profile's state. *)
+(** The naive reference path: one full [Disclosure_risk.analyse] per
+    profile. The LTS is generated once and shared; per-profile label
+    annotations are overwritten on each pass and left in the last
+    profile's state. *)
+
+val classes :
+  Universe.t -> User_profile.t list -> (User_profile.t * int) list
+(** Profile equivalence classes: (representative, member count) in
+    first-occurrence order. Two profiles are equivalent when they have
+    the same sensitivity on every universe field and agreed to the same
+    diagram services — everything the disclosure analysis can observe —
+    so a simulated population collapses to at most
+    [segments x 2^|services|] classes. The counts sum to the input
+    length. *)
+
+val analyse_compiled :
+  ?matrix:Risk_matrix.t ->
+  ?model:Disclosure_risk.likelihood_model ->
+  ?jobs:int ->
+  Universe.t ->
+  Plts.t ->
+  User_profile.t list ->
+  aggregate
+(** The compiled engine: one {!Risk_plan.compile} pass over the LTS,
+    profiles deduplicated through {!classes}, each class evaluated once
+    via [Risk_plan.summary] and weighted by its size, with the classes
+    fanned out over [jobs] domains (default 1) and folded into
+    streaming partial counts — no per-profile reports exist at any
+    point. The merge uses only sums and maxes, so the result is
+    identical for every [jobs] value and byte-identical to {!analyse}
+    on the same inputs. Unlike {!analyse} it leaves the LTS labels
+    untouched. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

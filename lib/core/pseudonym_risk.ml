@@ -40,16 +40,13 @@ type risk_transition = {
   report : Mdp_anon.Value_risk.report;
 }
 
-(* May the actor read [field] from *some* datastore? Access rights in the
-   §III-B sense are store-independent: any read route to the raw field
-   removes the inference risk (it is then a plain disclosure risk). *)
-let may_read_somewhere u ~actor_i ~field =
-  let fi = Universe.field_index u field in
-  let rec scan s =
-    s < Universe.nstores u
-    && (List.mem actor_i (Universe.readers u ~store:s ~field:fi) || scan (s + 1))
-  in
-  scan 0
+(* "May the actor read this field from *some* datastore?" — the access
+   question of §III-B — is store-independent: any read route to the raw
+   field removes the inference risk (it is then a plain disclosure
+   risk). It is answered below by the universe's precompiled access
+   matrix ([Universe.readable_anywhere], the union of the per-store
+   permission bitsets) instead of scanning reader lists per
+   (state, actor). *)
 
 let analyse u lts binding =
   let diagram = Universe.diagram u in
@@ -69,6 +66,29 @@ let analyse u lts binding =
   (match sens_anon_i with
   | None -> () (* the model never pseudonymises the field: no risk states *)
   | Some sens_anon_i ->
+    (* State-independent facts, hoisted out of the state sweep. The
+       sensitive-field index lookup stays lazy so a model that never
+       triggers the risk keeps the original "no such field" behaviour. *)
+    let sens_fi = lazy (Universe.field_index u sensitive_field) in
+    let eligible =
+      (* not (may read raw somewhere) && may read anon somewhere *)
+      Array.init (Universe.nactors u) (fun a ->
+          lazy
+            (let anywhere = Universe.readable_anywhere u ~actor:a in
+             (not (Bitset.get anywhere (Lazy.force sens_fi)))
+             && Bitset.get anywhere sens_anon_i))
+    in
+    (* Quasi attributes resolved once: (attr, anon field, index). *)
+    let quasi_resolved =
+      List.filter_map
+        (fun attr ->
+          let base = List.assoc attr binding.attr_fields in
+          let anon = Field.anon_of base in
+          match Universe.field_index u anon with
+          | exception Not_found -> None
+          | fi -> Some (attr, anon, fi))
+        quasi_attrs
+    in
     let snapshot = Plts.states lts in
     List.iter
       (fun src ->
@@ -79,27 +99,18 @@ let analyse u lts binding =
             Privacy_state.has_i cfg.Config.privacy
               (Universe.var u ~actor:a ~field:sens_anon_i)
           in
-          if
-            accessed_anon
-            && (not (may_read_somewhere u ~actor_i:a ~field:sensitive_field))
-            && may_read_somewhere u ~actor_i:a ~field:sens_anon
-          then begin
+          if accessed_anon && Lazy.force eligible.(a) then begin
             (* Quasi anon fields this actor has read at this state. *)
             let fields_read_attrs, fields_read =
               List.split
                 (List.filter_map
-                   (fun attr ->
-                     let base = List.assoc attr binding.attr_fields in
-                     let anon = Field.anon_of base in
-                     match Universe.field_index u anon with
-                     | exception Not_found -> None
-                     | fi ->
-                       if
-                         Privacy_state.has_i cfg.Config.privacy
-                           (Universe.var u ~actor:a ~field:fi)
-                       then Some (attr, anon)
-                       else None)
-                   quasi_attrs)
+                   (fun (attr, anon, fi) ->
+                     if
+                       Privacy_state.has_i cfg.Config.privacy
+                         (Universe.var u ~actor:a ~field:fi)
+                     then Some (attr, anon)
+                     else None)
+                   quasi_resolved)
             in
             let report =
               Mdp_anon.Value_risk.assess binding.dataset
@@ -109,8 +120,7 @@ let analyse u lts binding =
                identified the raw field. *)
             let cfg' = Config.copy cfg in
             Bitset.set cfg'.Config.privacy.Privacy_state.has
-              (Universe.var u ~actor:a
-                 ~field:(Universe.field_index u sensitive_field));
+              (Universe.var u ~actor:a ~field:(Lazy.force sens_fi));
             let dst = Plts.add_state lts cfg' in
             let max_risk =
               Frac.to_float (Mdp_anon.Value_risk.max_risk report)

@@ -1,0 +1,469 @@
+open Mdp_dataflow
+open Mdp_prelude
+
+(* Everything about a transition's §III-A risk that does not depend on
+   the user profile, resolved to dense indices in one pass over the LTS.
+   Per-profile evaluation is then an array walk: look up σ by field
+   index, test actor allowance by actor index, test service agreement by
+   bitset — no diagram scans, no string lookups, no flow traversals.
+
+   The compiled plan reproduces [Disclosure_risk.analyse] bit for bit
+   (same floats, same ordering, same label annotations); the equality is
+   enforced by test/test_population.ml and the population bench. *)
+
+(* How the impact of a transition is computed (naive reference:
+   [Disclosure_risk.transition_impact]). *)
+type impact_plan =
+  | Imp_none  (** [delete]: sets nothing, impact 0. *)
+  | Imp_actor of { actor : int; fields : int array }
+      (** [collect]/[read]/[disclose]: max σ(field, actor) over the
+          action's fields. *)
+  | Imp_readers of { fields : (int * int array) array }
+      (** [create]/[anon]: per created field, the policy-permitted
+          reader set; impact is the max σ over (field, reader) pairs. *)
+
+(* The accidental-access term of the likelihood (first §III-A scenario). *)
+type accidental =
+  | Acc_potential  (** Potential/inferred read: [model.accidental_access]. *)
+  | Acc_agreed of int
+      (** Read prescribed by diagram service [i]: 0 when agreed,
+          [model.rogue_service] otherwise. *)
+  | Acc_by_name of string
+      (** Fallback for a provenance service absent from the diagram
+          (cannot arise from [Generate]); resolved against the raw
+          agreed-service list. *)
+
+type likelihood_plan = {
+  lk_accidental : accidental;
+  lk_maintenance : bool;
+      (** Actor holds the Delete permission on the store (second
+          scenario, [model.maintenance_exposure]). *)
+  lk_rogue : Bitset.t option;
+      (** Third scenario, potential/inferred reads only: the diagram
+          services owning a [store -> actor] read flow. The term fires
+          iff at least one of them is not agreed ([None] for from-flow
+          reads, where the scenario is folded into [lk_accidental]). *)
+}
+
+type entry = {
+  e_src : Plts.state_id;
+  e_dst : Plts.state_id;
+  e_kind : Action.kind;
+  e_annotate : bool;
+      (** Read with From_flow/Potential provenance: the label gets a
+          [Disclosure_risk] annotation. *)
+  e_findable : bool;
+      (** Read with provenance <> Inferred: the only entries that can
+          become findings. *)
+  e_slot : int;  (** Hotspot slot of findable entries; -1 otherwise. *)
+  e_impact : impact_plan;
+  e_likelihood : likelihood_plan option;  (** [Some] for store reads. *)
+}
+
+type t = {
+  u : Universe.t;
+  lts : Plts.t;
+  matrix : Risk_matrix.t;
+  model : Disclosure_risk.likelihood_model;
+  entries : entry array;  (** In [iter_transitions] order. *)
+  findable : int array;  (** Indices into [entries]. *)
+  slots : (string * string option) array;
+      (** Slot -> (actor, store) of its findable entries — the hotspot
+          key the population aggregation counts per user. *)
+  entry_base : int array;
+      (** State -> index of its first entry: entry of the [i]-th
+          successor of [s] is [entry_base.(s) + i]. *)
+  mutable witness_tree : (int * int) array option;
+      (** State -> (BFS parent, entry index of the discovering
+          transition); (-1, -1) for the initial state and unreachable
+          states. Built on first [analyse]; not domain-safe (the
+          population summary path never touches it). *)
+}
+
+let slots t = t.slots
+let matrix t = t.matrix
+
+let compile ?(matrix = Risk_matrix.default)
+    ?(model = Disclosure_risk.default_likelihood) u lts =
+  let diagram = Universe.diagram u in
+  let svc_ids = Hashtbl.create 8 in
+  List.iteri
+    (fun i (s : Service.t) -> Hashtbl.replace svc_ids s.id i)
+    diagram.Diagram.services;
+  let nservices = List.length diagram.Diagram.services in
+  let no_candidates = Bitset.create nservices in
+  (* (store id, actor id) -> services with a Store -> Actor read flow:
+     the §III-A rogue-service candidates, found once instead of scanning
+     [Diagram.all_flows] per transition per profile. *)
+  let rogue_candidates = Hashtbl.create 16 in
+  List.iter
+    (fun ((svc : Service.t), (flow : Flow.t)) ->
+      match (flow.src, flow.dst) with
+      | Flow.Store store, Flow.Actor actor ->
+        let key = (store, actor) in
+        let bits =
+          match Hashtbl.find_opt rogue_candidates key with
+          | Some b -> b
+          | None ->
+            let b = Bitset.create nservices in
+            Hashtbl.add rogue_candidates key b;
+            b
+        in
+        Bitset.set bits (Hashtbl.find svc_ids svc.id)
+      | _ -> ())
+    (Diagram.all_flows diagram);
+  let impact_plan (a : Action.t) =
+    match a.Action.kind with
+    | Action.Collect | Action.Read | Action.Disclose ->
+      Imp_actor
+        {
+          actor = Universe.actor_index u a.actor;
+          fields =
+            Array.of_list (List.map (Universe.field_index u) a.fields);
+        }
+    | Action.Create | Action.Anon ->
+      let created =
+        match a.kind with
+        | Action.Anon -> List.map Field.anon_of a.fields
+        | _ -> a.fields
+      in
+      let store =
+        match a.store with
+        | Some s -> Universe.store_index u s
+        | None -> invalid_arg "transition_impact: create without store"
+      in
+      Imp_readers
+        {
+          fields =
+            Array.of_list
+              (List.map
+                 (fun f ->
+                   let fi = Universe.field_index u f in
+                   (fi, Array.of_list (Universe.readers u ~store ~field:fi)))
+                 created);
+        }
+    | Action.Delete -> Imp_none
+  in
+  let likelihood_plan (a : Action.t) =
+    match (a.Action.kind, a.Action.store) with
+    | Action.Read, Some store_id ->
+      let store = Universe.store_index u store_id in
+      let actor_i = Universe.actor_index u a.actor in
+      let lk_accidental =
+        match a.provenance with
+        | Action.Potential | Action.Inferred -> Acc_potential
+        | Action.From_flow { service; _ } -> (
+          match Hashtbl.find_opt svc_ids service with
+          | Some i -> Acc_agreed i
+          | None -> Acc_by_name service)
+      in
+      let lk_maintenance =
+        List.mem actor_i (Universe.deleters u ~store)
+      in
+      let lk_rogue =
+        match a.provenance with
+        | Action.From_flow _ -> None
+        | Action.Potential | Action.Inferred ->
+          Some
+            (Option.value
+               (Hashtbl.find_opt rogue_candidates (store_id, a.actor))
+               ~default:no_candidates)
+      in
+      Some { lk_accidental; lk_maintenance; lk_rogue }
+    | _ -> None
+  in
+  let n = Plts.num_transitions lts in
+  let nstates = Plts.num_states lts in
+  let entries = ref [] in
+  let findable = ref [] in
+  let slot_ids = Hashtbl.create 16 in
+  let slot_list = ref [] in
+  let nslots = ref 0 in
+  let entry_base = Array.make (max nstates 1) 0 in
+  let k = ref 0 in
+  let prev_src = ref (-1) in
+  Plts.iter_transitions lts (fun { src; label; dst } ->
+      (* iter_transitions visits sources in ascending order. *)
+      for s = !prev_src + 1 to src do
+        entry_base.(s) <- !k
+      done;
+      prev_src := src;
+      let e_findable =
+        label.Action.kind = Action.Read
+        && label.Action.provenance <> Action.Inferred
+      in
+      let e_annotate =
+        match (label.Action.kind, label.Action.provenance) with
+        | Action.Read, (Action.From_flow _ | Action.Potential) -> true
+        | _ -> false
+      in
+      let e_slot =
+        if not e_findable then -1
+        else begin
+          let key = (label.Action.actor, label.Action.store) in
+          match Hashtbl.find_opt slot_ids key with
+          | Some i -> i
+          | None ->
+            let i = !nslots in
+            incr nslots;
+            Hashtbl.add slot_ids key i;
+            slot_list := key :: !slot_list;
+            i
+        end
+      in
+      if e_findable then findable := !k :: !findable;
+      entries :=
+        {
+          e_src = src;
+          e_dst = dst;
+          e_kind = label.Action.kind;
+          e_annotate;
+          e_findable;
+          e_slot;
+          e_impact = impact_plan label;
+          e_likelihood = likelihood_plan label;
+        }
+        :: !entries;
+      incr k);
+  for s = !prev_src + 1 to nstates - 1 do
+    entry_base.(s) <- !k
+  done;
+  assert (!k = n);
+  {
+    u;
+    lts;
+    matrix;
+    model;
+    entries = Array.of_list (List.rev !entries);
+    findable = Array.of_list (List.rev !findable);
+    slots = Array.of_list (List.rev !slot_list);
+    entry_base;
+    witness_tree = None;
+  }
+
+(* ----- per-profile view ----- *)
+
+(* The profile reduced to dense lookups: σ by field index, allowance by
+   actor index, agreement by diagram-service bitset. Extracted once per
+   profile (or per equivalence class) and shared by every entry. *)
+type view = {
+  vp_profile : User_profile.t;
+  sens : float array;
+  allowed : bool array;
+  agreed : Bitset.t;
+}
+
+let view t profile =
+  let diagram = Universe.diagram t.u in
+  let nf = Universe.nfields t.u in
+  let sens =
+    Array.init nf (fun i ->
+        User_profile.sensitivity profile (Universe.field_at t.u i))
+  in
+  let allowed_names = User_profile.allowed_actors profile diagram in
+  let allowed =
+    Array.init (Universe.nactors t.u) (fun a ->
+        List.mem (Universe.actor_name t.u a) allowed_names)
+  in
+  let services = diagram.Diagram.services in
+  let agreed = Bitset.create (List.length services) in
+  List.iteri
+    (fun i (s : Service.t) ->
+      if User_profile.agrees_to profile s.id then Bitset.set agreed i)
+    services;
+  { vp_profile = profile; sens; allowed; agreed }
+
+let eval_impact view = function
+  | Imp_none -> 0.0
+  | Imp_actor { actor; fields } ->
+    (* σ is 0 for an allowed actor regardless of sensitivities
+       ([User_profile.sigma]); the fold mirrors [Listx.max_byf]. *)
+    if view.allowed.(actor) then 0.0
+    else
+      Array.fold_left
+        (fun acc f -> Float.max acc view.sens.(f))
+        0.0 fields
+  | Imp_readers { fields } ->
+    Array.fold_left
+      (fun acc (f, readers) ->
+        if Array.exists (fun a -> not view.allowed.(a)) readers then
+          Float.max acc view.sens.(f)
+        else acc)
+      0.0 fields
+
+let eval_likelihood model view = function
+  | None -> 0.0
+  | Some lk ->
+    let accidental =
+      match lk.lk_accidental with
+      | Acc_potential -> model.Disclosure_risk.accidental_access
+      | Acc_agreed i ->
+        if Bitset.get view.agreed i then 0.0
+        else model.Disclosure_risk.rogue_service
+      | Acc_by_name service ->
+        if User_profile.agrees_to view.vp_profile service then 0.0
+        else model.Disclosure_risk.rogue_service
+    in
+    let maintenance =
+      if lk.lk_maintenance then model.Disclosure_risk.maintenance_exposure
+      else 0.0
+    in
+    let rogue =
+      match lk.lk_rogue with
+      | None -> 0.0
+      | Some candidates ->
+        if Bitset.subset candidates view.agreed then 0.0
+        else model.Disclosure_risk.rogue_service
+    in
+    (* Same term order and clip as the naive path: float-identical. *)
+    Float.min 1.0 (accidental +. maintenance +. rogue)
+
+(* ----- population summary ----- *)
+
+type summary = { worst : Level.t; slot_levels : Level.t array }
+
+let summary t profile =
+  let view = view t profile in
+  let worst = ref Level.None_ in
+  let slot_levels = Array.make (Array.length t.slots) Level.None_ in
+  Array.iter
+    (fun k ->
+      let e = t.entries.(k) in
+      let impact = eval_impact view e.e_impact in
+      (* impact = 0 or likelihood = 0 categorise to [None_], which can
+         never yield a finding — skip the table lookups. *)
+      if impact > 0.0 then begin
+        let likelihood = eval_likelihood t.model view e.e_likelihood in
+        if likelihood > 0.0 then begin
+          let il = Risk_matrix.impact_level t.matrix impact in
+          let ll = Risk_matrix.likelihood_level t.matrix likelihood in
+          let level = Risk_matrix.level t.matrix ~impact:il ~likelihood:ll in
+          if Level.compare level Level.None_ > 0 then begin
+            worst := Level.max !worst level;
+            slot_levels.(e.e_slot) <- Level.max slot_levels.(e.e_slot) level
+          end
+        end
+      end)
+    t.findable;
+  { worst = !worst; slot_levels }
+
+(* ----- full report (bit-compatible with Disclosure_risk.analyse) ----- *)
+
+let force_witness_tree t =
+  match t.witness_tree with
+  | Some tree -> tree
+  | None ->
+    let n = Plts.num_states t.lts in
+    let tree = Array.make (max n 1) (-1, -1) in
+    let seen = Array.make (max n 1) false in
+    let q = Queue.create () in
+    let start = Plts.initial t.lts in
+    seen.(start) <- true;
+    Queue.push start q;
+    while not (Queue.is_empty q) do
+      let s = Queue.pop q in
+      let base = t.entry_base.(s) in
+      let i = ref 0 in
+      Plts.iter_successors t.lts s (fun _label d ->
+          let e = base + !i in
+          incr i;
+          if not seen.(d) then begin
+            seen.(d) <- true;
+            tree.(d) <- (s, e);
+            Queue.push d q
+          end)
+    done;
+    t.witness_tree <- Some tree;
+    tree
+
+(* Witness path to [src]: unwind the precomputed BFS tree instead of
+   running a fresh [Plts.path_to] per finding. The parents are assigned
+   at first discovery in the same successor order the per-finding BFS
+   uses, so the paths are identical. *)
+let witness_of labels tree src =
+  if fst tree.(src) = -1 then []
+  else begin
+    let rec unwind acc s =
+      match tree.(s) with
+      | -1, _ -> acc
+      | prev, e -> unwind (labels.(e) :: acc) prev
+    in
+    unwind [] src
+  end
+
+let analyse t profile =
+  if Plts.num_transitions t.lts <> Array.length t.entries then
+    invalid_arg "Risk_plan.analyse: LTS changed since compile";
+  let view = view t profile in
+  let n = Array.length t.entries in
+  let imp = Array.make n 0.0 in
+  let lik = Array.make n 0.0 in
+  Array.iteri
+    (fun k e ->
+      imp.(k) <- eval_impact view e.e_impact;
+      lik.(k) <- eval_likelihood t.model view e.e_likelihood)
+    t.entries;
+  (* Annotate read labels in place, exactly like the naive pass;
+     map_labels visits transitions in the same order entries were
+     compiled. Inferred (§III-B) labels keep their Value_risk. *)
+  let labels = Array.make (max n 1) None in
+  let counter = ref 0 in
+  Plts.map_labels t.lts (fun { label; _ } ->
+      let k = !counter in
+      incr counter;
+      let label' =
+        if t.entries.(k).e_annotate then
+          Action.with_risk label
+            (Risk_matrix.assess t.matrix ~impact:imp.(k) ~likelihood:lik.(k))
+        else label
+      in
+      labels.(k) <- Some label';
+      label');
+  let labels = Array.map (fun l -> Option.get l) labels in
+  let tree = force_witness_tree t in
+  let findings = ref [] in
+  let exposures = ref [] in
+  Array.iteri
+    (fun k e ->
+      let finding () =
+        let impact = imp.(k) and likelihood = lik.(k) in
+        let impact_level = Risk_matrix.impact_level t.matrix impact in
+        let likelihood_level = Risk_matrix.likelihood_level t.matrix likelihood in
+        let level =
+          Risk_matrix.level t.matrix ~impact:impact_level
+            ~likelihood:likelihood_level
+        in
+        {
+          Disclosure_risk.src = e.e_src;
+          dst = e.e_dst;
+          action = labels.(k);
+          impact;
+          likelihood;
+          impact_level;
+          likelihood_level;
+          level;
+          witness = witness_of labels tree e.e_src;
+        }
+      in
+      match e.e_kind with
+      | Action.Read ->
+        if e.e_findable then begin
+          let f = finding () in
+          if Level.compare f.Disclosure_risk.level Level.None_ > 0 then
+            findings := f :: !findings
+        end
+      | Action.Collect | Action.Create | Action.Disclose | Action.Anon ->
+        if imp.(k) > 0.0 then exposures := finding () :: !exposures
+      | Action.Delete -> ())
+    t.entries;
+  let by_severity (a : Disclosure_risk.finding) (b : Disclosure_risk.finding) =
+    match Level.compare b.level a.level with
+    | 0 -> Float.compare b.impact a.impact
+    | c -> c
+  in
+  {
+    Disclosure_risk.non_allowed =
+      User_profile.non_allowed_actors profile (Universe.diagram t.u);
+    findings = List.sort by_severity !findings;
+    exposures = List.sort by_severity !exposures;
+  }

@@ -1,0 +1,65 @@
+(** Compiled disclosure-risk analysis (paper §III-A at population
+    scale).
+
+    [Disclosure_risk.analyse] recomputes profile-independent facts —
+    reader sets, rogue-flow scans, actor/field index lookups — for
+    every transition on every call, which makes a population sweep
+    O(profiles x transitions x flows). [compile] hoists all of it into
+    one pass over the LTS: per transition it resolves the action kind,
+    the field and actor indices, the policy reader sets of created
+    fields, the rogue-read candidate services per (actor, store), and
+    the likelihood scenario structure. A profile then reduces to a
+    {e view} — a σ vector indexed by field, an allowance vector indexed
+    by actor, an agreement bitset indexed by diagram service — and
+    per-profile evaluation is an array walk.
+
+    Both evaluation modes reproduce the naive path bit for bit (same
+    floats, same ordering, same annotations): {!analyse} returns a
+    [Disclosure_risk.report] equal to what [Disclosure_risk.analyse]
+    would return, and {!summary} computes exactly the per-user facts
+    [Population] aggregates. *)
+
+type t
+
+val compile :
+  ?matrix:Risk_matrix.t ->
+  ?model:Disclosure_risk.likelihood_model ->
+  Universe.t ->
+  Plts.t ->
+  t
+(** One pass over the transitions (defaults match
+    [Disclosure_risk.analyse]). The plan is tied to the LTS's current
+    transition set: label {e annotations} may change afterwards (the
+    plan itself rewrites them), but adding transitions — e.g. a
+    [Pseudonym_risk] pass — invalidates it, and {!analyse} then raises
+    [Invalid_argument]. *)
+
+val slots : t -> (string * string option) array
+(** The distinct (actor, store) pairs over which findings can occur —
+    the hotspot keys of {!summary}'s [slot_levels], in first-occurrence
+    order. *)
+
+val matrix : t -> Risk_matrix.t
+
+type summary = {
+  worst : Level.t;  (** [Disclosure_risk.max_level] of the report. *)
+  slot_levels : Level.t array;
+      (** Per {!slots} entry, the profile's worst finding level on that
+          (actor, store) access; [None_] = no finding there. *)
+}
+
+val summary : t -> User_profile.t -> summary
+(** The per-user facts the population aggregate needs, without
+    materialising a report (no witnesses, no sorting, no label
+    rewriting). Safe to call concurrently from several domains on the
+    same plan. *)
+
+val analyse : t -> User_profile.t -> Disclosure_risk.report
+(** Drop-in replacement for [Disclosure_risk.analyse ~matrix ~model u
+    lts profile]: annotates read labels in place and returns the
+    identical report. Witnesses come from a BFS tree built once per
+    plan instead of one search per finding. Not domain-safe (it
+    mutates labels and the cached tree).
+
+    @raise Invalid_argument when transitions were added since
+    {!compile}. *)

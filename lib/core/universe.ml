@@ -18,6 +18,10 @@ type t = {
       (* actor -> store -> field bitset; the permission matrix the
          generator intersects with store contents instead of re-querying
          [Policy.allows] per state. *)
+  readable_anywhere_cache : Bitset.t array;
+      (* actor -> field bitset: union of [readable_bits_cache] over all
+         stores — "may the actor read this field from *some* store",
+         the store-independent access question §III-B asks. *)
 }
 
 let nactors t = Interner.size t.actors
@@ -89,7 +93,13 @@ let build_caches diagram policy actors fields stores =
     Array.init na (fun a ->
         Array.init ns (fun s -> Bitset.of_list nf readable.(a).(s)))
   in
-  (readers, readable, deleters, readable_bits)
+  let readable_anywhere =
+    Array.init na (fun a ->
+        let acc = Bitset.create nf in
+        Array.iter (fun bits -> Bitset.union_into ~dst:acc bits) readable_bits.(a);
+        acc)
+  in
+  (readers, readable, deleters, readable_bits, readable_anywhere)
 
 let make diagram policy =
   (match Mdp_policy.Policy.validate policy diagram with
@@ -111,7 +121,11 @@ let make diagram policy =
     (fun i ((svc : Service.t), (fl : Flow.t)) ->
       Hashtbl.replace flow_ids (svc.id, fl.order) i)
     flows;
-  let readers_cache, readable_cache, deleters_cache, readable_bits_cache =
+  let ( readers_cache,
+        readable_cache,
+        deleters_cache,
+        readable_bits_cache,
+        readable_anywhere_cache ) =
     build_caches diagram policy actors fields stores
   in
   {
@@ -127,6 +141,7 @@ let make diagram policy =
     readable_cache;
     deleters_cache;
     readable_bits_cache;
+    readable_anywhere_cache;
   }
 
 let with_policy t policy =
@@ -135,7 +150,11 @@ let with_policy t policy =
   | Error msgs ->
     invalid_arg
       ("Universe.with_policy: invalid policy:\n" ^ String.concat "\n" msgs));
-  let readers_cache, readable_cache, deleters_cache, readable_bits_cache =
+  let ( readers_cache,
+        readable_cache,
+        deleters_cache,
+        readable_bits_cache,
+        readable_anywhere_cache ) =
     build_caches t.diagram policy t.actors t.fields t.stores
   in
   {
@@ -145,9 +164,11 @@ let with_policy t policy =
     readable_cache;
     deleters_cache;
     readable_bits_cache;
+    readable_anywhere_cache;
   }
 
 let readers t ~store ~field = t.readers_cache.(store).(field)
 let deleters t ~store = t.deleters_cache.(store)
 let readable_by t ~actor ~store = t.readable_cache.(actor).(store)
 let readable_bits t ~actor ~store = t.readable_bits_cache.(actor).(store)
+let readable_anywhere t ~actor = t.readable_anywhere_cache.(actor)

@@ -56,3 +56,9 @@ val readable_bits : t -> actor:int -> store:int -> Mdp_prelude.Bitset.t
 (** The same permission row as a bitset over field indices — the
     generator intersects it with store contents instead of querying
     [Policy.allows] per state. Treat as read-only; it is shared. *)
+
+val readable_anywhere : t -> actor:int -> Mdp_prelude.Bitset.t
+(** Union of {!readable_bits} over all stores: bit [f] set iff the
+    actor may read field [f] from at least one datastore. This is the
+    store-independent access question of §III-B ("any read route to
+    the raw field removes the inference risk"). Treat as read-only. *)

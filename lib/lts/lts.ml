@@ -324,8 +324,13 @@ module Make (S : STATE) (L : LABEL) = struct
      also processes states in discovery order, the merged LTS — state
      numbering, transition order, everything — is identical for every
      job count. [step] must be pure: it runs concurrently on multiple
-     domains against shared immutable inputs. *)
-  let explore_parallel t ~max_states ~step ~jobs =
+     domains against shared immutable inputs.
+
+     Frontiers narrower than [par_threshold] are expanded on the
+     calling domain: spawn/join costs dwarf the expansion work there,
+     and small models (every frontier narrow) would otherwise run
+     slower under [jobs > 1] than sequentially. *)
+  let explore_parallel t ~max_states ~step ~jobs ~par_threshold =
     let frontier = ref [ initial t ] in
     while !frontier <> [] do
       let fr = Array.of_list !frontier in
@@ -337,18 +342,8 @@ module Make (S : STATE) (L : LABEL) = struct
         done
       in
       let njobs = max 1 (min jobs nf) in
-      if njobs = 1 || nf < 8 then expand 0 nf
-      else begin
-        (* Contiguous chunks; the main domain takes the first. *)
-        let bound k = k * nf / njobs in
-        let workers =
-          List.init (njobs - 1) (fun k ->
-              let lo = bound (k + 1) and hi = bound (k + 2) in
-              Domain.spawn (fun () -> expand lo hi))
-        in
-        expand 0 (bound 1);
-        List.iter Domain.join workers
-      end;
+      if njobs = 1 || nf < par_threshold then expand 0 nf
+      else Mdp_prelude.Parallel.iter_chunks ~jobs:njobs nf expand;
       let next = ref [] in
       for i = 0 to nf - 1 do
         let src = fr.(i) in
@@ -364,12 +359,15 @@ module Make (S : STATE) (L : LABEL) = struct
       frontier := List.rev !next
     done
 
-  let explore ?(max_states = 200_000) ?(jobs = 1) ~init ~step () =
+  let default_par_threshold = 512
+
+  let explore ?(max_states = 200_000) ?(jobs = 1)
+      ?(par_threshold = default_par_threshold) ~init ~step () =
     let t = create () in
     ignore (add_state t init : state_id);
     if t.n > max_states then raise (Too_many_states max_states);
     if jobs <= 1 then explore_sequential t ~max_states ~step
-    else explore_parallel t ~max_states ~step ~jobs;
+    else explore_parallel t ~max_states ~step ~jobs ~par_threshold;
     t
 
   let path_to t pred =

@@ -64,6 +64,7 @@ module Make (S : STATE) (L : LABEL) : sig
   val explore :
     ?max_states:int ->
     ?jobs:int ->
+    ?par_threshold:int ->
     init:S.t ->
     step:(S.t -> (L.t * S.t) list) ->
     unit ->
@@ -76,6 +77,14 @@ module Make (S : STATE) (L : LABEL) : sig
       frontier order, which makes the result — state numbering included —
       identical to the sequential run. [step] must then be safe to call
       concurrently (pure up to freshly allocated results).
+
+      Frontiers narrower than [par_threshold] (default 512) are
+      expanded on the calling domain even when [jobs > 1]: below that
+      width the spawn/join overhead exceeds the expansion work, so
+      small models would otherwise run slower in parallel than
+      sequentially. Pass [~par_threshold:0] to force the parallel
+      machinery regardless of frontier width (used by the engine
+      equivalence tests).
 
       @raise Too_many_states when [max_states] (default 200_000) is
       exceeded — a guard against accidentally infinite models. *)

@@ -1,0 +1,28 @@
+(* Contiguous-chunk fan-out over OCaml 5 domains. The calling domain
+   always works the first chunk itself, so [jobs = 1] (or a single
+   chunk) never spawns: the sequential path stays allocation- and
+   domain-free, which is what makes a cheap small-input fallback
+   possible at the call sites. *)
+
+let chunks ~jobs n =
+  let jobs = if n <= 0 then 1 else max 1 (min jobs n) in
+  List.init jobs (fun k -> (k * n / jobs, (k + 1) * n / jobs))
+
+let map_chunks ~jobs n f =
+  if n <= 0 then []
+  else
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then [ f 0 n ]
+    else begin
+      let bound k = k * n / jobs in
+      let workers =
+        List.init (jobs - 1) (fun k ->
+            let lo = bound (k + 1) and hi = bound (k + 2) in
+            Domain.spawn (fun () -> f lo hi))
+      in
+      let first = f 0 (bound 1) in
+      first :: List.map Domain.join workers
+    end
+
+let iter_chunks ~jobs n f =
+  ignore (map_chunks ~jobs n (fun lo hi -> f lo hi) : unit list)

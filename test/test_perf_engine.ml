@@ -22,7 +22,9 @@ let triple = Alcotest.(triple int string int)
 
 (* Sequential vs parallel: the LTSs must be indistinguishable. The raw
    transition list is captured before any analysis — [analyse] annotates
-   labels in place. *)
+   labels in place. [par_threshold:0] forces the parallel machinery even
+   on these small models, which the default threshold would (correctly)
+   route through the sequential path. *)
 let check_engines name ?profile u options =
   let seq = Core.Generate.run ~options ~jobs:1 u in
   let seq_triples = transition_triples seq in
@@ -34,7 +36,7 @@ let check_engines name ?profile u options =
   List.iter
     (fun jobs ->
       let ctx fmt = Printf.sprintf ("%s jobs=%d " ^^ fmt) name jobs in
-      let par = Core.Generate.run ~options ~jobs u in
+      let par = Core.Generate.run ~options ~jobs ~par_threshold:0 u in
       check int_ (ctx "states") (Core.Plts.num_states seq)
         (Core.Plts.num_states par);
       check int_ (ctx "transitions")
@@ -105,7 +107,7 @@ let test_too_many_states () =
   let options = { Core.Generate.default_options with max_states = 5 } in
   List.iter
     (fun jobs ->
-      match Core.Generate.run ~options ~jobs u with
+      match Core.Generate.run ~options ~jobs ~par_threshold:0 u with
       | exception Mdp_lts.Lts.Too_many_states n ->
         check int_ "limit carried" 5 n
       | _ -> Alcotest.fail "expected Too_many_states")

@@ -1,0 +1,246 @@
+(* The compiled population engine (Risk_plan + equivalence classes +
+   parallel streaming aggregation) against the naive per-profile path:
+   same seeds, several specs and job counts, byte-identical aggregates.
+   Plus the hotspot counting fix and the plan's full-report parity. *)
+
+module Core = Mdp_core
+module H = Mdp_scenario.Healthcare
+module SH = Mdp_scenario.Smart_home
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let granular = { Core.Generate.default_options with granular_reads = true }
+
+let spec ?(seed = 7) ?(agree_probability = 0.7) size =
+  { Core.Population.seed; size; westin_mix = Core.Population.default_mix;
+    agree_probability }
+
+let render agg = Format.asprintf "%a" Core.Population.pp_aggregate agg
+
+(* Naive vs compiled on one model: equal aggregates (structurally and as
+   rendered text) for jobs 1 and 4. *)
+let check_engines name diagram policy options profiles =
+  let u = Core.Universe.make diagram policy in
+  let lts = Core.Generate.run ~options u in
+  let naive = Core.Population.analyse u lts profiles in
+  List.iter
+    (fun jobs ->
+      let compiled =
+        Core.Population.analyse_compiled ~jobs u lts profiles
+      in
+      check bool_
+        (Printf.sprintf "%s jobs=%d structural equality" name jobs)
+        true (naive = compiled);
+      check Alcotest.string
+        (Printf.sprintf "%s jobs=%d rendered equality" name jobs)
+        (render naive) (render compiled))
+    [ 1; 4 ]
+
+let test_healthcare_default () =
+  let profiles = Core.Population.simulate (spec 300) H.diagram in
+  check_engines "healthcare" H.diagram H.policy
+    Core.Generate.default_options profiles
+
+let test_healthcare_granular () =
+  let profiles = Core.Population.simulate (spec 80) H.diagram in
+  check_engines "healthcare-granular" H.diagram H.policy granular profiles
+
+let test_healthcare_fixed_policy () =
+  let profiles =
+    Core.Population.simulate (spec ~seed:99 ~agree_probability:0.4 150)
+      H.diagram
+  in
+  check_engines "healthcare-fixed" H.diagram H.fixed_policy
+    Core.Generate.default_options profiles
+
+let test_smart_home () =
+  let profiles = Core.Population.simulate (spec ~seed:3 200) SH.diagram in
+  check_engines "smart-home" SH.diagram SH.policy
+    Core.Generate.default_options profiles
+
+let test_empty_population () =
+  check_engines "empty" H.diagram H.policy Core.Generate.default_options []
+
+(* Hand-built profiles (explicit sensitivities, overlapping and
+   duplicated) rather than simulated ones. *)
+let test_handmade_profiles () =
+  let p sens agreed =
+    Core.User_profile.make ~sensitivities:sens ~agreed_services:agreed ()
+  in
+  let profiles =
+    [
+      p [ (H.diagnosis, 0.9); (H.name, 0.3) ] [];
+      p [ (H.diagnosis, 0.9); (H.name, 0.3) ] [];
+      p [ (H.diagnosis, 0.9); (H.name, 0.3) ] [ H.medical_service ];
+      p [ (H.treatment, 0.6) ] [ H.medical_service; H.research_service ];
+      p [] [];
+    ]
+  in
+  check_engines "handmade" H.diagram H.policy granular profiles
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence classes *)
+
+let test_classes_partition () =
+  let u = Core.Universe.make H.diagram H.policy in
+  let profiles = Core.Population.simulate (spec 500) H.diagram in
+  let classes = Core.Population.classes u profiles in
+  check int_ "members sum to population" 500
+    (Mdp_prelude.Listx.sum_by snd classes);
+  (* 3 Westin baselines x 2^2 service subsets bound the class count. *)
+  check bool_ "at most segments x 2^|services| classes" true
+    (List.length classes <= 12);
+  check bool_ "dedup is real at this size" true (List.length classes < 500)
+
+let test_classes_distinguish () =
+  let u = Core.Universe.make H.diagram H.policy in
+  let p sens agreed =
+    Core.User_profile.make ~sensitivities:sens ~agreed_services:agreed ()
+  in
+  let classes =
+    Core.Population.classes u
+      [
+        p [ (H.diagnosis, 0.9) ] [];
+        p [ (H.diagnosis, 0.9) ] [];
+        p [ (H.diagnosis, 0.8) ] [];
+        p [ (H.diagnosis, 0.9) ] [ H.medical_service ];
+      ]
+  in
+  check int_ "three distinct classes" 3 (List.length classes);
+  check int_ "first class has both members" 2 (snd (List.hd classes))
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot counting fix: a user with findings at two levels on the same
+   (actor, store) used to increment [affected] twice. *)
+
+let test_hotspot_counts_user_once () =
+  let u = Core.Universe.make H.diagram H.policy in
+  let lts = Core.Generate.run ~options:granular u in
+  (* No agreed services, very different sensitivities: the granular EHR
+     reads of one actor carry findings at different levels. *)
+  let profile =
+    Core.User_profile.make
+      ~sensitivities:[ (H.diagnosis, 0.9); (H.name, 0.2) ]
+      ~agreed_services:[] ()
+  in
+  let report = Core.Disclosure_risk.analyse u lts profile in
+  let distinct_levels_on_one_access =
+    Mdp_prelude.Listx.dedup
+      (List.filter_map
+         (fun (f : Core.Disclosure_risk.finding) ->
+           if f.action.Core.Action.actor = "Administrator"
+              && f.action.Core.Action.store = Some "EHR"
+           then Some f.level
+           else None)
+         report.findings)
+  in
+  check bool_ "scenario has two levels on the same access" true
+    (List.length distinct_levels_on_one_access >= 2);
+  let agg = Core.Population.analyse u lts [ profile ] in
+  List.iter
+    (fun (h : Core.Population.hotspot) ->
+      check int_
+        (Printf.sprintf "hotspot %s/%s counts the single user once" h.actor
+           (Option.value h.store ~default:"-"))
+        1 h.affected)
+    agg.hotspots;
+  let compiled = Core.Population.analyse_compiled u lts [ profile ] in
+  check bool_ "compiled agrees" true (agg = compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Full-report parity: Risk_plan.analyse is a drop-in replacement for
+   Disclosure_risk.analyse, annotations included. *)
+
+let labels_of lts =
+  let acc = ref [] in
+  Core.Plts.iter_transitions lts (fun tr ->
+      acc :=
+        Format.asprintf "%d>%d %a" tr.src tr.dst Core.Action.pp tr.label
+        :: !acc);
+  List.rev !acc
+
+let check_plan_parity name diagram policy options profile =
+  let u = Core.Universe.make diagram policy in
+  let naive_lts = Core.Generate.run ~options u in
+  let naive = Core.Disclosure_risk.analyse u naive_lts profile in
+  let plan_lts = Core.Generate.run ~options u in
+  let plan = Core.Risk_plan.compile u plan_lts in
+  let compiled = Core.Risk_plan.analyse plan profile in
+  check Alcotest.string
+    (name ^ " report")
+    (Format.asprintf "%a" Core.Disclosure_risk.pp_report naive)
+    (Format.asprintf "%a" Core.Disclosure_risk.pp_report compiled);
+  check bool_ (name ^ " reports structurally equal") true (naive = compiled);
+  check
+    Alcotest.(list string)
+    (name ^ " annotated labels")
+    (labels_of naive_lts) (labels_of plan_lts);
+  (* Witnesses come from the plan's BFS tree; spot-check against the
+     per-finding searches of the naive path. *)
+  List.iter2
+    (fun (a : Core.Disclosure_risk.finding)
+         (b : Core.Disclosure_risk.finding) ->
+      check int_ (name ^ " witness lengths") (List.length a.witness)
+        (List.length b.witness))
+    naive.findings compiled.findings
+
+let test_plan_parity_healthcare () =
+  check_plan_parity "healthcare" H.diagram H.policy
+    Core.Generate.default_options H.profile_case_a
+
+let test_plan_parity_granular () =
+  check_plan_parity "healthcare-granular" H.diagram H.policy granular
+    H.profile_case_a
+
+let test_plan_parity_smart_home () =
+  check_plan_parity "smart-home" SH.diagram SH.policy
+    Core.Generate.default_options SH.profile
+
+let test_plan_rejects_stale_lts () =
+  let u = Core.Universe.make H.study_diagram H.study_policy in
+  let lts = Core.Generate.run ~options:granular u in
+  let plan = Core.Risk_plan.compile u lts in
+  (* The pseudonym pass adds inferred transitions: the plan must refuse
+     to analyse the grown LTS rather than misattribute entries. *)
+  ignore (Core.Pseudonym_risk.analyse u lts H.study_binding);
+  match Core.Risk_plan.analyse plan H.profile_case_a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on a grown LTS"
+
+let () =
+  Alcotest.run "population"
+    [
+      ( "compiled-vs-naive",
+        [
+          Alcotest.test_case "healthcare default" `Quick
+            test_healthcare_default;
+          Alcotest.test_case "healthcare granular" `Quick
+            test_healthcare_granular;
+          Alcotest.test_case "healthcare fixed policy" `Quick
+            test_healthcare_fixed_policy;
+          Alcotest.test_case "smart home" `Quick test_smart_home;
+          Alcotest.test_case "empty population" `Quick test_empty_population;
+          Alcotest.test_case "handmade profiles" `Quick
+            test_handmade_profiles;
+        ] );
+      ( "classes",
+        [
+          Alcotest.test_case "partition" `Quick test_classes_partition;
+          Alcotest.test_case "distinguish" `Quick test_classes_distinguish;
+        ] );
+      ( "hotspots",
+        [
+          Alcotest.test_case "user counted once" `Quick
+            test_hotspot_counts_user_once;
+        ] );
+      ( "plan-parity",
+        [
+          Alcotest.test_case "healthcare" `Quick test_plan_parity_healthcare;
+          Alcotest.test_case "granular" `Quick test_plan_parity_granular;
+          Alcotest.test_case "smart home" `Quick test_plan_parity_smart_home;
+          Alcotest.test_case "stale lts rejected" `Quick
+            test_plan_rejects_stale_lts;
+        ] );
+    ]
