@@ -1,3 +1,15 @@
+(* The pre-PR-4 Mondrian anonymiser, kept verbatim as the before side
+   of BENCH_PR4.json: every partition step re-decodes each quasi cell
+   through [Value.numeric] (three full passes per tried column — range,
+   sort, partition), takes the median with [List.sort compare] +
+   [List.nth] over a freshly boxed value list, and materialises the
+   release through a per-cell (row, col) replacement hashtable. Only
+   used by the benchmark — the fixed list engine is in
+   lib/anon/mondrian.ml and the columnar engine in
+   lib/anon/columnar.ml. *)
+
+open Mdp_anon
+
 let numeric_cell ds ~row ~col =
   match Value.numeric (Dataset.get ds ~row ~col) with
   | Some x -> Ok x
@@ -23,38 +35,30 @@ let check_numeric ds =
   in
   go (List.init (Dataset.nrows ds) Fun.id)
 
-(* Numeric content of every quasi cell, parsed once: [col -> row -> x].
-   Only quasi slots are populated; callers index with quasi columns
-   only. Hoisting this out of the recursion means each cell is decoded
-   once per anonymisation instead of once per partition step per
-   sort/partition pass. *)
-let quasi_values ds quasi =
-  let vals = Array.make (Dataset.ncols ds) [||] in
-  List.iter
-    (fun c ->
-      vals.(c) <-
-        Array.init (Dataset.nrows ds) (fun r ->
-            Result.get_ok (numeric_cell ds ~row:r ~col:c)))
-    quasi;
-  vals
-
-let range vals rows col =
-  let arr = vals.(col) in
-  List.fold_left
-    (fun (lo, hi) r -> (Float.min lo arr.(r), Float.max hi arr.(r)))
-    (Float.infinity, Float.neg_infinity)
-    rows
+let range ds rows col =
+  let values =
+    List.map (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col)) rows
+  in
+  let lo = List.fold_left Float.min Float.infinity values in
+  let hi = List.fold_left Float.max Float.neg_infinity values in
+  (lo, hi)
 
 (* Split at the median of the chosen attribute; strictly-less goes left so
    ties never produce an empty side. *)
-let split vals rows col =
-  let arr = vals.(col) in
-  let values = Array.of_list (List.map (fun r -> arr.(r)) rows) in
-  Array.sort Float.compare values;
-  let median = values.(Array.length values / 2) in
-  List.partition (fun r -> arr.(r) < median) rows
+let split ds rows col =
+  let values =
+    List.sort compare
+      (List.map (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col)) rows)
+  in
+  let median = List.nth values (List.length values / 2) in
+  let left, right =
+    List.partition
+      (fun r -> Result.get_ok (numeric_cell ds ~row:r ~col) < median)
+      rows
+  in
+  (left, right)
 
-let partitions_rows ~k vals quasi nrows =
+let partitions_rows ~k ds quasi =
   let rec go rows =
     if List.length rows < 2 * k then [ rows ]
     else
@@ -64,7 +68,7 @@ let partitions_rows ~k vals quasi nrows =
           (fun (_, w1) (_, w2) -> Float.compare w2 w1)
           (List.map
              (fun c ->
-               let lo, hi = range vals rows c in
+               let lo, hi = range ds rows c in
                (c, hi -. lo))
              quasi)
       in
@@ -73,35 +77,33 @@ let partitions_rows ~k vals quasi nrows =
         | (c, width) :: rest ->
           if width <= 0.0 then [ rows ]
           else
-            let left, right = split vals rows c in
+            let left, right = split ds rows c in
             if List.length left >= k && List.length right >= k then
               go left @ go right
             else try_cols rest
       in
       try_cols ranked
   in
-  go (List.init nrows Fun.id)
+  go (List.init (Dataset.nrows ds) Fun.id)
 
 let partitions ~k ds =
   if Dataset.nrows ds < k then Error "mondrian: fewer rows than k"
   else
     match check_numeric ds with
     | Error e -> Error e
-    | Ok quasi ->
-      Ok (partitions_rows ~k (quasi_values ds quasi) quasi (Dataset.nrows ds))
+    | Ok quasi -> Ok (partitions_rows ~k ds quasi)
 
 let anonymise ~k ds =
   match partitions ~k ds with
   | Error e -> Error e
   | Ok parts ->
     let quasi = Dataset.quasi_indices ds in
-    let vals = quasi_values ds quasi in
     let replacement = Hashtbl.create 16 in
     List.iter
       (fun rows ->
         List.iter
           (fun c ->
-            let lo, hi = range vals rows c in
+            let lo, hi = range ds rows c in
             let v =
               if Float.equal lo hi then Dataset.get ds ~row:(List.hd rows) ~col:c
               else Value.interval lo (hi +. 1.0)

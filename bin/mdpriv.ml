@@ -31,8 +31,9 @@ let services_arg =
 
 let jobs_arg =
   let doc =
-    "Domains used for parallel LTS generation. The result is identical \
-     for every value, including state numbering."
+    "Domains used for parallel work (LTS generation, population analysis, \
+     Mondrian partitioning). The result is identical for every value, \
+     including state numbering."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
@@ -295,7 +296,7 @@ let simulate_cmd =
 (* ----- anon ----- *)
 
 let anon_cmd =
-  let run csv_path quasi sensitive k closeness confidence =
+  let run csv_path quasi sensitive k closeness confidence jobs engine =
     let kinds =
       List.map (fun q -> (q, Mdp_anon.Attribute.Quasi)) quasi
       @ [ (sensitive, Mdp_anon.Attribute.Sensitive) ]
@@ -305,19 +306,36 @@ let anon_cmd =
       prerr_endline e;
       exits_with_error
     | Ok ds -> (
-      match Mdp_anon.Mondrian.anonymise ~k ds with
+      let policy = { Mdp_anon.Value_risk.sensitive; closeness; confidence } in
+      let anonymised, sweep =
+        match engine with
+        | `Naive ->
+          ( Mdp_anon.Mondrian.anonymise ~k ds,
+            fun release -> Mdp_anon.Value_risk.sweep release policy )
+        | `Columnar -> (
+          (* [mondrian_release] keeps the compiled release, so the
+             value-risk sweep reuses its dictionaries instead of
+             recompiling the dataset it just produced. *)
+          match
+            Mdp_anon.Columnar.mondrian_release ~jobs ~k
+              (Mdp_anon.Columnar.compile ds)
+          with
+          | Error e -> (Error e, fun _release -> [])
+          | Ok rplan ->
+            ( Ok (Mdp_anon.Columnar.source rplan),
+              fun _release ->
+                Mdp_anon.Columnar.value_risk_sweep rplan policy ))
+      in
+      match anonymised with
       | Error e ->
         prerr_endline e;
         exits_with_error
       | Ok release ->
         print_string (Mdp_anon.Csv.render release);
-        let policy =
-          { Mdp_anon.Value_risk.sensitive; closeness; confidence }
-        in
         List.iter
           (fun report ->
             Format.printf "%a@." Mdp_anon.Value_risk.pp_report report)
-          (Mdp_anon.Value_risk.sweep release policy);
+          (sweep release);
         0)
   in
   let csv =
@@ -336,10 +354,23 @@ let anon_cmd =
   let confidence =
     Arg.(value & opt float 0.9 & info [ "confidence" ] ~doc:"Violation confidence threshold.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("columnar", `Columnar); ("naive", `Naive) ]) `Columnar
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Anonymisation engine: $(b,columnar) (typed column compilation, \
+             in-place parallel Mondrian and hashed equivalence classes, the \
+             default) or $(b,naive) (the row-at-a-time reference modules). \
+             Both produce identical releases and reports.")
+  in
   Cmd.v
     (Cmd.info "anon"
        ~doc:"Mondrian-anonymise a CSV and sweep §III-B value risk over it.")
-    Term.(const run $ csv $ quasi $ sensitive $ k $ closeness $ confidence)
+    Term.(
+      const run $ csv $ quasi $ sensitive $ k $ closeness $ confidence
+      $ jobs_arg $ engine)
 
 
 (* ----- check (requirements) ----- *)

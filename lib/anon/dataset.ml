@@ -2,10 +2,27 @@ open Mdp_prelude
 
 type t = { attrs : Attribute.t list; cells : Value.t array array }
 
+let check_attrs ~who attrs =
+  match Listx.find_duplicate (fun (a : Attribute.t) -> a.name) attrs with
+  | Some n -> invalid_arg (Printf.sprintf "Dataset.%s: duplicate attribute %s" who n)
+  | None -> ()
+
+let init ~attrs ~nrows ~f =
+  check_attrs ~who:"init" attrs;
+  if nrows < 0 then invalid_arg "Dataset.init: negative row count";
+  let width = List.length attrs in
+  let cells = Array.make nrows [||] in
+  for row = 0 to nrows - 1 do
+    let r = Array.make width Value.Suppressed in
+    for col = 0 to width - 1 do
+      r.(col) <- f ~row ~col
+    done;
+    cells.(row) <- r
+  done;
+  { attrs; cells }
+
 let make ~attrs ~rows =
-  (match Listx.find_duplicate (fun (a : Attribute.t) -> a.name) attrs with
-  | Some n -> invalid_arg (Printf.sprintf "Dataset.make: duplicate attribute %s" n)
-  | None -> ());
+  check_attrs ~who:"make" attrs;
   let width = List.length attrs in
   List.iteri
     (fun i r ->

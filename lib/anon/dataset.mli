@@ -10,6 +10,14 @@ val make : attrs:Attribute.t list -> rows:Value.t list list -> t
 (** @raise Invalid_argument on duplicate attribute names or a row whose
     width differs from the attribute count. *)
 
+val init : attrs:Attribute.t list -> nrows:int -> f:(row:int -> col:int -> Value.t) -> t
+(** Array-direct construction without intermediate row lists — the path
+    large synthetic datasets take. [f] is called in row-major order
+    (row 0 col 0, row 0 col 1, ...), so a seeded generator may draw from
+    its PRNG inside [f] and stay deterministic.
+    @raise Invalid_argument on duplicate attribute names or a negative
+    row count. *)
+
 val attrs : t -> Attribute.t list
 val nrows : t -> int
 val ncols : t -> int

@@ -20,18 +20,26 @@ let min_class_size ds =
 let is_k_anonymous ~k ds = Dataset.nrows ds = 0 || min_class_size ds >= k
 
 let distinct_count ds col =
-  List.length
-    (Mdp_prelude.Listx.dedup
-       (List.map Value.to_string
-          (List.init (Dataset.nrows ds) (fun r -> Dataset.get ds ~row:r ~col))))
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  for r = 0 to Dataset.nrows ds - 1 do
+    let s = Value.to_string (Dataset.get ds ~row:r ~col) in
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      incr count
+    end
+  done;
+  !count
 
 let violating_rows ~k ds =
   List.concat
     (List.filter (fun c -> List.length c < k) (classes ds))
 
 let remove_rows ds rows_to_drop =
-  let keep = List.filter (fun r -> not (List.mem r rows_to_drop))
-      (List.init (Dataset.nrows ds) Fun.id) in
+  let n = Dataset.nrows ds in
+  let drop = Array.make n false in
+  List.iter (fun r -> if r >= 0 && r < n then drop.(r) <- true) rows_to_drop;
+  let keep = List.filter (fun r -> not drop.(r)) (List.init n Fun.id) in
   Dataset.make ~attrs:(Dataset.attrs ds)
     ~rows:(List.map (Dataset.row ds) keep)
 

@@ -25,6 +25,14 @@ val min_class_size : Dataset.t -> int
 
 val is_k_anonymous : k:int -> Dataset.t -> bool
 
+val violating_rows : k:int -> Dataset.t -> int list
+(** Rows in classes smaller than [k] (the rows Datafly suppresses),
+    in class order. *)
+
+val distinct_count : Dataset.t -> int -> int
+(** Distinct rendered values in a column (Datafly's attribute-choice
+    statistic). *)
+
 val datafly :
   k:int -> ?max_suppression:float -> Dataset.t -> scheme ->
   (Dataset.t * levels * int, string) result

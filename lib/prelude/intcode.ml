@@ -1,0 +1,19 @@
+type t = { tbl : (int, int) Hashtbl.t; mutable next : int }
+
+let create ?(size = 1024) () = { tbl = Hashtbl.create size; next = 0 }
+
+let max_operand = 1 lsl 31
+
+let code t a b =
+  if a < 0 || b < 0 || a >= max_operand || b >= max_operand then
+    invalid_arg "Intcode.code: operand out of range";
+  let key = (a lsl 31) lor b in
+  match Hashtbl.find_opt t.tbl key with
+  | Some c -> c
+  | None ->
+    let c = t.next in
+    Hashtbl.add t.tbl key c;
+    t.next <- c + 1;
+    c
+
+let size t = t.next

@@ -1,0 +1,24 @@
+(** Dense interning of int pairs.
+
+    Maps pairs of small non-negative ints to consecutive codes in
+    first-seen order. The columnar anonymisation engine folds a row's
+    per-column dictionary codes through {!code} to key equivalence
+    classes by a single int instead of a concatenated string — one hash
+    probe per (row, column) and a dense class index for free, with
+    first-seen code order matching the first-appearance class order of
+    the string-keyed naive path. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] is the initial hash-table sizing hint. *)
+
+val code : t -> int -> int -> int
+(** [code t a b] is the dense code of the pair [(a, b)]: a fresh
+    consecutive int the first time the pair is seen, the same int
+    afterwards. Both operands must be in [0, 2^31) so the pair packs
+    into one immediate int key.
+    @raise Invalid_argument on an out-of-range operand. *)
+
+val size : t -> int
+(** Number of distinct pairs seen so far (= the next fresh code). *)

@@ -120,16 +120,24 @@ let dataset ~seed ~rows ~quasi =
         A.Attribute.make ~name:(Printf.sprintf "Q%d" i) ~kind:A.Attribute.Quasi)
     @ [ A.Attribute.make ~name:"S" ~kind:A.Attribute.Sensitive ]
   in
-  let row _ =
-    let qs = List.init quasi (fun _ -> A.Value.Int (Prng.int rng 100)) in
-    let q0 = match qs with A.Value.Int v :: _ -> v | _ -> 0 in
-    let s =
-      Float.round
-        (Float.max 0.0 (Prng.gaussian rng ~mean:(float_of_int (2 * q0)) ~stddev:10.0))
-    in
-    qs @ [ A.Value.Float s ]
-  in
-  A.Dataset.make ~attrs ~rows:(List.init rows row)
+  (* Array-direct so a million-row bench input never materialises row
+     lists; Dataset.init calls f in row-major order, so the per-row
+     draw sequence (quasi columns ascending, then the sensitive draw
+     conditioned on the row's Q0) stays deterministic in the seed. *)
+  let q0 = ref 0 in
+  A.Dataset.init ~attrs ~nrows:rows ~f:(fun ~row:_ ~col ->
+      if col < quasi then begin
+        let v = Prng.int rng 100 in
+        if col = 0 then q0 := v;
+        A.Value.Int v
+      end
+      else
+        A.Value.Float
+          (Float.round
+             (Float.max 0.0
+                (Prng.gaussian rng
+                   ~mean:(float_of_int (2 * !q0))
+                   ~stddev:10.0))))
 
 let scheme_for ~quasi =
   List.init quasi (fun i ->

@@ -457,6 +457,281 @@ let test_release_gate_utility () =
   let vb = A.Release_gate.evaluate ~original:raw ~release:table1 bad in
   check bool_ "ratio without policy rejected" false vb.accepted
 
+(* ------------------------------------------------------------------ *)
+(* Columnar engine: parity with the naive modules, bit for bit *)
+
+module C = A.Columnar
+
+let seeds = [ 3; 17; 23 ]
+let parity_ds seed = Mdp_scenario.Synthetic.dataset ~seed ~rows:400 ~quasi:3
+
+let test_columnar_classes_parity () =
+  List.iter
+    (fun seed ->
+      let ds = parity_ds seed in
+      let plan = C.compile ds in
+      List.iter
+        (fun by ->
+          check bool_
+            (Printf.sprintf "classes seed %d by %s" seed
+               (String.concat "," (List.map string_of_int by)))
+            true
+            (A.Dataset.equivalence_classes ds ~by = C.equivalence_classes plan ~by))
+        [ []; [ 0 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 3 ]; [ 2; 0 ] ];
+      check bool_ "kanon classes" true (A.Kanon.classes ds = C.classes plan);
+      check int_ "min class size" (A.Kanon.min_class_size ds)
+        (C.min_class_size plan);
+      check bool_ "is_k_anonymous" (A.Kanon.is_k_anonymous ~k:3 ds)
+        (C.is_k_anonymous ~k:3 plan);
+      check bool_ "violating rows" true
+        (A.Kanon.violating_rows ~k:5 ds = C.violating_rows ~k:5 plan);
+      check int_ "distinct count" (A.Kanon.distinct_count ds 3)
+        (C.distinct_count plan 3))
+    seeds
+
+let result_datasets_equal a b =
+  match (a, b) with
+  | Ok a, Ok b -> A.Dataset.attrs a = A.Dataset.attrs b && A.Dataset.rows a = A.Dataset.rows b
+  | Error ea, Error eb -> (ea : string) = eb
+  | _ -> false
+
+let test_columnar_mondrian_parity () =
+  List.iter
+    (fun seed ->
+      let ds = Mdp_scenario.Synthetic.dataset ~seed ~rows:600 ~quasi:2 in
+      let plan = C.compile ds in
+      List.iter
+        (fun k ->
+          let naive_parts = A.Mondrian.partitions ~k ds in
+          let naive_rel = A.Mondrian.anonymise ~k ds in
+          List.iter
+            (fun jobs ->
+              (* par_threshold far below the row count so jobs=4
+                 actually exercises the two-phase parallel path. *)
+              check bool_
+                (Printf.sprintf "partitions seed %d k %d jobs %d" seed k jobs)
+                true
+                (naive_parts
+                = C.mondrian_partitions ~jobs ~par_threshold:64 ~k plan);
+              check bool_
+                (Printf.sprintf "release seed %d k %d jobs %d" seed k jobs)
+                true
+                (result_datasets_equal naive_rel
+                   (C.mondrian_anonymise ~jobs ~par_threshold:64 ~k plan)))
+            [ 1; 4 ])
+        [ 2; 7; 25 ])
+    seeds
+
+let test_columnar_mondrian_errors () =
+  (* Too few rows: identical error text. *)
+  let small = Mdp_scenario.Synthetic.dataset ~seed:1 ~rows:5 ~quasi:1 in
+  check bool_ "fewer-rows error" true
+    (A.Mondrian.partitions ~k:10 small
+    = C.mondrian_partitions ~k:10 (C.compile small));
+  (* Non-numeric quasi: same first offending cell in row-major order,
+     even with several bad cells across columns. *)
+  let mixed =
+    A.Dataset.make
+      ~attrs:
+        [
+          A.Attribute.make ~name:"Q0" ~kind:A.Attribute.Quasi;
+          A.Attribute.make ~name:"Q1" ~kind:A.Attribute.Quasi;
+        ]
+      ~rows:
+        [
+          [ V.Int 1; V.Int 2 ];
+          [ V.Int 3; V.Str "x" ];
+          [ V.Str "y"; V.Str "z" ];
+        ]
+  in
+  check bool_ "non-numeric error" true
+    (A.Mondrian.anonymise ~k:1 mixed
+     |> Result.map A.Dataset.rows
+    = (C.mondrian_anonymise ~k:1 (C.compile mixed) |> Result.map A.Dataset.rows))
+
+let test_columnar_analyses_parity () =
+  List.iter
+    (fun seed ->
+      let ds = parity_ds seed in
+      let release = Result.get_ok (A.Mondrian.anonymise ~k:10 ds) in
+      let plan = C.compile release in
+      check int_ "ldiv distinct" (A.Ldiv.distinct release ~sensitive:"S")
+        (C.ldiv_distinct plan ~sensitive:"S");
+      check bool_ "ldiv distinct predicate"
+        (A.Ldiv.is_distinct_diverse ~l:2 release ~sensitive:"S")
+        (C.is_distinct_diverse ~l:2 plan ~sensitive:"S");
+      check bool_ "ldiv entropy bit-equal" true
+        (Float.equal
+           (A.Ldiv.entropy release ~sensitive:"S")
+           (C.ldiv_entropy plan ~sensitive:"S"));
+      check bool_ "entropy predicate"
+        (A.Ldiv.is_entropy_diverse ~l:1.5 release ~sensitive:"S")
+        (C.is_entropy_diverse ~l:1.5 plan ~sensitive:"S");
+      check bool_ "numeric emd bit-equal" true
+        (A.Tcloseness.numeric_emd release ~sensitive:"S"
+        = C.tclose_numeric_emd plan ~sensitive:"S");
+      check bool_ "is_t_close"
+        (A.Tcloseness.is_t_close ~t:0.3 release ~sensitive:"S")
+        (C.is_t_close ~t:0.3 plan ~sensitive:"S");
+      check bool_ "prosecutor" true
+        (Float.equal (A.Reident.prosecutor release) (C.reident_prosecutor plan));
+      check bool_ "marketer" true
+        (Float.equal (A.Reident.marketer release) (C.reident_marketer plan));
+      check bool_ "journalist" true
+        (A.Reident.journalist ~release ~population:ds
+        = C.reident_journalist ~release:plan ~population:(C.compile ds));
+      let p = { A.Value_risk.sensitive = "S"; closeness = 5.0; confidence = 0.9 } in
+      List.iter
+        (fun fields_read ->
+          check bool_
+            (Printf.sprintf "value risk {%s}" (String.concat "," fields_read))
+            true
+            (A.Value_risk.assess release ~fields_read p
+            = C.value_risk_assess plan ~fields_read p))
+        [ [ "Q0" ]; [ "Q0"; "Q1" ]; [ "Q2"; "Q0" ] ];
+      check bool_ "value risk sweep" true
+        (A.Value_risk.sweep release p = C.value_risk_sweep plan p))
+    seeds
+
+let test_columnar_categorical_parity () =
+  (* Categorical sensitive column: total-variation t-closeness and
+     code-counted value risk, including a Suppressed cell. *)
+  let ds =
+    A.Dataset.make
+      ~attrs:
+        [
+          A.Attribute.make ~name:"Q" ~kind:A.Attribute.Quasi;
+          A.Attribute.make ~name:"S" ~kind:A.Attribute.Sensitive;
+        ]
+      ~rows:
+        [
+          [ V.Int 1; V.Str "flu" ];
+          [ V.Int 1; V.Str "cold" ];
+          [ V.Int 2; V.Str "flu" ];
+          [ V.Int 2; V.Str "flu" ];
+          [ V.Int 3; V.Suppressed ];
+          [ V.Int 3; V.Str "cold" ];
+        ]
+  in
+  let plan = C.compile ds in
+  check bool_ "categorical distance" true
+    (A.Tcloseness.categorical_distance ds ~sensitive:"S"
+    = C.tclose_categorical plan ~sensitive:"S");
+  check bool_ "is_t_close categorical"
+    (A.Tcloseness.is_t_close ~t:0.4 ds ~sensitive:"S")
+    (C.is_t_close ~t:0.4 plan ~sensitive:"S");
+  let p = { A.Value_risk.sensitive = "S"; closeness = 0.0; confidence = 0.5 } in
+  check bool_ "categorical value risk" true
+    (A.Value_risk.assess ds ~fields_read:[ "Q" ] p
+    = C.value_risk_assess plan ~fields_read:[ "Q" ] p);
+  check int_ "ldiv distinct categorical" (A.Ldiv.distinct ds ~sensitive:"S")
+    (C.ldiv_distinct plan ~sensitive:"S")
+
+let test_columnar_gate_parity () =
+  (* Identical verdicts — same failure strings in the same order — for
+     both an accepting and a rejecting set of criteria, across seeds. *)
+  List.iter
+    (fun seed ->
+      let ds = parity_ds seed in
+      let release = Result.get_ok (A.Mondrian.anonymise ~k:10 ds) in
+      let plan = C.compile release in
+      let vp =
+        { A.Value_risk.sensitive = "S"; closeness = 5.0; confidence = 0.9 }
+      in
+      List.iter
+        (fun criteria ->
+          let naive =
+            A.Release_gate.evaluate ~original:ds ~release criteria
+          in
+          let col = C.evaluate_gate ~original:ds ~release:plan criteria in
+          check bool_ "verdict accepted" naive.A.Release_gate.accepted
+            col.A.Release_gate.accepted;
+          check (Alcotest.list Alcotest.string) "verdict failures"
+            naive.A.Release_gate.failures col.A.Release_gate.failures)
+        [
+          A.Release_gate.default ~k:10;
+          { (A.Release_gate.default ~k:10) with l = Some 2 };
+          (* Unsatisfiable criteria: every failure path renders. *)
+          {
+            A.Release_gate.k = 100_000;
+            l = Some 1_000;
+            t = Some 0.0;
+            max_violation_ratio = Some 0.0;
+            value_policy = Some vp;
+            max_mean_drift = Some 0.0;
+          };
+          (* Ratio without a policy: the config-error failure. *)
+          {
+            (A.Release_gate.default ~k:10) with
+            max_violation_ratio = Some 0.5;
+          };
+        ])
+    seeds
+
+let test_columnar_release_plan () =
+  (* [mondrian_release]'s seeded dictionaries must be indistinguishable
+     from compiling its release from scratch, and its gate verdicts
+     from the naive gate, for any job count. *)
+  List.iter
+    (fun seed ->
+      let ds = parity_ds seed in
+      let plan = C.compile ds in
+      let naive_rel = Result.get_ok (A.Mondrian.anonymise ~k:10 ds) in
+      List.iter
+        (fun jobs ->
+          let rplan =
+            Result.get_ok
+              (C.mondrian_release ~jobs ~par_threshold:64 ~k:10 plan)
+          in
+          check bool_ "release cells" true
+            (A.Dataset.rows (C.source rplan) = A.Dataset.rows naive_rel);
+          let fresh = C.compile (C.source rplan) in
+          check bool_ "classes" true (C.classes rplan = C.classes fresh);
+          check int_ "min class size" (C.min_class_size fresh)
+            (C.min_class_size rplan);
+          check int_ "ldiv distinct"
+            (A.Ldiv.distinct naive_rel ~sensitive:"S")
+            (C.ldiv_distinct rplan ~sensitive:"S");
+          check bool_ "ldiv entropy bit-equal" true
+            (Float.equal
+               (A.Ldiv.entropy naive_rel ~sensitive:"S")
+               (C.ldiv_entropy rplan ~sensitive:"S"));
+          List.iter
+            (fun c ->
+              check int_
+                (Printf.sprintf "distinct col %d" c)
+                (C.distinct_count fresh c)
+                (C.distinct_count rplan c))
+            (A.Dataset.quasi_indices naive_rel);
+          let crit =
+            { (A.Release_gate.default ~k:10) with A.Release_gate.l = Some 2 }
+          in
+          let naive =
+            A.Release_gate.evaluate ~original:ds ~release:naive_rel crit
+          in
+          let col = C.evaluate_gate ~original:ds ~release:rplan crit in
+          check bool_ "gate accepted" naive.A.Release_gate.accepted
+            col.A.Release_gate.accepted;
+          check
+            (Alcotest.list Alcotest.string)
+            "gate failures" naive.A.Release_gate.failures
+            col.A.Release_gate.failures)
+        [ 1; 4 ])
+    seeds
+
+let test_columnar_guard () =
+  let ds = parity_ds 3 in
+  let plan = C.compile ds in
+  C.guard plan ds;
+  check bool_ "source is the dataset" true (C.source plan == ds);
+  check int_ "nrows" 400 (C.nrows plan);
+  (* Structurally equal but physically different dataset: rejected,
+     mirroring Risk_plan's stale-plan guard. *)
+  let other = parity_ds 3 in
+  match C.guard plan other with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "stale/mismatched dataset accepted"
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -515,6 +790,20 @@ let () =
             test_utility_precision_and_discernibility;
         ] );
       ("reident", [ Alcotest.test_case "attacker models" `Quick test_reident ]);
+      ( "columnar",
+        [
+          Alcotest.test_case "classes parity" `Quick test_columnar_classes_parity;
+          Alcotest.test_case "mondrian parity" `Quick test_columnar_mondrian_parity;
+          Alcotest.test_case "mondrian errors" `Quick test_columnar_mondrian_errors;
+          Alcotest.test_case "analyses parity" `Quick test_columnar_analyses_parity;
+          Alcotest.test_case "categorical parity" `Quick
+            test_columnar_categorical_parity;
+          Alcotest.test_case "release-gate parity" `Quick
+            test_columnar_gate_parity;
+          Alcotest.test_case "seeded release plan" `Quick
+            test_columnar_release_plan;
+          Alcotest.test_case "stale-plan guard" `Quick test_columnar_guard;
+        ] );
       ( "release gate",
         [
           Alcotest.test_case "accept/reject" `Quick test_release_gate_accepts_and_rejects;
