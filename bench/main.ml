@@ -14,22 +14,64 @@ module Frac = Mdp_prelude.Frac
 let section title =
   Printf.printf "\n================ %s ================\n" title
 
-(* Wall-clock seconds for [f ()]: [warmup] discarded runs, then the
-   median of [runs] timed ones — single gettimeofday samples are too
-   noisy to compare engines with. *)
+(* Monotonic seconds for [f ()]: [warmup] discarded runs, then the
+   median of [runs] timed ones — single samples are too noisy to
+   compare engines with. All bench timing goes through Mdp_obs.Clock
+   (CLOCK_MONOTONIC): an NTP step mid-run cannot corrupt BENCH_*.json
+   the way the old Unix.gettimeofday sampling could. *)
 let time_median ?(warmup = 1) ?(runs = 5) f =
   for _ = 1 to warmup do
     ignore (f ())
   done;
   let samples =
     List.init runs (fun _ ->
-        let t0 = Unix.gettimeofday () in
-        ignore (f ());
-        Unix.gettimeofday () -. t0)
+        snd (Mdp_obs.Clock.time (fun () -> ignore (f ()))))
   in
   match List.sort Float.compare samples with
   | [] -> 0.
   | sorted -> List.nth sorted (runs / 2)
+
+(* Totals of the spans recorded since [since] (a Clock.now_ns reading),
+   keyed by span name in first-appearance order — the per-phase
+   breakdown embedded in each BENCH_*.json. *)
+let span_totals_json ~since () =
+  let module J = Mdp_prelude.Json in
+  let module M = Mdp_obs.Metrics in
+  let snap = M.snapshot () in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (sp : M.span_record) ->
+      if sp.sp_start_ns >= since then
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some (n, tot) -> Hashtbl.replace tbl sp.sp_name (n + 1, tot + sp.sp_dur_ns)
+        | None ->
+          Hashtbl.add tbl sp.sp_name (1, sp.sp_dur_ns);
+          order := sp.sp_name :: !order)
+    snap.M.spans;
+  J.Obj
+    (List.rev_map
+       (fun name ->
+         let n, tot = Hashtbl.find tbl name in
+         ( name,
+           J.Obj
+             [ ("count", J.int n);
+               ("seconds", J.Num (Mdp_obs.Clock.ns_to_s tot)) ] ))
+       !order)
+
+(* Everything recorded over the whole bench run, for CI artifacts: the
+   raw span trace as JSONL and a Prometheus text dump. *)
+let write_observability_artifacts () =
+  let module M = Mdp_obs.Metrics in
+  let snap = M.snapshot () in
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  write "BENCH_SPANS.jsonl" (M.spans_to_jsonl snap);
+  write "BENCH_METRICS.prom" (M.to_prometheus snap)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: the healthcare data-flow model *)
@@ -411,12 +453,12 @@ let chaos_resilience () =
           stream;
         fleet
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Mdp_obs.Clock.now_ns () in
       for _ = 2 to repeats do
         ignore (feed ())
       done;
       let fleet = feed () in
-      let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
+      let dt = Mdp_obs.Clock.elapsed_s t0 /. float_of_int repeats in
       let resyncs, late, dup, dead =
         List.fold_left
           (fun (r, l, du, de) s ->
@@ -577,6 +619,7 @@ let pr2_cases ~smoke =
 let perf_pr2 ~jobs ~smoke () =
   section
     (Printf.sprintf "[pr2] generation engine before/after (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
   let runs = if smoke then 2 else 5 in
   let ok = ref true in
   let table =
@@ -691,6 +734,7 @@ let perf_pr2 ~jobs ~smoke () =
         ("jobs", J.int jobs);
         ("smoke", J.Bool smoke);
         ("runs_per_sample", J.int runs);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
         ("cases", J.List json_cases);
       ]
   in
@@ -731,6 +775,7 @@ let pr3_cases ~smoke =
 let perf_pr3 ~jobs ~smoke () =
   section
     (Printf.sprintf "[pr3] population engine before/after (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
   let ok = ref true in
   let table =
     Mdp_prelude.Texttable.create
@@ -834,6 +879,7 @@ let perf_pr3 ~jobs ~smoke () =
         ("bench", J.Str "pr3-population-engine");
         ("jobs", J.int jobs);
         ("smoke", J.Bool smoke);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
         ("cases", J.List json_cases);
       ]
   in
@@ -934,6 +980,7 @@ let datasets_equal a b =
 let perf_pr4 ~jobs ~smoke () =
   section
     (Printf.sprintf "[pr4] anonymisation engine before/after (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
   let ok = ref true in
   let vr_policy =
     { A.Value_risk.sensitive = "S"; closeness = 5.0; confidence = 0.9 }
@@ -975,9 +1022,7 @@ let perf_pr4 ~jobs ~smoke () =
            major-GC scans over the earlier engines' live releases. *)
         let time_once f =
           Gc.compact ();
-          let t0 = Unix.gettimeofday () in
-          let r = f () in
-          (r, Unix.gettimeofday () -. t0)
+          Mdp_obs.Clock.time f
         in
         (* Columnar pipeline: compile the input, anonymise, compile the
            release, gate it — the full cost a caller starting from a
@@ -1035,15 +1080,15 @@ let perf_pr4 ~jobs ~smoke () =
         (* Naive pipeline, instrumented so the single big-case run
            yields the release, the verdict, and both timings. *)
         let () = Gc.compact () in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Mdp_obs.Clock.now_ns () in
         let naive_rel =
           match A.Mondrian.anonymise ~k ds with Ok r -> r | Error e -> fail e
         in
-        let t_naive_m_once = Unix.gettimeofday () -. t0 in
+        let t_naive_m_once = Mdp_obs.Clock.elapsed_s t0 in
         let naive_verdict =
           A.Release_gate.evaluate ~original:ds ~release:naive_rel crit
         in
-        let t_naive_once = Unix.gettimeofday () -. t0 in
+        let t_naive_once = Mdp_obs.Clock.elapsed_s t0 in
         let t_naive_m =
           if big then t_naive_m_once
           else time_median ~runs:3 (fun () -> A.Mondrian.anonymise ~k ds)
@@ -1222,6 +1267,7 @@ let perf_pr4 ~jobs ~smoke () =
         ("bench", J.Str "pr4-anonymisation-engine");
         ("jobs", J.int jobs);
         ("smoke", J.Bool smoke);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
         ("cases", J.List json_cases);
       ]
   in
@@ -1233,6 +1279,9 @@ let perf_pr4 ~jobs ~smoke () =
   !ok
 
 let () =
+  (* Spans feed the per-section phase breakdowns in BENCH_*.json and
+     the BENCH_SPANS.jsonl / BENCH_METRICS.prom artifacts. *)
+  Mdp_obs.Metrics.set_enabled true;
   let argv = Array.to_list Sys.argv in
   let smoke = List.mem "--smoke" argv in
   let pr2_only = List.mem "--pr2" argv in
@@ -1250,6 +1299,7 @@ let () =
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
     let pr4_ok = perf_pr4 ~jobs ~smoke () in
+    write_observability_artifacts ();
     exit (if pr2_ok && pr3_ok && pr4_ok then 0 else 1)
   end;
   if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
@@ -1272,5 +1322,6 @@ let () =
   let pr3_ok = perf_pr3 ~jobs ~smoke:false () in
   let pr4_ok = perf_pr4 ~jobs ~smoke:false () in
   perf ();
+  write_observability_artifacts ();
   Printf.printf "\ndone.\n";
   if not (pr2_ok && pr3_ok && pr4_ok) then exit 1

@@ -14,16 +14,151 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+(* "synthetic:NA-NF-FPS[@SEED]" (or "synthetic-NA-NF-FPS") names a
+   generated model instead of a file — the bench suite's synthetic
+   scaling cases, reachable from every subcommand.  Defaults match
+   bench/main.ml: seed 42, two stores, two services. *)
+let parse_synthetic path =
+  let prefixed p =
+    if
+      String.length path > String.length p
+      && String.sub path 0 (String.length p) = p
+    then Some (String.sub path (String.length p) (String.length path - String.length p))
+    else None
+  in
+  match
+    match prefixed "synthetic:" with
+    | Some b -> Some b
+    | None -> prefixed "synthetic-"
+  with
+  | None -> None
+  | Some body -> (
+    let spec () =
+      let body, seed =
+        match String.index_opt body '@' with
+        | None -> (body, 42)
+        | Some i ->
+          ( String.sub body 0 i,
+            int_of_string (String.sub body (i + 1) (String.length body - i - 1))
+          )
+      in
+      match String.split_on_char '-' body |> List.map int_of_string with
+      | [ na; nf; fps ] ->
+        {
+          Mdp_scenario.Synthetic.seed;
+          nactors = na;
+          nfields = nf;
+          nstores = 2;
+          nservices = 2;
+          flows_per_service = fps;
+        }
+      | _ -> failwith "synthetic"
+    in
+    match spec () with
+    | spec ->
+      let diagram, policy = Mdp_scenario.Synthetic.model spec in
+      Some (Ok { Mdp_dsl.Parser.diagram; policy; placement = None })
+    | exception _ ->
+      Some
+        (Error
+           (`Msg (path ^ ": expected synthetic:NACTORS-NFIELDS-FLOWS[@SEED]"))))
+
 let load_model path =
-  match Mdp_dsl.Parser.parse (read_file path) with
-  | Ok m -> Ok m
-  | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+  match parse_synthetic path with
+  | Some r -> r
+  | None -> (
+    match Mdp_dsl.Parser.parse (read_file path) with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+    | exception Sys_error e -> Error (`Msg e))
+
+(* ----- metrics surface ----- *)
+
+type metrics_opts = {
+  m_enabled : bool;
+  m_prom : string option;
+  m_trace : string option;
+}
+
+let metrics_term =
+  let enabled =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record metrics and phase spans while the command runs, then \
+             print a per-phase breakdown and metrics summary to stderr \
+             (stdout output is unchanged).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded metrics to $(docv) in Prometheus text \
+             exposition format (implies metrics recording).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded spans to $(docv) as JSONL, one span per \
+             line (implies metrics recording).")
+  in
+  Term.(
+    const (fun m_enabled m_prom m_trace -> { m_enabled; m_prom; m_trace })
+    $ enabled $ prom $ trace)
+
+(* Run a command body with the metrics subsystem enabled, then report.
+   Everything goes to stderr or to files, so enabling metrics changes
+   no byte of the command's stdout output. *)
+let with_metrics opts f =
+  if not (opts.m_enabled || opts.m_prom <> None || opts.m_trace <> None) then
+    f ()
+  else begin
+    Mdp_obs.Metrics.set_enabled true;
+    let t0 = Mdp_obs.Clock.now_ns () in
+    let code = f () in
+    let wall = Mdp_obs.Clock.elapsed_s t0 in
+    let snap = Mdp_obs.Metrics.snapshot () in
+    let phases = Mdp_obs.Metrics.phase_table ~wall_s:wall snap in
+    if phases <> [] then begin
+      Format.eprintf "@.-- phases (wall %.3fs) --@." wall;
+      List.iter
+        (fun (name, s, frac) ->
+          Format.eprintf "  %-12s %8.3fs  %5.1f%%@." name s (100. *. frac))
+        phases;
+      let total = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 phases in
+      Format.eprintf "  %-12s %8.3fs  %5.1f%%@." "total" total
+        (if wall > 0. then 100. *. total /. wall else 0.)
+    end;
+    Format.eprintf "@.-- metrics --@.%a" Mdp_obs.Metrics.pp_summary snap;
+    Option.iter
+      (fun p -> write_file p (Mdp_obs.Metrics.to_prometheus snap))
+      opts.m_prom;
+    Option.iter
+      (fun p -> write_file p (Mdp_obs.Metrics.spans_to_jsonl snap))
+      opts.m_trace;
+    code
+  end
 
 (* ----- shared arguments ----- *)
 
 let model_arg =
-  let doc = "Model file in the mdpriv description language." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+  let doc =
+    "Model file in the mdpriv description language, or \
+     synthetic:NACTORS-NFIELDS-FLOWS[@SEED] for a generated scaling model."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
 
 let services_arg =
   let doc = "Restrict to these services (repeatable)." in
@@ -37,11 +172,24 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let max_states_arg =
+  let doc =
+    "Abort LTS generation past this many states (guards against \
+     state-space explosion on large models)."
+  in
+  Arg.(
+    value
+    & opt int Core.Generate.default_options.Core.Generate.max_states
+    & info [ "max-states" ] ~docv:"N" ~doc)
+
 let exits_with_error = 1
 
 (* Generate, turning the state-guard exception into a clean message. *)
 let generate ?options ?jobs u k =
-  match Core.Generate.run ?options ?jobs u with
+  match
+    Mdp_obs.Metrics.span "phase/explore" (fun () ->
+        Core.Generate.run ?options ?jobs u)
+  with
   | lts -> k lts
   | exception Mdp_lts.Lts.Too_many_states limit ->
     Printf.eprintf
@@ -116,7 +264,8 @@ let dot_cmd =
 (* ----- lts ----- *)
 
 let lts_cmd =
-  let run path flow_only granular services jobs =
+  let run path flow_only granular services jobs max_states metrics =
+    with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
@@ -131,11 +280,13 @@ let lts_cmd =
         {
           base with
           Core.Generate.granular_reads = granular;
+          max_states;
           services = (match services with [] -> None | l -> Some l);
         }
       in
       generate ~options ~jobs u (fun lts ->
-          print_endline (Core.Lts_render.summary u lts);
+          Mdp_obs.Metrics.span "phase/render" (fun () ->
+              print_endline (Core.Lts_render.summary u lts));
           0)
   in
   let flow_only_flag =
@@ -148,7 +299,7 @@ let lts_cmd =
     (Cmd.info "lts" ~doc:"Generate the privacy LTS and print its statistics.")
     Term.(
       const run $ model_arg $ flow_only_flag $ granular_flag $ services_arg
-      $ jobs_arg)
+      $ jobs_arg $ max_states_arg $ metrics_term)
 
 (* ----- risk ----- *)
 
@@ -161,7 +312,8 @@ let parse_sensitivity s =
   | _ -> Error (`Msg (Printf.sprintf "expected Field=0.9, got %S" s))
 
 let risk_cmd =
-  let run path agreed sens_specs json =
+  let run path agreed sens_specs json max_states metrics =
+    with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
@@ -178,14 +330,22 @@ let risk_cmd =
       | Error e ->
         prerr_endline e;
         exits_with_error
-      | Ok sensitivities ->
+      | Ok sensitivities -> (
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let analysis = Core.Analysis.run ~profile diagram policy in
-        if json then print_endline (Core.Report.to_string analysis)
-        else Format.printf "%a@." Core.Analysis.pp_summary analysis;
-        0)
+        let options = { Core.Generate.default_options with max_states } in
+        match Core.Analysis.run ~options ~profile diagram policy with
+        | analysis ->
+          Mdp_obs.Metrics.span "phase/render" (fun () ->
+              if json then print_endline (Core.Report.to_string analysis)
+              else Format.printf "%a@." Core.Analysis.pp_summary analysis);
+          0
+        | exception Mdp_lts.Lts.Too_many_states limit ->
+          Printf.eprintf
+            "LTS exceeds %d states; raise --max-states or restrict the model\n"
+            limit;
+          exits_with_error))
   in
   let agree =
     Arg.(
@@ -203,7 +363,9 @@ let risk_cmd =
   in
   Cmd.v
     (Cmd.info "risk" ~doc:"Run §III-A disclosure-risk analysis for a user profile.")
-    Term.(const run $ model_arg $ agree $ sens $ json)
+    Term.(
+      const run $ model_arg $ agree $ sens $ json $ max_states_arg
+      $ metrics_term)
 
 (* ----- simulate ----- *)
 
@@ -216,7 +378,8 @@ let parse_snooper s =
   | _ -> Error (Printf.sprintf "expected ACTOR:STORE:PROB, got %S" s)
 
 let simulate_cmd =
-  let run path services snoop_specs seed agreed sens_specs =
+  let run path services snoop_specs seed agreed sens_specs metrics =
+    with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
@@ -291,12 +454,15 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a subject's trace and run the privacy monitor over it.")
-    Term.(const run $ model_arg $ services_arg $ snoop $ seed $ agree $ sens)
+    Term.(
+      const run $ model_arg $ services_arg $ snoop $ seed $ agree $ sens
+      $ metrics_term)
 
 (* ----- anon ----- *)
 
 let anon_cmd =
-  let run csv_path quasi sensitive k closeness confidence jobs engine =
+  let run csv_path quasi sensitive k closeness confidence jobs engine metrics =
+    with_metrics metrics @@ fun () ->
     let kinds =
       List.map (fun q -> (q, Mdp_anon.Attribute.Quasi)) quasi
       @ [ (sensitive, Mdp_anon.Attribute.Sensitive) ]
@@ -370,7 +536,7 @@ let anon_cmd =
        ~doc:"Mondrian-anonymise a CSV and sweep §III-B value risk over it.")
     Term.(
       const run $ csv $ quasi $ sensitive $ k $ closeness $ confidence
-      $ jobs_arg $ engine)
+      $ jobs_arg $ engine $ metrics_term)
 
 
 (* ----- check (requirements) ----- *)
@@ -444,14 +610,18 @@ let check_cmd =
 (* ----- population ----- *)
 
 let population_cmd =
-  let run path size seed agree_probability jobs engine =
+  let run path size seed agree_probability jobs engine metrics =
+    with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
       exits_with_error
     | Ok { diagram; policy; _ } ->
       let u = Core.Universe.make diagram policy in
-      let lts = Core.Generate.run ~jobs u in
+      let lts =
+        Mdp_obs.Metrics.span "phase/explore" (fun () ->
+            Core.Generate.run ~jobs u)
+      in
       let spec =
         {
           Core.Population.seed;
@@ -462,11 +632,13 @@ let population_cmd =
       in
       let profiles = Core.Population.simulate spec diagram in
       let aggregate =
-        match engine with
-        | `Compiled -> Core.Population.analyse_compiled ~jobs u lts profiles
-        | `Naive -> Core.Population.analyse u lts profiles
+        Mdp_obs.Metrics.span "phase/analyse" (fun () ->
+            match engine with
+            | `Compiled -> Core.Population.analyse_compiled ~jobs u lts profiles
+            | `Naive -> Core.Population.analyse u lts profiles)
       in
-      Format.printf "%a@." Core.Population.pp_aggregate aggregate;
+      Mdp_obs.Metrics.span "phase/render" (fun () ->
+          Format.printf "%a@." Core.Population.pp_aggregate aggregate);
       0
   in
   let size =
@@ -493,13 +665,16 @@ let population_cmd =
   Cmd.v
     (Cmd.info "population"
        ~doc:"Aggregate disclosure risk over a simulated user population.")
-    Term.(const run $ model_arg $ size $ seed $ agreep $ jobs_arg $ engine)
+    Term.(
+      const run $ model_arg $ size $ seed $ agreep $ jobs_arg $ engine
+      $ metrics_term)
 
 
 (* ----- monitor (offline trace replay) ----- *)
 
 let monitor_cmd =
-  let run path trace_path agreed sens_specs =
+  let run path trace_path agreed sens_specs metrics =
+    with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
       prerr_endline e;
@@ -549,7 +724,7 @@ let monitor_cmd =
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay a recorded event trace through the privacy monitor.")
-    Term.(const run $ model_arg $ trace_arg $ agree $ sens)
+    Term.(const run $ model_arg $ trace_arg $ agree $ sens $ metrics_term)
 
 
 (* ----- transfers (deployment analysis) ----- *)
@@ -820,7 +995,8 @@ module Chaos = struct
 end
 
 let chaos_cmd =
-  let run model_path seed rate subjects resync_depth =
+  let run model_path seed rate subjects resync_depth metrics =
+    with_metrics metrics @@ fun () ->
     let module S = Mdp_scenario in
     let module R = Mdp_runtime in
     let ok =
@@ -957,7 +1133,7 @@ let chaos_cmd =
        ~doc:
          "Stress the runtime monitor with fault injection and report \
           alert/recovery statistics.")
-    Term.(const run $ model $ seed $ rate $ subjects $ resync_depth)
+    Term.(const run $ model $ seed $ rate $ subjects $ resync_depth $ metrics_term)
 
 let () =
   let info =

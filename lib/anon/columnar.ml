@@ -422,11 +422,16 @@ let step p lo hi =
     try_cols ranked
   end
 
-(* Sequential recursion; leaves accumulate reversed (rightmost first). *)
-let rec explore p lo hi acc =
+(* Sequential recursion; leaves accumulate reversed (rightmost first).
+   [depth] is the number of splits above this range — observed per leaf
+   so the metrics histogram shows how deep the Mondrian tree goes. *)
+let rec explore p depth lo hi acc =
   match step p lo hi with
-  | None -> (lo, hi) :: acc
-  | Some mid -> explore p mid hi (explore p lo mid acc)
+  | None ->
+    Mdp_obs.Metrics.observe "mondrian/leaf_depth" depth;
+    (lo, hi) :: acc
+  | Some mid ->
+    explore p (depth + 1) mid hi (explore p (depth + 1) lo mid acc)
 
 (* Fan the recursion out over a Domain pool: split top-down on the
    calling domain until there are enough independent subranges, then
@@ -435,62 +440,71 @@ let rec explore p lo hi acc =
    the same words. Split decisions are the sequential ones, so the
    leaf list is identical for any [jobs]. *)
 let partition_ranges ?(jobs = 1) ?(par_threshold = 16384) t ~k =
+  Mdp_obs.Metrics.span "mondrian/partition" @@ fun () ->
+  Mdp_obs.Metrics.add "columnar/rows" t.nrows;
   let p = make_partitioner t ~k in
   let n = t.nrows in
-  if jobs <= 1 || n < par_threshold then (p, List.rev (explore p 0 n []))
-  else begin
-    let target = 4 * jobs in
-    (* pieces in left-to-right order; [`Open] may still split. *)
-    let rec phase1 pieces count =
-      if count >= target then pieces
-      else begin
-        let widest =
-          List.fold_left
-            (fun acc (lo, hi, state) ->
-              match (state, acc) with
-              | `Done, _ -> acc
-              | `Open, Some (blo, bhi) when bhi - blo >= hi - lo -> acc
-              | `Open, _ -> Some (lo, hi))
-            None pieces
-        in
-        match widest with
-        | None -> pieces
-        | Some (lo, hi) when hi - lo < par_threshold -> pieces
-        | Some (lo, hi) -> (
-          match step p lo hi with
-          | None ->
-            phase1
-              (List.map
-                 (fun (l, h, s) ->
-                   if l = lo && h = hi then (l, h, `Done) else (l, h, s))
-                 pieces)
-              count
-          | Some mid ->
-            phase1
-              (List.concat_map
-                 (fun (l, h, s) ->
-                   if l = lo && h = hi then
-                     [ (l, mid, `Open); (mid, h, `Open) ]
-                   else [ (l, h, s) ])
-                 pieces)
-              (count + 1))
-      end
-    in
-    let pieces = phase1 [ (0, n, `Open) ] 1 in
-    let pending = Array.of_list pieces in
-    let leaf_lists =
-      Parallel.map_chunks ~jobs (Array.length pending) (fun a b ->
-          let acc = ref [] in
-          for i = a to b - 1 do
-            let lo, hi, state = pending.(i) in
-            match state with
-            | `Done -> acc := (lo, hi) :: !acc
-            | `Open -> acc := explore p lo hi !acc
-          done;
-          List.rev !acc)
-    in
-    (p, List.concat leaf_lists)
-  end
+  let p, ranges =
+    if jobs <= 1 || n < par_threshold then (p, List.rev (explore p 0 0 n []))
+    else begin
+      let target = 4 * jobs in
+      (* pieces in left-to-right order, each carrying the split depth
+         that produced it; [`Open] may still split. *)
+      let rec phase1 pieces count =
+        if count >= target then pieces
+        else begin
+          let widest =
+            List.fold_left
+              (fun acc (lo, hi, _, state) ->
+                match (state, acc) with
+                | `Done, _ -> acc
+                | `Open, Some (blo, bhi) when bhi - blo >= hi - lo -> acc
+                | `Open, _ -> Some (lo, hi))
+              None pieces
+          in
+          match widest with
+          | None -> pieces
+          | Some (lo, hi) when hi - lo < par_threshold -> pieces
+          | Some (lo, hi) -> (
+            match step p lo hi with
+            | None ->
+              phase1
+                (List.map
+                   (fun (l, h, d, s) ->
+                     if l = lo && h = hi then (l, h, d, `Done) else (l, h, d, s))
+                   pieces)
+                count
+            | Some mid ->
+              phase1
+                (List.concat_map
+                   (fun (l, h, d, s) ->
+                     if l = lo && h = hi then
+                       [ (l, mid, d + 1, `Open); (mid, h, d + 1, `Open) ]
+                     else [ (l, h, d, s) ])
+                   pieces)
+                (count + 1))
+        end
+      in
+      let pieces = phase1 [ (0, n, 0, `Open) ] 1 in
+      let pending = Array.of_list pieces in
+      let leaf_lists =
+        Parallel.map_chunks ~jobs (Array.length pending) (fun a b ->
+            let acc = ref [] in
+            for i = a to b - 1 do
+              let lo, hi, depth, state = pending.(i) in
+              match state with
+              | `Done ->
+                Mdp_obs.Metrics.observe "mondrian/leaf_depth" depth;
+                acc := (lo, hi) :: !acc
+              | `Open -> acc := explore p depth lo hi !acc
+            done;
+            List.rev !acc)
+      in
+      (p, List.concat leaf_lists)
+    end
+  in
+  Mdp_obs.Metrics.add "mondrian/partitions" (List.length ranges);
+  (p, ranges)
 
 let validate_for_mondrian ~k t =
   if t.nrows < k then Error "mondrian: fewer rows than k"

@@ -83,6 +83,7 @@ let partitions_rows ~k vals quasi nrows =
   go (List.init nrows Fun.id)
 
 let partitions ~k ds =
+  Mdp_obs.Metrics.span "mondrian/naive_partition" @@ fun () ->
   if Dataset.nrows ds < k then Error "mondrian: fewer rows than k"
   else
     match check_numeric ds with

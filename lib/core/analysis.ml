@@ -17,7 +17,11 @@ type t = {
 
 let run_params params diagram policy =
   let universe = Universe.make diagram policy in
-  let lts = Generate.run ~options:params.options universe in
+  let lts =
+    Mdp_obs.Metrics.span "phase/explore" @@ fun () ->
+    Generate.run ~options:params.options universe
+  in
+  Mdp_obs.Metrics.span "phase/analyse" @@ fun () ->
   let consistency = Consistency.check universe in
   let disclosure =
     (* Compiled plan path: bit-identical to Disclosure_risk.analyse

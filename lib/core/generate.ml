@@ -452,6 +452,7 @@ let potential_deletes u (cfg : Config.t) =
   !transitions
 
 let run ?(options = default_options) ?(jobs = 1) ?par_threshold u =
+  Mdp_obs.Metrics.span "generate/run" @@ fun () ->
   let compiled = compile u options in
   let stamp = Atomic.fetch_and_add run_stamp 1 in
   let nf = Universe.nfields u in

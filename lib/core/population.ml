@@ -159,8 +159,11 @@ let classes u profiles =
 (* ----- compiled + parallel aggregation ----- *)
 
 let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
+  Mdp_obs.Metrics.span "population/analyse_compiled" @@ fun () ->
   let plan = Risk_plan.compile ?matrix ?model u lts in
   let cls = Array.of_list (classes u profiles) in
+  Mdp_obs.Metrics.add "population/profiles" (List.length profiles);
+  Mdp_obs.Metrics.add "population/classes" (Array.length cls);
   let nslots = Array.length (Risk_plan.slots plan) in
   (* Per-chunk partials fold classes as they are evaluated — no
      per-profile reports are ever materialised. The merge below uses
@@ -184,8 +187,10 @@ let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
               end)
             s.Risk_plan.slot_levels
         done;
+        Mdp_obs.Metrics.add "population/class_evals" (hi - lo);
         (counts, affected, worst))
   in
+  Mdp_obs.Metrics.span "population/merge" @@ fun () ->
   let counts = Array.make 4 0 in
   let affected = Array.make (max nslots 1) 0 in
   let worst = Array.make (max nslots 1) Level.None_ in

@@ -85,6 +85,7 @@ let matrix t = t.matrix
 
 let compile ?(matrix = Risk_matrix.default)
     ?(model = Disclosure_risk.default_likelihood) u lts =
+  Mdp_obs.Metrics.span "risk_plan/compile" @@ fun () ->
   let diagram = Universe.diagram u in
   let svc_ids = Hashtbl.create 8 in
   List.iteri
@@ -315,8 +316,8 @@ let eval_likelihood model view = function
         if Bitset.subset candidates view.agreed then 0.0
         else model.Disclosure_risk.rogue_service
     in
-    (* Same term order and clip as the naive path: float-identical. *)
-    Float.min 1.0 (accidental +. maintenance +. rogue)
+    (* Shared combination point: float-identical to the naive path. *)
+    Disclosure_risk.combine_scenarios model ~accidental ~maintenance ~rogue
 
 (* ----- population summary ----- *)
 

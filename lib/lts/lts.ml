@@ -304,8 +304,16 @@ module Make (S : STATE) (L : LABEL) = struct
   (* ----- exploration ----- *)
 
   let explore_sequential t ~max_states ~step =
+    (* Dedup hits/misses are batched in local refs and published once:
+       a Metrics.add per transition would dominate small models. *)
+    let hits = ref 0 and misses = ref 0 in
     let q = Queue.create () in
     Queue.push (initial t) q;
+    Fun.protect ~finally:(fun () ->
+        Mdp_obs.Metrics.add "lts/dedup_hits" !hits;
+        Mdp_obs.Metrics.add "lts/dedup_misses" !misses;
+        Mdp_obs.Metrics.incr "lts/seq_explores")
+    @@ fun () ->
     while not (Queue.is_empty q) do
       let src = Queue.pop q in
       List.iter
@@ -314,7 +322,11 @@ module Make (S : STATE) (L : LABEL) = struct
           let dst = add_state t dst_data in
           if t.n > max_states then raise (Too_many_states max_states);
           ignore (add_transition t ~src ~label ~dst : bool);
-          if t.n > before then Queue.push dst q)
+          if t.n > before then begin
+            incr misses;
+            Queue.push dst q
+          end
+          else incr hits)
         (step t.data.(src))
     done
 
@@ -331,10 +343,21 @@ module Make (S : STATE) (L : LABEL) = struct
      and small models (every frontier narrow) would otherwise run
      slower under [jobs > 1] than sequentially. *)
   let explore_parallel t ~max_states ~step ~jobs ~par_threshold =
+    let hits = ref 0 and misses = ref 0 in
+    let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
     let frontier = ref [ initial t ] in
+    Fun.protect ~finally:(fun () ->
+        Mdp_obs.Metrics.add "lts/dedup_hits" !hits;
+        Mdp_obs.Metrics.add "lts/dedup_misses" !misses;
+        Mdp_obs.Metrics.add "lts/frontier_rounds" !rounds;
+        Mdp_obs.Metrics.add "lts/par_rounds" !par_rounds;
+        Mdp_obs.Metrics.add "lts/seq_fallback_rounds" !seq_rounds)
+    @@ fun () ->
     while !frontier <> [] do
       let fr = Array.of_list !frontier in
       let nf = Array.length fr in
+      incr rounds;
+      Mdp_obs.Metrics.observe "lts/frontier_width" nf;
       let results = Array.make nf [] in
       let expand lo hi =
         for i = lo to hi - 1 do
@@ -342,8 +365,14 @@ module Make (S : STATE) (L : LABEL) = struct
         done
       in
       let njobs = max 1 (min jobs nf) in
-      if njobs = 1 || nf < par_threshold then expand 0 nf
-      else Mdp_prelude.Parallel.iter_chunks ~jobs:njobs nf expand;
+      if njobs = 1 || nf < par_threshold then begin
+        incr seq_rounds;
+        expand 0 nf
+      end
+      else begin
+        incr par_rounds;
+        Mdp_prelude.Parallel.iter_chunks ~jobs:njobs nf expand
+      end;
       let next = ref [] in
       for i = 0 to nf - 1 do
         let src = fr.(i) in
@@ -353,7 +382,11 @@ module Make (S : STATE) (L : LABEL) = struct
             let dst = add_state t dst_data in
             if t.n > max_states then raise (Too_many_states max_states);
             ignore (add_transition t ~src ~label ~dst : bool);
-            if t.n > before then next := dst :: !next)
+            if t.n > before then begin
+              incr misses;
+              next := dst :: !next
+            end
+            else incr hits)
           results.(i)
       done;
       frontier := List.rev !next
@@ -363,11 +396,13 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let explore ?(max_states = 200_000) ?(jobs = 1)
       ?(par_threshold = default_par_threshold) ~init ~step () =
+    Mdp_obs.Metrics.span "lts/explore" @@ fun () ->
     let t = create () in
     ignore (add_state t init : state_id);
     if t.n > max_states then raise (Too_many_states max_states);
     if jobs <= 1 then explore_sequential t ~max_states ~step
     else explore_parallel t ~max_states ~step ~jobs ~par_threshold;
+    Mdp_obs.Metrics.add "lts/states" t.n;
     t
 
   let path_to t pred =

@@ -1,0 +1,17 @@
+/* Monotonic clock primitive for mdp_obs.
+
+   CLOCK_MONOTONIC is immune to NTP steps and wall-clock adjustments,
+   which is the whole point: bench timings and span traces must not be
+   corrupted by a clock slew mid-run.  The reading is returned as
+   nanoseconds in an OCaml immediate int (63 bits on 64-bit platforms:
+   ~292 years of monotonic uptime, no boxing, [@@noalloc]-safe). */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value mdp_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * (intnat)1000000000 + (intnat)ts.tv_nsec);
+}

@@ -212,38 +212,58 @@ let place t orig event =
     | None -> dead_letter t orig)
   | None -> dead_letter t orig
 
+(* Alerts are tallied into the metrics subsystem per constructor, so a
+   long-running monitor surfaces its alert mix through the same
+   exporters as the offline engines. *)
+let record_alerts alerts =
+  if Mdp_obs.Metrics.enabled () then
+    List.iter
+      (fun a ->
+        Mdp_obs.Metrics.incr
+          (match a with
+          | Denied _ -> "monitor/alerts/denied"
+          | Risky _ -> "monitor/alerts/risky"
+          | Off_model _ -> "monitor/alerts/off_model"
+          | Resynced _ -> "monitor/alerts/resynced"))
+      alerts
+
 let observe t event =
+  Mdp_obs.Metrics.incr "monitor/events";
   t.observed <- t.observed + 1;
   let line = Event.to_line event in
-  if Hashtbl.mem t.seen line then begin
-    t.duplicates <- t.duplicates + 1;
-    []
-  end
-  else begin
-    Hashtbl.add t.seen line ();
-    match Enforce.decide t.universe event with
-    | Enforce.Denied reason ->
-      (* The action was blocked, so the state must not advance; but an
-         attempt the model never predicted is still the strongest
-         signal, so report both facets. *)
-      let modelled =
-        List.exists
-          (fun (label, _) -> matches event label)
-          (Core.Plts.successors t.lts t.state)
-      in
-      Denied (event, reason) :: (if modelled then [] else [ Off_model event ])
-    | Enforce.Allowed narrowed ->
-      (* A stale timestamp accounted for by a transition we skipped while
-         resynchronising is a late arrival, not a new action: absorb it.
-         Matching uses the narrowed event — pending entries carry the
-         LTS label's (already narrowed) field set. *)
-      if event.Event.time <= t.last_time && absorb_pending t narrowed then begin
-        t.late <- t.late + 1;
-        t.consecutive_dead <- 0;
-        []
-      end
-      else place t event narrowed
-  end
+  let alerts =
+    if Hashtbl.mem t.seen line then begin
+      t.duplicates <- t.duplicates + 1;
+      []
+    end
+    else begin
+      Hashtbl.add t.seen line ();
+      match Enforce.decide t.universe event with
+      | Enforce.Denied reason ->
+        (* The action was blocked, so the state must not advance; but an
+           attempt the model never predicted is still the strongest
+           signal, so report both facets. *)
+        let modelled =
+          List.exists
+            (fun (label, _) -> matches event label)
+            (Core.Plts.successors t.lts t.state)
+        in
+        Denied (event, reason) :: (if modelled then [] else [ Off_model event ])
+      | Enforce.Allowed narrowed ->
+        (* A stale timestamp accounted for by a transition we skipped while
+           resynchronising is a late arrival, not a new action: absorb it.
+           Matching uses the narrowed event — pending entries carry the
+           LTS label's (already narrowed) field set. *)
+        if event.Event.time <= t.last_time && absorb_pending t narrowed then begin
+          t.late <- t.late + 1;
+          t.consecutive_dead <- 0;
+          []
+        end
+        else place t event narrowed
+    end
+  in
+  record_alerts alerts;
+  alerts
 
 let run_trace t events = List.concat_map (observe t) events
 

@@ -94,6 +94,7 @@ let snoop_step u st (snooper : snooper) =
   end
 
 let run u config =
+  Mdp_obs.Metrics.span "sim/run" @@ fun () ->
   let diagram = Core.Universe.diagram u in
   let st =
     {
@@ -174,7 +175,9 @@ let run u config =
       loop ()
   in
   loop ();
-  Ok (List.rev st.rev_events)
+  let trace = List.rev st.rev_events in
+  Trace.publish_metrics ~prefix:"sim" trace;
+  Ok trace
   end
 
 let run_exn u config =

@@ -35,25 +35,58 @@ type stats = {
   ad_hoc : int;
 }
 
+(* One pass over the trace: the old version walked it five times
+   (two group_bys, a count, a length and an O(n) List.nth for the last
+   event).  Group orders match [Listx.group_by]: first appearance. *)
 let stats trace =
-  let count_by key =
-    Mdp_prelude.Listx.group_by ~key trace
-    |> List.map (fun (k, es) -> (k, List.length es))
+  let kind_tbl = Hashtbl.create 8 in
+  let actor_tbl = Hashtbl.create 8 in
+  let kind_order = ref [] and actor_order = ref [] in
+  let bump : 'k. ('k, int ref) Hashtbl.t -> 'k list ref -> 'k -> unit =
+   fun tbl order key ->
+    match Hashtbl.find_opt tbl key with
+    | Some r -> incr r
+    | None ->
+      Hashtbl.add tbl key (ref 1);
+      order := key :: !order
   in
-  let span =
-    match trace with
-    | [] | [ _ ] -> 0
-    | first :: _ ->
-      let last = List.nth trace (List.length trace - 1) in
-      last.Event.time - first.Event.time
+  let events = ref 0 and ad_hoc = ref 0 in
+  let first = ref 0 and last = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      if !events = 0 then first := e.time;
+      last := e.time;
+      incr events;
+      if e.service = None then incr ad_hoc;
+      bump kind_tbl kind_order e.kind;
+      bump actor_tbl actor_order e.actor)
+    trace;
+  let collect tbl order =
+    List.rev_map (fun k -> (k, !(Hashtbl.find tbl k))) !order
   in
   {
-    events = List.length trace;
-    span;
-    by_kind = count_by (fun e -> e.Event.kind);
-    by_actor = count_by (fun e -> e.Event.actor);
-    ad_hoc = Mdp_prelude.Listx.count (fun e -> e.Event.service = None) trace;
+    events = !events;
+    span = (if !events <= 1 then 0 else !last - !first);
+    by_kind = collect kind_tbl kind_order;
+    by_actor = collect actor_tbl actor_order;
+    ad_hoc = !ad_hoc;
   }
+
+(* Feed a trace's stats into the metrics subsystem, so runtime event
+   streams surface through the same exporters as the analysis engines. *)
+let publish_metrics ?(prefix = "trace") trace =
+  if Mdp_obs.Metrics.enabled () then begin
+    let s = stats trace in
+    Mdp_obs.Metrics.add (prefix ^ "/events") s.events;
+    Mdp_obs.Metrics.add (prefix ^ "/ad_hoc") s.ad_hoc;
+    Mdp_obs.Metrics.observe (prefix ^ "/span_ticks") s.span;
+    List.iter
+      (fun (k, c) ->
+        Mdp_obs.Metrics.add
+          (Format.asprintf "%s/kind/%a" prefix Mdp_core.Action.pp_kind k)
+          c)
+      s.by_kind
+  end
 
 let pp_stats ppf s =
   Format.fprintf ppf "%d events over %d ticks (%d ad-hoc); by kind: %s; by actor: %s"

@@ -28,4 +28,12 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Single pass over the trace. *)
+
+val publish_metrics : ?prefix:string -> t -> unit
+(** Record the trace's stats as metrics counters/histograms under
+    [prefix] (default ["trace"]): [<prefix>/events], [<prefix>/ad_hoc],
+    [<prefix>/span_ticks] and one [<prefix>/kind/<kind>] counter per
+    event kind seen.  No-op while metrics are disabled. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -209,6 +209,81 @@ let test_plan_rejects_stale_lts () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument on a grown LTS"
 
+(* The likelihood combinators themselves: Sum_saturating is the exact
+   sum below 1 (same term order as the engines) and exactly 1 once the
+   scenario probabilities sum past it; Independent_union is the
+   complement-product and never saturates for probabilities < 1. *)
+let test_combine_semantics () =
+  let model combine =
+    { Core.Disclosure_risk.accidental_access = 0.;
+      maintenance_exposure = 0.; rogue_service = 0.; combine }
+  in
+  let sum = model Core.Disclosure_risk.Sum_saturating in
+  let union = model Core.Disclosure_risk.Independent_union in
+  let combine m a mn r =
+    Core.Disclosure_risk.combine_scenarios m ~accidental:a ~maintenance:mn
+      ~rogue:r
+  in
+  check (Alcotest.float 0.) "sum below 1 is exact" (0.05 +. 0.02 +. 0.01)
+    (combine sum 0.05 0.02 0.01);
+  check (Alcotest.float 0.) "sum past 1 saturates" 1.0
+    (combine sum 0.6 0.5 0.4);
+  check (Alcotest.float 0.) "union is complement-product"
+    (1.0 -. (0.4 *. 0.5 *. 0.6))
+    (combine union 0.6 0.5 0.4);
+  check bool_ "union stays below 1" true (combine union 0.9 0.9 0.9 < 1.0)
+
+(* Property: for models swept across the sum = 1 boundary — including
+   ones where every read saturates — the naive and compiled engines
+   produce byte-identical reports, and every likelihood stays in
+   [0, 1]. *)
+let arb_model =
+  let open QCheck in
+  let print (m : Core.Disclosure_risk.likelihood_model) =
+    Printf.sprintf "{a=%g; m=%g; r=%g; %s}" m.accidental_access
+      m.maintenance_exposure m.rogue_service
+      (match m.combine with
+      | Core.Disclosure_risk.Sum_saturating -> "sum"
+      | Core.Disclosure_risk.Independent_union -> "union")
+  in
+  let gen =
+    let open Gen in
+    (* Each scenario in [0, 0.6]: the sum ranges over [0, 1.8], so the
+       sweep crosses 1.0 from both sides. *)
+    let p = float_bound_inclusive 0.6 in
+    let* accidental_access = p in
+    let* maintenance_exposure = p in
+    let* rogue_service = p in
+    let+ combine =
+      oneofl
+        [
+          Core.Disclosure_risk.Sum_saturating;
+          Core.Disclosure_risk.Independent_union;
+        ]
+    in
+    { Core.Disclosure_risk.accidental_access; maintenance_exposure;
+      rogue_service; combine }
+  in
+  make ~print gen
+
+let prop_extreme_models_parity =
+  QCheck.Test.make ~name:"extreme models keep engines byte-identical"
+    ~count:20 arb_model (fun model ->
+      let u = Core.Universe.make H.diagram H.policy in
+      let naive_lts = Core.Generate.run u in
+      let naive = Core.Disclosure_risk.analyse ~model u naive_lts
+          H.profile_case_a in
+      let plan_lts = Core.Generate.run u in
+      let plan = Core.Risk_plan.compile ~model u plan_lts in
+      let compiled = Core.Risk_plan.analyse plan H.profile_case_a in
+      let in_range (f : Core.Disclosure_risk.finding) =
+        f.likelihood >= 0.0 && f.likelihood <= 1.0
+      in
+      naive = compiled
+      && Format.asprintf "%a" Core.Disclosure_risk.pp_report naive
+         = Format.asprintf "%a" Core.Disclosure_risk.pp_report compiled
+      && List.for_all in_range naive.findings)
+
 let () =
   Alcotest.run "population"
     [
@@ -242,5 +317,11 @@ let () =
           Alcotest.test_case "smart home" `Quick test_plan_parity_smart_home;
           Alcotest.test_case "stale lts rejected" `Quick
             test_plan_rejects_stale_lts;
+        ] );
+      ( "likelihood-clamp",
+        [
+          Alcotest.test_case "combine semantics" `Quick
+            test_combine_semantics;
+          QCheck_alcotest.to_alcotest prop_extreme_models_parity;
         ] );
     ]

@@ -446,6 +446,60 @@ let test_store_pseudonymise_enforced () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unauthorised pseudonymisation accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Trace.stats — single-pass summary, including the degenerate traces
+   where the old multi-pass code indexed with List.nth. *)
+
+let ev ?service ~time ~kind ~actor () =
+  R.Event.make ~time ~kind ~actor ~fields:[ H.name ] ?service ()
+
+let test_stats_empty () =
+  let s = R.Trace.stats [] in
+  check int_ "events" 0 s.R.Trace.events;
+  check int_ "span" 0 s.R.Trace.span;
+  check int_ "ad_hoc" 0 s.R.Trace.ad_hoc;
+  check bool_ "no kinds" true (s.R.Trace.by_kind = []);
+  check bool_ "no actors" true (s.R.Trace.by_actor = [])
+
+let test_stats_singleton () =
+  let s =
+    R.Trace.stats [ ev ~time:7 ~kind:Core.Action.Read ~actor:"Doctor" () ]
+  in
+  check int_ "events" 1 s.R.Trace.events;
+  check int_ "span of a single event" 0 s.R.Trace.span;
+  check int_ "ad_hoc (no service context)" 1 s.R.Trace.ad_hoc;
+  check bool_ "one kind" true
+    (s.R.Trace.by_kind = [ (Core.Action.Read, 1) ]);
+  check bool_ "one actor" true (s.R.Trace.by_actor = [ ("Doctor", 1) ])
+
+let test_stats_pair () =
+  let s =
+    R.Trace.stats
+      [
+        ev ~time:3 ~kind:Core.Action.Collect ~actor:"Receptionist"
+          ~service:"MedicalService" ();
+        ev ~time:10 ~kind:Core.Action.Read ~actor:"Doctor" ();
+      ]
+  in
+  check int_ "events" 2 s.R.Trace.events;
+  check int_ "span is last minus first" 7 s.R.Trace.span;
+  check int_ "ad_hoc counts only contextless events" 1 s.R.Trace.ad_hoc;
+  check bool_ "kinds in first-appearance order" true
+    (s.R.Trace.by_kind
+    = [ (Core.Action.Collect, 1); (Core.Action.Read, 1) ]);
+  check bool_ "actors in first-appearance order" true
+    (s.R.Trace.by_actor = [ ("Receptionist", 1); ("Doctor", 1) ])
+
+let test_stats_matches_sim () =
+  let u = universe () in
+  let trace = R.Sim.run_exn u (sim_config [ H.medical_service ]) in
+  let s = R.Trace.stats trace in
+  check int_ "events = trace length" (List.length trace) s.R.Trace.events;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.R.Trace.by_kind in
+  check int_ "kind counts partition the trace" s.R.Trace.events total;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.R.Trace.by_actor in
+  check int_ "actor counts partition the trace" s.R.Trace.events total
+
 let () =
   Alcotest.run "runtime"
     [
@@ -488,5 +542,12 @@ let () =
           Alcotest.test_case "off-model" `Quick test_monitor_off_model;
           Alcotest.test_case "min level filter" `Quick test_monitor_min_level_filter;
           Alcotest.test_case "full interleaving" `Quick test_monitor_full_interleaving;
+        ] );
+      ( "trace-stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "pair" `Quick test_stats_pair;
+          Alcotest.test_case "simulated trace" `Quick test_stats_matches_sim;
         ] );
     ]
