@@ -1278,6 +1278,127 @@ let perf_pr4 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR4.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 6: the serve daemon's artifact/result caches, cold vs warm. A
+   cold request pays DSL-or-synthetic model construction, LTS
+   exploration and (for risk) risk-plan compilation; a warm repeat of
+   the same request must come straight out of the result cache with a
+   byte-identical body. Emits machine-readable BENCH_PR6.json and
+   fails if a warm hit is not flagged cached, differs from the cold
+   body, or is less than 100x faster on the headline case. *)
+
+let pr6_cases ~smoke =
+  if smoke then [ ("synthetic:6-8-5", 200_000) ]
+  else [ ("synthetic:11-14-8", 400_000); ("synthetic:8-10-6", 200_000) ]
+
+let perf_pr6 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr6] serve engine cold vs warm cache (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
+  let module S = Mdp_serve in
+  let module J = Mdp_prelude.Json in
+  let ok = ref true in
+  let risk_kind =
+    S.Protocol.Risk
+      { agreed = [ "Service0" ]; sensitivities = [ ("Field0", 0.9) ] }
+  in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "kind"; "cold s"; "warm us"; "speedup"; "identical" ]
+  in
+  let json_cases =
+    List.concat_map
+      (fun (model, max_states) ->
+        List.map
+          (fun (kname, kind) ->
+            (* Fresh engine per kind: the artifact cache is shared
+               across kinds, so reusing one would make the second
+               kind's "cold" run warm. *)
+            let engine =
+              S.Engine.create
+                ~config:{ S.Engine.default_config with jobs; max_states }
+                ()
+            in
+            let req =
+              {
+                S.Protocol.req_id = Some (model ^ "/" ^ kname);
+                cmd =
+                  S.Protocol.Analyse
+                    {
+                      kind;
+                      model = S.Protocol.Named model;
+                      max_states = Some max_states;
+                      deadline_ms = None;
+                      allow_stale = false;
+                    };
+              }
+            in
+            let t0 = Mdp_obs.Clock.now_ns () in
+            let cold = S.Engine.handle engine req in
+            let t_cold = Mdp_obs.Clock.elapsed_s t0 in
+            let warm = S.Engine.handle engine req in
+            let t_warm =
+              time_median ~runs:5 (fun () -> S.Engine.handle engine req)
+            in
+            let identical = J.to_string cold.body = J.to_string warm.body in
+            let speedup = t_cold /. t_warm in
+            let case_ok =
+              cold.S.Protocol.status = S.Protocol.Ok_
+              && (not cold.S.Protocol.cached)
+              && warm.S.Protocol.cached && identical && speedup >= 100.0
+            in
+            if not case_ok then begin
+              Printf.printf
+                "  %s/%s: warm-cache contract FAILED (status %s, cached %b, \
+                 identical %b, speedup %.0fx)\n"
+                model kname
+                (S.Protocol.status_string cold.S.Protocol.status)
+                warm.S.Protocol.cached identical speedup;
+              ok := false
+            end;
+            Mdp_prelude.Texttable.add_row table
+              [
+                model;
+                kname;
+                Printf.sprintf "%.3f" t_cold;
+                Printf.sprintf "%.1f" (1e6 *. t_warm);
+                Printf.sprintf "%.0fx" speedup;
+                string_of_bool identical;
+              ];
+            J.Obj
+              [
+                ("model", J.Str model);
+                ("kind", J.Str kname);
+                ("max_states", J.int max_states);
+                ("cold_seconds", J.Num t_cold);
+                ("warm_seconds", J.Num t_warm);
+                ("speedup", J.Num speedup);
+                ("warm_cached", J.Bool warm.S.Protocol.cached);
+                ("bodies_identical", J.Bool identical);
+                ("ok", J.Bool case_ok);
+              ])
+          [ ("lts", S.Protocol.Lts_stats); ("risk", risk_kind) ])
+      (pr6_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr6-serve-cache");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR6.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR6.json\n";
+  !ok
+
 let () =
   (* Spans feed the per-section phase breakdowns in BENCH_*.json and
      the BENCH_SPANS.jsonl / BENCH_METRICS.prom artifacts. *)
@@ -1287,6 +1408,7 @@ let () =
   let pr2_only = List.mem "--pr2" argv in
   let pr3_only = List.mem "--pr3" argv in
   let pr4_only = List.mem "--pr4" argv in
+  let pr6_only = List.mem "--pr6" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -1295,16 +1417,18 @@ let () =
     in
     find argv
   in
-  if smoke && not (pr2_only || pr3_only || pr4_only) then begin
+  if smoke && not (pr2_only || pr3_only || pr4_only || pr6_only) then begin
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
     let pr4_ok = perf_pr4 ~jobs ~smoke () in
+    let pr6_ok = perf_pr6 ~jobs ~smoke () in
     write_observability_artifacts ();
-    exit (if pr2_ok && pr3_ok && pr4_ok then 0 else 1)
+    exit (if pr2_ok && pr3_ok && pr4_ok && pr6_ok then 0 else 1)
   end;
   if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
   if pr3_only then exit (if perf_pr3 ~jobs ~smoke () then 0 else 1);
   if pr4_only then exit (if perf_pr4 ~jobs ~smoke () then 0 else 1);
+  if pr6_only then exit (if perf_pr6 ~jobs ~smoke () then 0 else 1);
   fig1 ();
   fig2 ();
   fig3 ();
@@ -1321,7 +1445,8 @@ let () =
   let pr2_ok = perf_pr2 ~jobs ~smoke:false () in
   let pr3_ok = perf_pr3 ~jobs ~smoke:false () in
   let pr4_ok = perf_pr4 ~jobs ~smoke:false () in
+  let pr6_ok = perf_pr6 ~jobs ~smoke:false () in
   perf ();
   write_observability_artifacts ();
   Printf.printf "\ndone.\n";
-  if not (pr2_ok && pr3_ok && pr4_ok) then exit 1
+  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok) then exit 1

@@ -22,56 +22,15 @@ let write_file path content =
 
 (* "synthetic:NA-NF-FPS[@SEED]" (or "synthetic-NA-NF-FPS") names a
    generated model instead of a file — the bench suite's synthetic
-   scaling cases, reachable from every subcommand.  Defaults match
-   bench/main.ml: seed 42, two stores, two services. *)
-let parse_synthetic path =
-  let prefixed p =
-    if
-      String.length path > String.length p
-      && String.sub path 0 (String.length p) = p
-    then Some (String.sub path (String.length p) (String.length path - String.length p))
-    else None
-  in
-  match
-    match prefixed "synthetic:" with
-    | Some b -> Some b
-    | None -> prefixed "synthetic-"
-  with
-  | None -> None
-  | Some body -> (
-    let spec () =
-      let body, seed =
-        match String.index_opt body '@' with
-        | None -> (body, 42)
-        | Some i ->
-          ( String.sub body 0 i,
-            int_of_string (String.sub body (i + 1) (String.length body - i - 1))
-          )
-      in
-      match String.split_on_char '-' body |> List.map int_of_string with
-      | [ na; nf; fps ] ->
-        {
-          Mdp_scenario.Synthetic.seed;
-          nactors = na;
-          nfields = nf;
-          nstores = 2;
-          nservices = 2;
-          flows_per_service = fps;
-        }
-      | _ -> failwith "synthetic"
-    in
-    match spec () with
-    | spec ->
-      let diagram, policy = Mdp_scenario.Synthetic.model spec in
-      Some (Ok { Mdp_dsl.Parser.diagram; policy; placement = None })
-    | exception _ ->
-      Some
-        (Error
-           (`Msg (path ^ ": expected synthetic:NACTORS-NFIELDS-FLOWS[@SEED]"))))
-
+   scaling cases, reachable from every subcommand. The parser lives in
+   Mdp_scenario.Synthetic so the serve daemon resolves the same model
+   from the same string. *)
 let load_model path =
-  match parse_synthetic path with
-  | Some r -> r
+  match Mdp_scenario.Synthetic.spec_of_string path with
+  | Some (Ok spec) ->
+    let diagram, policy = Mdp_scenario.Synthetic.model spec in
+    Ok { Mdp_dsl.Parser.diagram; policy; placement = None }
+  | Some (Error msg) -> Error (`Msg msg)
   | None -> (
     match Mdp_dsl.Parser.parse (read_file path) with
     | Ok m -> Ok m
@@ -184,7 +143,9 @@ let max_states_arg =
 
 let exits_with_error = 1
 
-(* Generate, turning the state-guard exception into a clean message. *)
+(* Generate, turning the state-guard exception into the structured
+   failure message (limit reached + remediation hint) instead of an
+   escaping exception. *)
 let generate ?options ?jobs u k =
   match
     Mdp_obs.Metrics.span "phase/explore" (fun () ->
@@ -192,9 +153,18 @@ let generate ?options ?jobs u k =
   with
   | lts -> k lts
   | exception Mdp_lts.Lts.Too_many_states limit ->
-    Printf.eprintf
-      "LTS exceeds %d states; simplify the model or restrict --service\n"
-      limit;
+    prerr_endline
+      (Core.Analysis.failure_message
+         (Core.Analysis.State_limit
+            { limit; hint = Core.Analysis.state_limit_hint }));
+    exits_with_error
+
+(* Same contract for the full-analysis paths. *)
+let run_analysis ?options ?profile diagram policy k =
+  match Core.Analysis.run_checked ?options ?profile diagram policy with
+  | Ok analysis -> k analysis
+  | Error failure ->
+    prerr_endline (Core.Analysis.failure_message failure);
     exits_with_error
 
 (* ----- validate ----- *)
@@ -335,17 +305,11 @@ let risk_cmd =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
         let options = { Core.Generate.default_options with max_states } in
-        match Core.Analysis.run ~options ~profile diagram policy with
-        | analysis ->
-          Mdp_obs.Metrics.span "phase/render" (fun () ->
-              if json then print_endline (Core.Report.to_string analysis)
-              else Format.printf "%a@." Core.Analysis.pp_summary analysis);
-          0
-        | exception Mdp_lts.Lts.Too_many_states limit ->
-          Printf.eprintf
-            "LTS exceeds %d states; raise --max-states or restrict the model\n"
-            limit;
-          exits_with_error))
+        run_analysis ~options ~profile diagram policy (fun analysis ->
+            Mdp_obs.Metrics.span "phase/render" (fun () ->
+                if json then print_endline (Core.Report.to_string analysis)
+                else Format.printf "%a@." Core.Analysis.pp_summary analysis);
+            0)))
   in
   let agree =
     Arg.(
@@ -405,7 +369,7 @@ let simulate_cmd =
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let analysis = Core.Analysis.run ~profile diagram policy in
+        run_analysis ~profile diagram policy @@ fun analysis ->
         let services =
           match services with
           | [] ->
@@ -561,7 +525,7 @@ let check_cmd =
         exits_with_error
       | Ok requirements ->
         let u = Core.Universe.make diagram policy in
-        let lts = Core.Generate.run u in
+        generate u @@ fun lts ->
         (* Risk annotations are needed for maxrisk requirements. *)
         let sensitivities =
           List.filter_map
@@ -618,10 +582,7 @@ let population_cmd =
       exits_with_error
     | Ok { diagram; policy; _ } ->
       let u = Core.Universe.make diagram policy in
-      let lts =
-        Mdp_obs.Metrics.span "phase/explore" (fun () ->
-            Core.Generate.run ~jobs u)
-      in
+      generate ~jobs u @@ fun lts ->
       let spec =
         {
           Core.Population.seed;
@@ -693,7 +654,7 @@ let monitor_cmd =
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let analysis = Core.Analysis.run ~profile diagram policy in
+        run_analysis ~profile diagram policy @@ fun analysis ->
         Format.printf "%a@." Mdp_runtime.Trace.pp_stats
           (Mdp_runtime.Trace.stats trace);
         let monitor =
@@ -757,7 +718,7 @@ let transfers_cmd =
           List.iter prerr_endline msgs;
           exits_with_error
         | Ok deployment ->
-          let lts = Core.Generate.run u in
+          generate u @@ fun lts ->
           let transfers = Mdp_runtime.Deployment.transfers deployment lts in
           List.iter
             (fun tr ->
@@ -807,7 +768,7 @@ let transparency_cmd =
       exits_with_error
     | Ok { diagram; policy; _ } ->
       let u = Core.Universe.make diagram policy in
-      let lts = Core.Generate.run u in
+      generate u @@ fun lts ->
       let entries =
         if worst then Core.Transparency.worst_case u lts
         else Core.Transparency.at_state u lts (Core.Plts.initial lts)
@@ -829,6 +790,100 @@ let transparency_cmd =
     (Cmd.info "transparency"
        ~doc:"Data-subject transparency report: who could see which fields.")
     Term.(const run $ model_arg $ worst)
+
+(* ----- serve ----- *)
+
+let serve_cmd =
+  let run workers queue_cap jobs cache_cap deadline_ms max_states soak seed
+      fault_rate metrics =
+    with_metrics metrics @@ fun () ->
+    match soak with
+    | Some requests ->
+      (* In-process chaos soak: seeded adversarial workload through the
+         same Server/Engine stack the daemon runs, with the resilience
+         contract checked by the harness. *)
+      let spec =
+        {
+          Mdp_serve.Soak.default_spec with
+          seed;
+          requests;
+          workers;
+          queue_cap;
+          fault_rate;
+        }
+      in
+      let outcome = Mdp_serve.Soak.run spec in
+      Format.printf "%a@." Mdp_serve.Soak.pp_outcome outcome;
+      if outcome.Mdp_serve.Soak.ok then 0 else exits_with_error
+    | None ->
+      let config =
+        {
+          Mdp_serve.Engine.default_config with
+          jobs;
+          result_cap = cache_cap;
+          stale_cap = max 1 (cache_cap / 2);
+          default_deadline_ms = deadline_ms;
+          max_states;
+        }
+      in
+      let engine = Mdp_serve.Engine.create ~config () in
+      Mdp_serve.Server.serve_channels ~workers ~queue_cap engine stdin stdout;
+      0
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains answering requests.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; requests beyond it are shed with an \
+             $(b,overloaded) response (or a stale cached result when the \
+             request sets allow_stale).")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:"Rendered-result LRU entries (half as many stale entries).")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline budget applied when a request \
+             names none.")
+  in
+  let soak =
+    Arg.(
+      value & opt (some int) None
+      & info [ "soak" ] ~docv:"REQUESTS"
+          ~doc:
+            "Run the chaos soak harness with this many generated requests \
+             instead of serving; exits non-zero if the resilience contract \
+             is violated.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Soak workload seed.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Soak drop/duplicate/reorder/delay probability per line.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived analysis daemon: newline-delimited JSON requests on \
+          stdin, responses on stdout. See docs/SERVE.md for the protocol.")
+    Term.(
+      const run $ workers $ queue_cap $ jobs_arg $ cache_cap $ deadline
+      $ max_states_arg $ soak $ seed $ fault_rate $ metrics_term)
 
 (* ----- chaos ----- *)
 
@@ -904,7 +959,11 @@ module Chaos = struct
 
   let run_scenario ~name ~seed ~rate ~subjects ~resync_depth ~services
       ~snoopers ~profile diagram policy backoff_demo =
-    let analysis = Core.Analysis.run ~profile diagram policy in
+    match Core.Analysis.run_checked ~profile diagram policy with
+    | Error failure ->
+      prerr_endline (Core.Analysis.failure_message failure);
+      false
+    | Ok analysis ->
     let u = analysis.Core.Analysis.universe
     and lts = analysis.Core.Analysis.lts in
     let traces =
@@ -1145,4 +1204,4 @@ let () =
        (Cmd.group info
           [ validate_cmd; dot_cmd; lts_cmd; risk_cmd; simulate_cmd; anon_cmd;
             check_cmd; population_cmd; monitor_cmd; transfers_cmd;
-            transparency_cmd; chaos_cmd ]))
+            transparency_cmd; serve_cmd; chaos_cmd ]))

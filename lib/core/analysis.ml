@@ -15,11 +15,11 @@ type t = {
   pseudonym : Pseudonym_risk.risk_transition list;
 }
 
-let run_params params diagram policy =
+let run_params ?jobs ?cancel params diagram policy =
   let universe = Universe.make diagram policy in
   let lts =
     Mdp_obs.Metrics.span "phase/explore" @@ fun () ->
-    Generate.run ~options:params.options universe
+    Generate.run ~options:params.options ?jobs ?cancel universe
   in
   Mdp_obs.Metrics.span "phase/analyse" @@ fun () ->
   let consistency = Consistency.check universe in
@@ -49,6 +49,42 @@ let run ?(options = Generate.default_options) ?(matrix = Risk_matrix.default)
 
 let rerun_with_policy t policy =
   run_params t.params (Universe.diagram t.universe) policy
+
+(* ----- structured failures ----- *)
+
+type failure =
+  | State_limit of { limit : int; hint : string }
+  | Cancelled of { phase : string; deadline : bool }
+
+let state_limit_hint =
+  "raise --max-states, restrict --service, or simplify the model"
+
+let failure_message = function
+  | State_limit { limit; hint } ->
+    Printf.sprintf "LTS exceeds %d states; %s" limit hint
+  | Cancelled { phase; deadline = true } ->
+    Printf.sprintf "analysis deadline exceeded during %s" phase
+  | Cancelled { phase; deadline = false } ->
+    Printf.sprintf "analysis cancelled during %s" phase
+
+(* The exploration is the only unbounded phase, so both failure modes
+   are attributed to it; the risk passes walk an already-bounded LTS. *)
+let checked phase f =
+  match f () with
+  | v -> Ok v
+  | exception Mdp_lts.Lts.Too_many_states limit ->
+    Error (State_limit { limit; hint = state_limit_hint })
+  | exception Mdp_obs.Cancel.Cancelled reason ->
+    Error
+      (Cancelled { phase; deadline = reason = Mdp_obs.Cancel.Deadline })
+
+let run_checked ?(options = Generate.default_options)
+    ?(matrix = Risk_matrix.default) ?(model = Disclosure_risk.default_likelihood)
+    ?profile ?(bindings = []) ?jobs ?cancel diagram policy =
+  checked "explore" (fun () ->
+      run_params ?jobs ?cancel
+        { options; matrix; model; profile; bindings }
+        diagram policy)
 
 let pp_summary ppf t =
   Format.fprintf ppf "@[<v>model: %s@,"

@@ -37,4 +37,41 @@ val rerun_with_policy : t -> Mdp_policy.Policy.t -> t
 (** The §IV-A design loop: same model, profile, bindings and parameters;
     edited policy; everything regenerated. *)
 
+(** {1 Structured failure}
+
+    The generation phase can abort in two recoverable ways: the state
+    guard trips ([Lts.Too_many_states]) or a cancellation token fires
+    (deadline or explicit cancel). Long-lived callers — the CLI and
+    the [mdpriv serve] daemon — need those as data, not as escaping
+    exceptions with backtraces. *)
+
+type failure =
+  | State_limit of { limit : int; hint : string }
+      (** The exploration guard tripped at [limit] states; [hint] is a
+          ready-made remediation message. *)
+  | Cancelled of { phase : string; deadline : bool }
+      (** A cancellation token fired during [phase]; [deadline]
+          distinguishes a blown budget from an explicit cancel. *)
+
+val state_limit_hint : string
+(** The standard remediation hint attached to {!State_limit} failures. *)
+
+val failure_message : failure -> string
+
+val run_checked :
+  ?options:Generate.options ->
+  ?matrix:Risk_matrix.t ->
+  ?model:Disclosure_risk.likelihood_model ->
+  ?profile:User_profile.t ->
+  ?bindings:Pseudonym_risk.binding list ->
+  ?jobs:int ->
+  ?cancel:Mdp_obs.Cancel.t ->
+  Mdp_dataflow.Diagram.t ->
+  Mdp_policy.Policy.t ->
+  (t, failure) result
+(** {!run} with [Too_many_states] and [Cancel.Cancelled] converted to
+    {!failure} values, plus [jobs]/[cancel] forwarded to the
+    exploration. Still raises [Invalid_argument] on a policy that does
+    not validate — that is caller error, not an operational failure. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -451,7 +451,7 @@ let potential_deletes u (cfg : Config.t) =
   done;
   !transitions
 
-let run ?(options = default_options) ?(jobs = 1) ?par_threshold u =
+let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
   Mdp_obs.Metrics.span "generate/run" @@ fun () ->
   let compiled = compile u options in
   let stamp = Atomic.fetch_and_add run_stamp 1 in
@@ -485,5 +485,5 @@ let run ?(options = default_options) ?(jobs = 1) ?par_threshold u =
     let deletes = if options.potential_deletes then potential_deletes u cfg else [] in
     from_flows @ reads @ deletes
   in
-  Plts.explore ~max_states:options.max_states ~jobs ?par_threshold
+  Plts.explore ~max_states:options.max_states ~jobs ?par_threshold ?cancel
     ~init:(Config.initial u) ~step ()

@@ -158,11 +158,21 @@ let classes u profiles =
 
 (* ----- compiled + parallel aggregation ----- *)
 
-let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
+let analyse_compiled ?matrix ?model ?(jobs = 1) ?cancel ?plan
+    ?classes:precomputed u lts profiles =
   Mdp_obs.Metrics.span "population/analyse_compiled" @@ fun () ->
-  let plan = Risk_plan.compile ?matrix ?model u lts in
-  let cls = Array.of_list (classes u profiles) in
-  Mdp_obs.Metrics.add "population/profiles" (List.length profiles);
+  (match cancel with None -> () | Some c -> Mdp_obs.Cancel.check c);
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Risk_plan.compile ?matrix ?model u lts
+  in
+  let cls_list =
+    match precomputed with Some c -> c | None -> classes u profiles
+  in
+  let cls = Array.of_list cls_list in
+  let total = Listx.sum_by snd cls_list in
+  Mdp_obs.Metrics.add "population/profiles" total;
   Mdp_obs.Metrics.add "population/classes" (Array.length cls);
   let nslots = Array.length (Risk_plan.slots plan) in
   (* Per-chunk partials fold classes as they are evaluated — no
@@ -174,8 +184,19 @@ let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
         let counts = Array.make 4 0 in
         let affected = Array.make (max nslots 1) 0 in
         let worst = Array.make (max nslots 1) Level.None_ in
-        for c = lo to hi - 1 do
-          let profile, weight = cls.(c) in
+        let c = ref lo in
+        (* Every domain polls the shared token between class
+           evaluations and simply stops folding when it fires — no
+           exception ever crosses a domain boundary; the caller raises
+           after the join, once, below. *)
+        while
+          !c < hi
+          && not
+               (match cancel with
+               | None -> false
+               | Some tok -> !c land 63 = 0 && Mdp_obs.Cancel.cancelled tok)
+        do
+          let profile, weight = cls.(!c) in
           let s = Risk_plan.summary plan profile in
           let r = Level.rank s.Risk_plan.worst in
           counts.(r) <- counts.(r) + weight;
@@ -185,11 +206,13 @@ let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
                 affected.(i) <- affected.(i) + weight;
                 worst.(i) <- Level.max worst.(i) lvl
               end)
-            s.Risk_plan.slot_levels
+            s.Risk_plan.slot_levels;
+          incr c
         done;
-        Mdp_obs.Metrics.add "population/class_evals" (hi - lo);
+        Mdp_obs.Metrics.add "population/class_evals" (!c - lo);
         (counts, affected, worst))
   in
+  (match cancel with None -> () | Some c -> Mdp_obs.Cancel.check c);
   Mdp_obs.Metrics.span "population/merge" @@ fun () ->
   let counts = Array.make 4 0 in
   let affected = Array.make (max nslots 1) 0 in
@@ -216,7 +239,7 @@ let analyse_compiled ?matrix ?model ?(jobs = 1) u lts profiles =
     |> List.filter (fun h -> h.affected > 0)
     |> sort_hotspots
   in
-  { total = List.length profiles; by_level; hotspots }
+  { total; by_level; hotspots }
 
 let pp_aggregate ppf agg =
   Format.fprintf ppf "@[<v>%d users:@," agg.total;

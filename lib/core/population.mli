@@ -72,6 +72,9 @@ val analyse_compiled :
   ?matrix:Risk_matrix.t ->
   ?model:Disclosure_risk.likelihood_model ->
   ?jobs:int ->
+  ?cancel:Mdp_obs.Cancel.t ->
+  ?plan:Risk_plan.t ->
+  ?classes:(User_profile.t * int) list ->
   Universe.t ->
   Plts.t ->
   User_profile.t list ->
@@ -84,6 +87,20 @@ val analyse_compiled :
     point. The merge uses only sums and maxes, so the result is
     identical for every [jobs] value and byte-identical to {!analyse}
     on the same inputs. Unlike {!analyse} it leaves the LTS labels
-    untouched. *)
+    untouched.
+
+    [cancel] is polled between class evaluations on every domain: a
+    fired token makes each chunk stop folding within a few classes,
+    the domains join normally, and the call then raises
+    [Mdp_obs.Cancel.Cancelled] — no partial aggregate escapes and the
+    plan/LTS remain untouched and reusable.
+
+    [plan] and [classes] let a long-lived caller (the serve daemon)
+    reuse a previously compiled risk plan and previously computed
+    profile classes instead of recomputing them: [plan] must have been
+    compiled from the same [u]/[lts] with the same matrix and model,
+    and [classes] must be {!classes}' output for [u] and the intended
+    population — when [classes] is given, [profiles] is ignored and
+    [total] is the sum of the class weights. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

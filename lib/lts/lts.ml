@@ -303,10 +303,21 @@ module Make (S : STATE) (L : LABEL) = struct
 
   (* ----- exploration ----- *)
 
-  let explore_sequential t ~max_states ~step =
+  (* How many sequential expansions happen between two cancellation
+     polls: a poll is an atomic read plus (with a deadline) a clock
+     read, so probing per state would be measurable on million-state
+     runs while probing per batch keeps the reaction bound tight. *)
+  let cancel_poll_batch = 512
+
+  let poll_cancel = function
+    | None -> ()
+    | Some c -> Mdp_obs.Cancel.check c
+
+  let explore_sequential t ~max_states ~cancel ~step =
     (* Dedup hits/misses are batched in local refs and published once:
        a Metrics.add per transition would dominate small models. *)
     let hits = ref 0 and misses = ref 0 in
+    let expanded = ref 0 in
     let q = Queue.create () in
     Queue.push (initial t) q;
     Fun.protect ~finally:(fun () ->
@@ -315,6 +326,11 @@ module Make (S : STATE) (L : LABEL) = struct
         Mdp_obs.Metrics.incr "lts/seq_explores")
     @@ fun () ->
     while not (Queue.is_empty q) do
+      (* Poll on the first expansion too: a token fired before the run
+         starts must stop it before any real work, also on models far
+         smaller than the batch. *)
+      if !expanded land (cancel_poll_batch - 1) = 0 then poll_cancel cancel;
+      incr expanded;
       let src = Queue.pop q in
       List.iter
         (fun (label, dst_data) ->
@@ -342,7 +358,7 @@ module Make (S : STATE) (L : LABEL) = struct
      calling domain: spawn/join costs dwarf the expansion work there,
      and small models (every frontier narrow) would otherwise run
      slower under [jobs > 1] than sequentially. *)
-  let explore_parallel t ~max_states ~step ~jobs ~par_threshold =
+  let explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold =
     let hits = ref 0 and misses = ref 0 in
     let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
     let frontier = ref [ initial t ] in
@@ -354,6 +370,12 @@ module Make (S : STATE) (L : LABEL) = struct
         Mdp_obs.Metrics.add "lts/seq_fallback_rounds" !seq_rounds)
     @@ fun () ->
     while !frontier <> [] do
+      (* Polled once per frontier round, on the calling domain only, so
+         a fired token stops the exploration within one round without
+         any worker domain ever raising mid-chunk (the spawned chunks
+         of the current round always run to completion and are
+         joined). *)
+      poll_cancel cancel;
       let fr = Array.of_list !frontier in
       let nf = Array.length fr in
       incr rounds;
@@ -395,13 +417,17 @@ module Make (S : STATE) (L : LABEL) = struct
   let default_par_threshold = 512
 
   let explore ?(max_states = 200_000) ?(jobs = 1)
-      ?(par_threshold = default_par_threshold) ~init ~step () =
+      ?(par_threshold = default_par_threshold) ?cancel ~init ~step () =
     Mdp_obs.Metrics.span "lts/explore" @@ fun () ->
     let t = create () in
     ignore (add_state t init : state_id);
     if t.n > max_states then raise (Too_many_states max_states);
-    if jobs <= 1 then explore_sequential t ~max_states ~step
-    else explore_parallel t ~max_states ~step ~jobs ~par_threshold;
+    (try
+       if jobs <= 1 then explore_sequential t ~max_states ~cancel ~step
+       else explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold
+     with Mdp_obs.Cancel.Cancelled _ as e ->
+       Mdp_obs.Metrics.incr "lts/cancelled";
+       raise e);
     Mdp_obs.Metrics.add "lts/states" t.n;
     t
 

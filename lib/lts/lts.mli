@@ -65,6 +65,7 @@ module Make (S : STATE) (L : LABEL) : sig
     ?max_states:int ->
     ?jobs:int ->
     ?par_threshold:int ->
+    ?cancel:Mdp_obs.Cancel.t ->
     init:S.t ->
     step:(S.t -> (L.t * S.t) list) ->
     unit ->
@@ -86,6 +87,15 @@ module Make (S : STATE) (L : LABEL) : sig
       machinery regardless of frontier width (used by the engine
       equivalence tests).
 
+      [cancel] is polled cooperatively: once per frontier round in
+      parallel mode (only the merging domain polls, so no worker raises
+      mid-chunk) and every few hundred expansions sequentially. A fired
+      token unwinds with [Mdp_obs.Cancel.Cancelled] within one round;
+      the partially built LTS is discarded and nothing run-global is
+      left behind, so the caller can immediately start a fresh
+      exploration.
+
+      @raise Mdp_obs.Cancel.Cancelled when [cancel] fires mid-run.
       @raise Too_many_states when [max_states] (default 200_000) is
       exceeded — a guard against accidentally infinite models. *)
 

@@ -18,13 +18,20 @@ let uniform ?(max_delay = 3) rate =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Faults.uniform: rate not in [0,1]";
   { drop = rate; duplicate = rate; reorder = rate; delay = rate; max_delay }
 
-type fault =
-  | Dropped of Event.t
-  | Duplicated of Event.t
-  | Reordered of Event.t
-  | Delayed of Event.t * int
+type 'a generic_fault =
+  | Dropped of 'a
+  | Duplicated of 'a
+  | Reordered of 'a
+  | Delayed of 'a * int
 
-type injection = { delivered : Event.t list; faults : fault list }
+type fault = Event.t generic_fault
+
+type 'a generic_injection = {
+  delivered : 'a list;
+  faults : 'a generic_fault list;
+}
+
+type injection = Event.t generic_injection
 
 let fires rng p = p > 0.0 && Prng.float rng 1.0 < p
 
@@ -32,8 +39,12 @@ let fires rng p = p > 0.0 && Prng.float rng 1.0 < p
    index. Delay pushes the key d(+0.5) positions later; a duplicate is a
    second entry k(+0.25) positions later; reorder swaps the keys of two
    adjacent survivors. A final stable sort by key yields the arrival
-   order. The PRNG is consumed in one deterministic left-to-right pass. *)
-let inject ~seed profile events =
+   order. The PRNG is consumed in one deterministic left-to-right pass.
+
+   Polymorphic in the element type: the monitoring pipeline perturbs
+   [Event.t] traces, the serve soak harness perturbs raw request
+   lines — same faults, same seed discipline. *)
+let inject_any ~seed profile events =
   let rng = Prng.create ~seed in
   let rev_faults = ref [] in
   let note f = rev_faults := f :: !rev_faults in
@@ -82,6 +93,8 @@ let inject ~seed profile events =
     |> List.map snd
   in
   { delivered; faults = List.rev !rev_faults }
+
+let inject ~seed profile events : injection = inject_any ~seed profile events
 
 let pp_fault ppf = function
   | Dropped e -> Format.fprintf ppf "drop %a" Event.pp e
@@ -202,9 +215,17 @@ let auto_step t ~crash_probability ~mean_downtime =
 (* ------------------------------------------------------------------ *)
 (* Bounded exponential backoff *)
 
-type backoff = { base_wait : int; max_wait : int; max_attempts : int }
+type backoff = {
+  base_wait : int;
+  max_wait : int;
+  max_attempts : int;
+  jitter : bool;
+}
 
-let default_backoff = { base_wait = 1; max_wait = 8; max_attempts = 6 }
+let default_backoff =
+  { base_wait = 1; max_wait = 8; max_attempts = 6; jitter = false }
+
+let jittered_backoff = { default_backoff with jitter = true }
 
 type retry_outcome = { attempts : int; waited : int }
 
@@ -214,8 +235,19 @@ let with_backoff ?(policy = default_backoff) t op =
     | Ok _ as ok -> (ok, { attempts = attempt; waited })
     | Error msg when Store_sim.is_retriable msg && attempt < policy.max_attempts
       ->
-      let wait =
+      let ceiling =
         min policy.max_wait (policy.base_wait * (1 lsl (attempt - 1)))
+      in
+      (* Full jitter (AWS-style): wait uniform in [1, ceiling] rather
+         than exactly the exponential ceiling, so a crowd of clients
+         knocked back by the same outage spreads its retries instead
+         of stampeding the store the moment it heals. Drawn from the
+         chaos PRNG, so runs stay reproducible per seed; with jitter
+         off the PRNG is not consumed and the schedule is exactly the
+         historical deterministic one. *)
+      let wait =
+        if policy.jitter && ceiling > 1 then 1 + Prng.int t.rng ceiling
+        else ceiling
       in
       for _ = 1 to wait do
         tick t

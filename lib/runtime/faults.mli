@@ -26,23 +26,34 @@ val uniform : ?max_delay:int -> float -> profile
 (** All four probabilities set to the given rate; [max_delay] defaults
     to 3. *)
 
-type fault =
-  | Dropped of Event.t
-  | Duplicated of Event.t
-  | Reordered of Event.t  (** Swapped with the next surviving event. *)
-  | Delayed of Event.t * int  (** Displaced this many positions later. *)
+type 'a generic_fault =
+  | Dropped of 'a
+  | Duplicated of 'a
+  | Reordered of 'a  (** Swapped with the next surviving element. *)
+  | Delayed of 'a * int  (** Displaced this many positions later. *)
 
-type injection = {
-  delivered : Event.t list;  (** The perturbed stream, in arrival order. *)
-  faults : fault list;  (** Ground truth of what was injected, in decision
-                            order — for statistics and test oracles. *)
+type fault = Event.t generic_fault
+
+type 'a generic_injection = {
+  delivered : 'a list;  (** The perturbed stream, in arrival order. *)
+  faults : 'a generic_fault list;
+      (** Ground truth of what was injected, in decision order — for
+          statistics and test oracles. *)
 }
+
+type injection = Event.t generic_injection
 
 val inject : seed:int -> profile -> Event.t list -> injection
 (** Deterministic for a given [seed], [profile] and input trace.
     Timestamps are left untouched: a delayed or reordered event arrives
     out of order carrying its original (now stale) timestamp, exactly as
     a real collector would see it. *)
+
+val inject_any : seed:int -> profile -> 'a list -> 'a generic_injection
+(** {!inject} for arbitrary element types — the serve soak harness
+    perturbs raw request lines with the same machinery (and the same
+    seed discipline) the monitoring pipeline applies to event
+    traces. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 
@@ -115,10 +126,20 @@ type backoff = {
   base_wait : int;  (** Ticks waited after the first failure. *)
   max_wait : int;  (** Cap on a single wait. *)
   max_attempts : int;
+  jitter : bool;
+      (** Full jitter: each wait is drawn uniformly from [[1, ceiling]]
+          (ceiling = the capped exponential wait) out of the chaos
+          PRNG, so synchronized retries don't stampede a recovering
+          store — deterministic for a fixed chaos seed. Off, waits are
+          exactly the capped exponential schedule and the PRNG is not
+          consumed. *)
 }
 
 val default_backoff : backoff
-(** base 1, cap 8, 6 attempts. *)
+(** base 1, cap 8, 6 attempts, no jitter. *)
+
+val jittered_backoff : backoff
+(** {!default_backoff} with full jitter on. *)
 
 type retry_outcome = {
   attempts : int;

@@ -25,19 +25,24 @@ type stats = {
   resyncs : int;
   skipped : int;
   dead : int;
+  dead_dropped : int;
   consecutive_dead : int;
 }
+
+let default_dead_letter_cap = 256
 
 type t = {
   universe : Core.Universe.t;
   lts : Core.Plts.t;
   min_level : Core.Level.t;
   resync_depth : int;
+  dead_cap : int;
   mutable state : Core.Plts.state_id;
   mutable last_time : int;
   seen : (string, unit) Hashtbl.t;
   mutable pending : pending list;
-  mutable rev_dead : Event.t list;
+  dead_q : Event.t Queue.t;  (* oldest first; bounded by [dead_cap] *)
+  mutable dead_dropped : int;
   mutable observed : int;
   mutable placed : int;
   mutable duplicates : int;
@@ -47,17 +52,20 @@ type t = {
   mutable consecutive_dead : int;
 }
 
-let create ?(min_level = Core.Level.Low) ?(resync_depth = 0) universe lts =
+let create ?(min_level = Core.Level.Low) ?(resync_depth = 0)
+    ?(dead_letter_cap = default_dead_letter_cap) universe lts =
   {
     universe;
     lts;
     min_level;
     resync_depth;
+    dead_cap = max 0 dead_letter_cap;
     state = Core.Plts.initial lts;
     last_time = min_int;
     seen = Hashtbl.create 64;
     pending = [];
-    rev_dead = [];
+    dead_q = Queue.create ();
+    dead_dropped = 0;
     observed = 0;
     placed = 0;
     duplicates = 0;
@@ -68,7 +76,7 @@ let create ?(min_level = Core.Level.Low) ?(resync_depth = 0) universe lts =
   }
 
 let current_state t = t.state
-let dead_letters t = List.rev t.rev_dead
+let dead_letters t = List.of_seq (Queue.to_seq t.dead_q)
 
 let stats t =
   {
@@ -78,7 +86,8 @@ let stats t =
     late = t.late;
     resyncs = t.resyncs;
     skipped = t.skipped;
-    dead = List.length t.rev_dead;
+    dead = Queue.length t.dead_q;
+    dead_dropped = t.dead_dropped;
     consecutive_dead = t.consecutive_dead;
   }
 
@@ -186,8 +195,22 @@ let advance t (event : Event.t) next =
   t.consecutive_dead <- 0;
   if event.Event.time > t.last_time then t.last_time <- event.Event.time
 
+(* Bounded drop-oldest: a monitor that has lost track in a long-lived
+   run keeps the newest evidence (the events an operator would replay)
+   and a count of what it shed, instead of growing without limit. *)
 let dead_letter t event =
-  t.rev_dead <- event :: t.rev_dead;
+  if t.dead_cap > 0 then begin
+    if Queue.length t.dead_q >= t.dead_cap then begin
+      ignore (Queue.pop t.dead_q : Event.t);
+      t.dead_dropped <- t.dead_dropped + 1;
+      Mdp_obs.Metrics.incr "monitor/dead_letters_dropped"
+    end;
+    Queue.add event t.dead_q
+  end
+  else begin
+    t.dead_dropped <- t.dead_dropped + 1;
+    Mdp_obs.Metrics.incr "monitor/dead_letters_dropped"
+  end;
   t.consecutive_dead <- t.consecutive_dead + 1;
   [ Off_model event ]
 
@@ -294,6 +317,8 @@ let to_json t =
       ("last_time", Json.int t.last_time);
       ("min_level", Json.Str (Core.Level.to_string t.min_level));
       ("resync_depth", Json.int t.resync_depth);
+      ("dead_letter_cap", Json.int t.dead_cap);
+      ("dead_dropped", Json.int t.dead_dropped);
       ("seen", Json.List seen_lines);
       ("pending", Json.List (List.map pending_to_json t.pending));
       ("dead", event_lines (dead_letters t));
@@ -366,6 +391,18 @@ let of_json universe lts json =
   let* last_time = int_field "last_time" json in
   let* level_s = str_field "min_level" json in
   let* resync_depth = int_field "resync_depth" json in
+  (* Absent in pre-cap checkpoints: default to the unbounded-era
+     behaviour's nearest equivalent (the standard cap, nothing shed). *)
+  let dead_cap =
+    match Json.member "dead_letter_cap" json with
+    | Some (Json.Num n) -> int_of_float n
+    | Some _ | None -> default_dead_letter_cap
+  in
+  let dead_dropped =
+    match Json.member "dead_dropped" json with
+    | Some (Json.Num n) -> int_of_float n
+    | Some _ | None -> 0
+  in
   let* seen_l = list_field "seen" json in
   let* seen_lines = collect (as_str "seen entry") seen_l in
   let* pending_l = list_field "pending" json in
@@ -390,12 +427,15 @@ let of_json universe lts json =
       (Printf.sprintf "checkpoint: state %d outside the LTS (%d states)" state
          (Core.Plts.num_states lts))
   else begin
-    let t = create ~min_level ~resync_depth universe lts in
+    let t =
+      create ~min_level ~resync_depth ~dead_letter_cap:dead_cap universe lts
+    in
     t.state <- state;
     t.last_time <- last_time;
     List.iter (fun line -> Hashtbl.replace t.seen line ()) seen_lines;
     t.pending <- pending;
-    t.rev_dead <- List.rev dead;
+    List.iter (fun e -> Queue.add e t.dead_q) dead;
+    t.dead_dropped <- dead_dropped;
     t.observed <- observed;
     t.placed <- placed;
     t.duplicates <- duplicates;

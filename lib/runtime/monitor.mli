@@ -49,14 +49,21 @@ type t
 val create :
   ?min_level:Mdp_core.Level.t ->
   ?resync_depth:int ->
+  ?dead_letter_cap:int ->
   Mdp_core.Universe.t ->
   Mdp_core.Plts.t ->
   t
 (** [min_level] (default [Low]) is the smallest disclosure-risk level that
     raises [Risky]; value-risk annotations always raise when they carry at
     least one violation. [resync_depth] (default 0: off) bounds how many
-    transitions a resynchronisation may skip. The LTS should already be
-    annotated (run {!Mdp_core.Disclosure_risk.analyse} /
+    transitions a resynchronisation may skip. [dead_letter_cap]
+    (default 256) bounds the dead-letter queue: when full, the oldest
+    letter is shed (counted in [stats.dead_dropped]) to admit the new
+    one, so a monitor that has lost track in a long-lived run holds the
+    newest evidence at constant memory instead of growing without
+    limit; 0 keeps no letters at all (every dead event only counts).
+    The LTS should already be annotated (run
+    {!Mdp_core.Disclosure_risk.analyse} /
     {!Mdp_core.Pseudonym_risk.analyse} first). *)
 
 val current_state : t -> Mdp_core.Plts.state_id
@@ -70,7 +77,9 @@ val run_trace : t -> Event.t list -> alert list
 (** Observe a whole trace; alerts in event order. *)
 
 val dead_letters : t -> Event.t list
-(** Events the monitor could not place anywhere, in arrival order. *)
+(** Events the monitor could not place anywhere, in arrival order —
+    the newest [dead_letter_cap] of them; older ones are shed
+    (see {!create}). *)
 
 type stats = {
   observed : int;  (** Events fed to {!observe}. *)
@@ -80,7 +89,8 @@ type stats = {
                    transitions. *)
   resyncs : int;  (** Gaps bridged. *)
   skipped : int;  (** Transitions skipped across all resyncs. *)
-  dead : int;  (** Dead-lettered events. *)
+  dead : int;  (** Dead letters currently held (bounded by the cap). *)
+  dead_dropped : int;  (** Dead letters shed to stay within the cap. *)
   consecutive_dead : int;  (** Current run of dead letters with nothing
                                placed in between — a high value means the
                                monitor has lost track entirely. *)

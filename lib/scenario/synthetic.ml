@@ -13,6 +13,55 @@ type spec = {
   flows_per_service : int;
 }
 
+(* "synthetic:NA-NF-FPS[@SEED]" (also accepted with a "-" separator)
+   names a generated model rather than a file; shared by the CLI and
+   the serve daemon so both resolve exactly the same model from the
+   same string. Defaults match bench/main.ml: seed 42, two stores,
+   two services. *)
+let spec_of_string path =
+  let prefixed p =
+    if
+      String.length path > String.length p
+      && String.sub path 0 (String.length p) = p
+    then
+      Some
+        (String.sub path (String.length p) (String.length path - String.length p))
+    else None
+  in
+  match
+    match prefixed "synthetic:" with
+    | Some b -> Some b
+    | None -> prefixed "synthetic-"
+  with
+  | None -> None
+  | Some body -> (
+    let spec () =
+      let body, seed =
+        match String.index_opt body '@' with
+        | None -> (body, 42)
+        | Some i ->
+          ( String.sub body 0 i,
+            int_of_string (String.sub body (i + 1) (String.length body - i - 1))
+          )
+      in
+      match String.split_on_char '-' body |> List.map int_of_string with
+      | [ na; nf; fps ] ->
+        {
+          seed;
+          nactors = na;
+          nfields = nf;
+          nstores = 2;
+          nservices = 2;
+          flows_per_service = fps;
+        }
+      | _ -> failwith "synthetic"
+    in
+    match spec () with
+    | spec -> Some (Ok spec)
+    | exception _ ->
+      Some
+        (Error (path ^ ": expected synthetic:NACTORS-NFIELDS-FLOWS[@SEED]")))
+
 let actor_name i = Printf.sprintf "Actor%d" i
 let store_name i = Printf.sprintf "Store%d" i
 let field_at i = Field.make (Printf.sprintf "Field%d" i)

@@ -10,6 +10,15 @@ type spec = {
   flows_per_service : int;
 }
 
+val spec_of_string : string -> (spec, string) result option
+(** Parse a ["synthetic:NACTORS-NFIELDS-FLOWS[@SEED]"] (or
+    ["synthetic-..."]) model name: [None] when the string does not
+    carry the prefix at all (it names a file), [Some (Error _)] when
+    it does but the body is malformed. Seed defaults to 42, with two
+    stores and two services — the bench suite's conventions. One
+    parser shared by the CLI and the serve daemon, so a model string
+    resolves identically everywhere. *)
+
 val model : spec -> Mdp_dataflow.Diagram.t * Mdp_policy.Policy.t
 (** A random but well-formed diagram: each service starts with a collect,
     interleaves creates and reads over random stores and field subsets,

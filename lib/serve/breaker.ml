@@ -1,0 +1,84 @@
+module Clock = Mdp_obs.Clock
+module Metrics = Mdp_obs.Metrics
+
+type state =
+  | Closed of int  (** consecutive failures so far *)
+  | Open of int  (** monotonic ns after which a probe may run *)
+  | Probing  (** one half-open probe in flight *)
+
+type t = {
+  threshold : int;
+  cooldown_ns : int;
+  tbl : (string, state) Hashtbl.t;
+  mutable tripped : int;
+  mu : Mutex.t;
+}
+
+let create ?(threshold = 3) ?(cooldown_ms = 5000) () =
+  {
+    threshold = max 1 threshold;
+    cooldown_ns = max 1 cooldown_ms * 1_000_000;
+    tbl = Hashtbl.create 16;
+    tripped = 0;
+    mu = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+type admission = Proceed | Fast_fail of int
+
+let admit t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None | Some (Closed _) -> Proceed
+      | Some Probing ->
+        Metrics.incr "breaker/fast_fails";
+        Fast_fail 0
+      | Some (Open until_ns) ->
+        let now = Clock.now_ns () in
+        if now >= until_ns then begin
+          Hashtbl.replace t.tbl key Probing;
+          Proceed
+        end
+        else begin
+          Metrics.incr "breaker/fast_fails";
+          Fast_fail ((until_ns - now) / 1_000_000)
+        end)
+
+let success t key =
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl key then Hashtbl.remove t.tbl key)
+
+let failure t key =
+  locked t (fun () ->
+      let trip () =
+        t.tripped <- t.tripped + 1;
+        Metrics.incr "breaker/trips";
+        Hashtbl.replace t.tbl key (Open (Clock.now_ns () + t.cooldown_ns))
+      in
+      match Hashtbl.find_opt t.tbl key with
+      | Some Probing -> trip ()  (* failed probe: straight back to open *)
+      | Some (Open _) -> ()  (* a straggler finishing late; already open *)
+      | Some (Closed n) when n + 1 >= t.threshold -> trip ()
+      | Some (Closed n) -> Hashtbl.replace t.tbl key (Closed (n + 1))
+      | None ->
+        if t.threshold <= 1 then trip ()
+        else Hashtbl.replace t.tbl key (Closed 1))
+
+let open_count t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ state n ->
+          match state with Open _ | Probing -> n + 1 | Closed _ -> n)
+        t.tbl 0)
+
+let trips t = locked t (fun () -> t.tripped)
+
+let to_json t =
+  Mdp_prelude.Json.Obj
+    [
+      ("open", Mdp_prelude.Json.int (open_count t));
+      ("trips", Mdp_prelude.Json.int (trips t));
+    ]

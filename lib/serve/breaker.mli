@@ -1,0 +1,42 @@
+(** Per-key circuit breakers.
+
+    A model whose exploration keeps blowing the state limit or the
+    deadline budget will keep doing so on every retry, burning a worker
+    domain each time. The breaker remembers recent failures per key
+    (the engine keys by model hash) and, after [threshold] consecutive
+    failures, fast-fails further requests for [cooldown_ms] without
+    touching a worker. After the cooldown one probe request is let
+    through (half-open); its outcome closes the breaker or re-opens it
+    for another cooldown.
+
+    Client-initiated cancellations are {e not} failures — only
+    outcomes that evidence the model itself is too expensive
+    (state-limit trips, deadline expiries) should be recorded via
+    {!failure}. All operations are thread-safe. *)
+
+type t
+
+val create : ?threshold:int -> ?cooldown_ms:int -> unit -> t
+(** Defaults: [threshold = 3] consecutive failures, [cooldown_ms =
+    5000]. Both clamped to >= 1. *)
+
+type admission =
+  | Proceed
+  | Fast_fail of int
+      (** Milliseconds until the next half-open probe is allowed. *)
+
+val admit : t -> string -> admission
+(** Consult (and possibly transition) the breaker for a key. At most
+    one in-flight half-open probe is granted per key; concurrent
+    requests during the probe fast-fail. *)
+
+val success : t -> string -> unit
+val failure : t -> string -> unit
+
+val open_count : t -> int
+(** Number of keys currently open or probing (for health reports). *)
+
+val trips : t -> int
+(** Total closed->open transitions since creation. *)
+
+val to_json : t -> Mdp_prelude.Json.t

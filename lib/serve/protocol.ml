@@ -1,0 +1,232 @@
+module Json = Mdp_prelude.Json
+
+type profile_spec = {
+  agreed : string list;
+  sensitivities : (string * float) list;
+}
+
+type pop_spec = { psize : int; pseed : int; pagree : float }
+
+type kind =
+  | Lts_stats
+  | Risk of profile_spec
+  | Population of pop_spec
+
+type model_ref = Named of string | Inline of string
+
+type analysis = {
+  kind : kind;
+  model : model_ref;
+  max_states : int option;
+  deadline_ms : int option;
+  allow_stale : bool;
+}
+
+type cmd =
+  | Analyse of analysis
+  | Cancel_request of string
+  | Ping
+  | Health
+  | Metrics
+  | Shutdown
+
+type request = { req_id : string option; cmd : cmd }
+
+let str_member name j = Option.bind (Json.member name j) Json.to_str_opt
+let int_member name j = Option.bind (Json.member name j) Json.to_int_opt
+
+let float_member name j =
+  match Json.member name j with Some (Json.Num f) -> Some f | _ -> None
+
+let bool_member name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+(* A request id must be correlatable even when the rest of the line is
+   garbage, so accept both strings and bare numbers. *)
+let id_of j =
+  match Json.member "id" j with
+  | Some (Json.Str s) -> Some s
+  | Some (Json.Num f) ->
+    Some
+      (if Float.is_integer f then string_of_int (int_of_float f)
+       else string_of_float f)
+  | _ -> None
+
+let profile_of j =
+  let agreed =
+    match Json.member "agree" j with
+    | Some (Json.List l) -> List.filter_map Json.to_str_opt l
+    | _ -> []
+  in
+  let sensitivities =
+    match Json.member "sensitivity" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Num f -> Some (k, f)
+          | Json.Null | Json.Bool _ | Json.Str _ | Json.List _ | Json.Obj _ ->
+            None)
+        fields
+    | _ -> []
+  in
+  { agreed; sensitivities }
+
+let model_of j =
+  match (str_member "model_text" j, str_member "model" j) with
+  | Some text, _ -> Ok (Inline text)
+  | None, Some name -> Ok (Named name)
+  | None, None -> Error "missing \"model\" (name/path) or \"model_text\" (DSL)"
+
+let analysis_of j kind =
+  match model_of j with
+  | Error _ as e -> e
+  | Ok model ->
+    let max_states = int_member "max_states" j in
+    let deadline_ms = int_member "deadline_ms" j in
+    (match (max_states, deadline_ms) with
+    | Some n, _ when n < 1 -> Error "\"max_states\" must be positive"
+    | _, Some n when n < 1 -> Error "\"deadline_ms\" must be positive"
+    | _ ->
+      Ok
+        (Analyse
+           {
+             kind;
+             model;
+             max_states;
+             deadline_ms;
+             allow_stale =
+               Option.value (bool_member "allow_stale" j) ~default:false;
+           }))
+
+let parse_request line =
+  match Json.of_string line with
+  | Error msg -> Error (None, "invalid JSON: " ^ msg)
+  | Ok (Json.Obj _ as j) -> (
+    let id = id_of j in
+    let fail msg = Error (id, msg) in
+    match str_member "cmd" j with
+    | None -> fail "missing string field \"cmd\""
+    | Some cmd_name -> (
+      let analysis kind =
+        match analysis_of j kind with
+        | Ok cmd -> Ok { req_id = id; cmd }
+        | Error msg -> fail msg
+      in
+      match cmd_name with
+      | "lts" -> analysis Lts_stats
+      | "risk" -> analysis (Risk (profile_of j))
+      | "population" ->
+        let psize = Option.value (int_member "size" j) ~default:1000 in
+        let pseed = Option.value (int_member "pop_seed" j) ~default:7 in
+        let pagree =
+          Option.value (float_member "agree_probability" j) ~default:0.5
+        in
+        if psize < 1 then fail "\"size\" must be positive"
+        else if pagree < 0.0 || pagree > 1.0 then
+          fail "\"agree_probability\" must be within [0,1]"
+        else analysis (Population { psize; pseed; pagree })
+      | "cancel" -> (
+        match str_member "target" j with
+        | Some target -> Ok { req_id = id; cmd = Cancel_request target }
+        | None -> fail "\"cancel\" needs a string field \"target\"")
+      | "ping" -> Ok { req_id = id; cmd = Ping }
+      | "health" -> Ok { req_id = id; cmd = Health }
+      | "metrics" -> Ok { req_id = id; cmd = Metrics }
+      | "shutdown" -> Ok { req_id = id; cmd = Shutdown }
+      | other -> fail (Printf.sprintf "unknown cmd %S" other)))
+  | Ok _ -> Error (None, "request must be a JSON object")
+
+type status =
+  | Ok_
+  | Error_
+  | Cancelled of [ `Deadline | `Client ]
+  | Overloaded
+  | Breaker_open
+  | State_limit
+  | Shutting_down
+
+let status_string = function
+  | Ok_ -> "ok"
+  | Error_ -> "error"
+  | Cancelled _ -> "cancelled"
+  | Overloaded -> "overloaded"
+  | Breaker_open -> "breaker_open"
+  | State_limit -> "state_limit"
+  | Shutting_down -> "shutting_down"
+
+let status_of_string = function
+  | "ok" -> Some Ok_
+  | "error" -> Some Error_
+  | "cancelled" -> Some (Cancelled `Client)
+  | "overloaded" -> Some Overloaded
+  | "breaker_open" -> Some Breaker_open
+  | "state_limit" -> Some State_limit
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+type response = {
+  resp_id : string option;
+  status : status;
+  cached : bool;
+  stale : bool;
+  elapsed_ms : float;
+  body : Json.t;
+}
+
+let response ?(cached = false) ?(stale = false) ?(elapsed_ms = 0.0)
+    ?(body = Json.Obj []) ~id status =
+  { resp_id = id; status; cached; stale; elapsed_ms; body }
+
+let error_body message = Json.Obj [ ("message", Json.Str message) ]
+
+let response_to_line r =
+  let reason =
+    match r.status with
+    | Cancelled `Deadline -> [ ("reason", Json.Str "deadline") ]
+    | Cancelled `Client -> [ ("reason", Json.Str "client") ]
+    | Ok_ | Error_ | Overloaded | Breaker_open | State_limit | Shutting_down ->
+      []
+  in
+  Json.to_string ~indent:false
+    (Json.Obj
+       ([
+          ( "id",
+            match r.resp_id with Some s -> Json.Str s | None -> Json.Null );
+          ("status", Json.Str (status_string r.status));
+        ]
+       @ reason
+       @ [
+           ("cached", Json.Bool r.cached);
+           ("stale", Json.Bool r.stale);
+           ("elapsed_ms", Json.Num (Float.round (r.elapsed_ms *. 1000.) /. 1000.));
+           ("body", r.body);
+         ]))
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error ("response is not JSON: " ^ msg)
+  | Ok j -> (
+    let id =
+      match Json.member "id" j with
+      | Some (Json.Str s) -> Some s
+      | _ -> None
+    in
+    match Option.bind (str_member "status" j) status_of_string with
+    | None -> Error "missing or unknown \"status\""
+    | Some status -> (
+      let status =
+        (* Recover the cancellation reason dropped by status_of_string. *)
+        match (status, str_member "reason" j) with
+        | Cancelled _, Some "deadline" -> Cancelled `Deadline
+        | _ -> status
+      in
+      match
+        ( bool_member "cached" j,
+          bool_member "stale" j,
+          float_member "elapsed_ms" j,
+          Json.member "body" j )
+      with
+      | Some cached, Some stale, Some elapsed_ms, Some body ->
+        Ok { resp_id = id; status; cached; stale; elapsed_ms; body }
+      | _ -> Error "missing cached/stale/elapsed_ms/body field"))

@@ -1,0 +1,104 @@
+(** Wire protocol of the [mdpriv serve] daemon: newline-delimited JSON
+    requests and responses over a byte stream (stdin/stdout pair or a
+    Unix socket).
+
+    Every request line is answered by exactly one response line — also
+    for malformed input, overload shedding, tripped breakers, blown
+    deadlines and shutdown races — so a client can always correlate by
+    [id] and never hangs waiting on a swallowed error. Responses may
+    arrive out of submission order (requests run concurrently on a
+    worker pool); the echoed [id] is the correlation key.
+
+    Request shape (one JSON object per line):
+    {v
+    {"id":"r1","cmd":"risk","model":"synthetic:5-8-4",
+     "agree":["Service0"],"sensitivity":{"Field0":0.9},
+     "deadline_ms":2000,"max_states":100000,"allow_stale":false}
+    v}
+    [cmd] is one of ["lts"], ["risk"], ["population"] (analysis
+    requests), ["cancel"] (with ["target"]: the id of an in-flight
+    request), ["ping"], ["health"], ["metrics"], ["shutdown"]. Models
+    are named by path, by ["synthetic:NA-NF-FPS[@SEED]"] spec, or
+    supplied inline as DSL text under ["model_text"]. *)
+
+module Json = Mdp_prelude.Json
+
+(** {1 Requests} *)
+
+type profile_spec = {
+  agreed : string list;
+  sensitivities : (string * float) list;
+}
+
+type pop_spec = { psize : int; pseed : int; pagree : float }
+
+type kind =
+  | Lts_stats  (** Generate and summarise the LTS. *)
+  | Risk of profile_spec  (** §III-A disclosure analysis, full report. *)
+  | Population of pop_spec  (** Aggregate over a simulated population. *)
+
+type model_ref =
+  | Named of string  (** File path or [synthetic:...] spec. *)
+  | Inline of string  (** DSL source shipped in the request. *)
+
+type analysis = {
+  kind : kind;
+  model : model_ref;
+  max_states : int option;
+  deadline_ms : int option;
+  allow_stale : bool;
+      (** When shed under overload, accept a cached (possibly stale)
+          result flagged as such instead of an [overloaded] refusal. *)
+}
+
+type cmd =
+  | Analyse of analysis
+  | Cancel_request of string  (** Target request id. *)
+  | Ping
+  | Health
+  | Metrics
+  | Shutdown
+
+type request = { req_id : string option; cmd : cmd }
+
+val parse_request : string -> (request, string option * string) result
+(** [Error (id, message)] preserves the request id whenever the line
+    was at least valid JSON with a string ["id"], so even a rejected
+    request gets a correlatable response. *)
+
+(** {1 Responses} *)
+
+type status =
+  | Ok_
+  | Error_  (** Malformed request, unknown model, parse failure... *)
+  | Cancelled of [ `Deadline | `Client ]
+  | Overloaded  (** Shed at admission: bounded queue full. *)
+  | Breaker_open  (** Fast-failed: this model's circuit breaker is open. *)
+  | State_limit  (** Exploration guard tripped (structured, with hint). *)
+  | Shutting_down
+
+val status_string : status -> string
+val status_of_string : string -> status option
+
+type response = {
+  resp_id : string option;
+  status : status;
+  cached : bool;
+  stale : bool;
+  elapsed_ms : float;
+  body : Json.t;  (** Result payload, or details ([message], [limit]...). *)
+}
+
+val response : ?cached:bool -> ?stale:bool -> ?elapsed_ms:float ->
+  ?body:Json.t -> id:string option -> status -> response
+
+val error_body : string -> Json.t
+(** [{"message": ...}]. *)
+
+val response_to_line : response -> string
+(** Single-line JSON (no embedded newlines), ready to write. *)
+
+val response_of_line : string -> (response, string) result
+(** Used by clients and by the soak harness's well-formedness oracle:
+    requires a parseable object, a known [status], and the
+    [cached]/[stale]/[elapsed_ms] fields. *)

@@ -1,0 +1,245 @@
+module Metrics = Mdp_obs.Metrics
+module Clock = Mdp_obs.Clock
+module Cancel = Mdp_obs.Cancel
+
+type job = {
+  jreq : Protocol.request;
+  jcancel : Cancel.t;
+  jadmitted_ns : int;
+}
+
+type t = {
+  engine : Engine.t;
+  queue_cap : int;
+  jobs : job Queue.t;
+  mu : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+  (* In-flight (queued or running) analysis tokens by request id, for
+     [cancel]. Duplicate ids: last registration wins; entries are
+     removed by the worker that answers them only if still their own. *)
+  inflight : (string, Cancel.t) Hashtbl.t;
+  respond : string -> unit;
+  out_mu : Mutex.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let write t line =
+  Mutex.lock t.out_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.out_mu) (fun () -> t.respond line)
+
+let answer t (resp : Protocol.response) =
+  Metrics.incr ("serve/status/" ^ Protocol.status_string resp.status);
+  write t (Protocol.response_to_line resp)
+
+let unregister t id token =
+  match id with
+  | None -> ()
+  | Some id ->
+    Mutex.lock t.mu;
+    (match Hashtbl.find_opt t.inflight id with
+    | Some tok when tok == token -> Hashtbl.remove t.inflight id
+    | _ -> ());
+    Mutex.unlock t.mu
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec wait () =
+      if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+      else if t.closed then None
+      else begin
+        Condition.wait t.work_ready t.mu;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock t.mu;
+    match job with
+    | None -> ()
+    | Some job ->
+      let resp =
+        try
+          Engine.handle t.engine ~cancel:job.jcancel
+            ~admitted_ns:job.jadmitted_ns job.jreq
+        with exn ->
+          (* Last-ditch containment: the engine promises never to
+             raise, but a worker dying would silently strand every
+             queued request behind it. *)
+          Metrics.incr "serve/worker_rescues";
+          Protocol.response ~id:job.jreq.req_id
+            ~body:(Protocol.error_body ("internal error: " ^ Printexc.to_string exn))
+            Protocol.Error_
+      in
+      unregister t job.jreq.req_id job.jcancel;
+      answer t resp;
+      next ()
+  in
+  next ()
+
+let create ?(workers = 2) ?(queue_cap = 32) ~respond engine =
+  let t =
+    {
+      engine;
+      queue_cap = max 1 queue_cap;
+      jobs = Queue.create ();
+      mu = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+      inflight = Hashtbl.create 64;
+      respond;
+      out_mu = Mutex.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  t.workers <- List.init (max 1 workers) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let cancel t id =
+  Mutex.lock t.mu;
+  let hit = Hashtbl.find_opt t.inflight id in
+  Mutex.unlock t.mu;
+  match hit with
+  | Some token ->
+    Cancel.cancel token;
+    Metrics.incr "serve/client_cancels";
+    true
+  | None -> false
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mu;
+  n
+
+let draining t =
+  Mutex.lock t.mu;
+  let c = t.closed in
+  Mutex.unlock t.mu;
+  c
+
+let close_admission t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mu
+
+let token_for t (an : Protocol.analysis) =
+  match Engine.deadline_ms_for t.engine an with
+  | Some ms -> Cancel.with_budget_ms ms
+  | None -> Cancel.create ()
+
+(* Admission: queue if there is room; otherwise degrade to a stale
+   cached result when the client opted in, else shed. Runs under the
+   queue lock only long enough to decide. *)
+let admit t (req : Protocol.request) (an : Protocol.analysis) =
+  let token = token_for t an in
+  let now = Clock.now_ns () in
+  Mutex.lock t.mu;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    `Refused
+      (Protocol.response ~id:req.req_id
+         ~body:(Protocol.error_body "daemon is shutting down")
+         Protocol.Shutting_down)
+  end
+  else if Queue.length t.jobs >= t.queue_cap then begin
+    Mutex.unlock t.mu;
+    Metrics.incr "serve/shed";
+    match Engine.stale_response t.engine req with
+    | Some resp -> `Refused resp
+    | None ->
+      `Refused
+        (Protocol.response ~id:req.req_id
+           ~body:
+             (Mdp_prelude.Json.Obj
+                [
+                  ( "message",
+                    Mdp_prelude.Json.Str
+                      "admission queue full; retry later or set allow_stale"
+                  );
+                  ("queue_cap", Mdp_prelude.Json.int t.queue_cap);
+                ])
+           Protocol.Overloaded)
+  end
+  else begin
+    (match req.req_id with
+    | Some id -> Hashtbl.replace t.inflight id token
+    | None -> ());
+    Queue.add { jreq = req; jcancel = token; jadmitted_ns = now } t.jobs;
+    Metrics.observe "serve/queue_depth" (Queue.length t.jobs);
+    Condition.signal t.work_ready;
+    Mutex.unlock t.mu;
+    `Queued
+  end
+
+let submit t line =
+  Metrics.incr "serve/requests";
+  match Protocol.parse_request line with
+  | Error (id, msg) ->
+    Metrics.incr "serve/malformed";
+    answer t
+      (Protocol.response ~id ~body:(Protocol.error_body msg) Protocol.Error_)
+  | Ok req -> (
+    match req.cmd with
+    | Protocol.Ping | Protocol.Health | Protocol.Metrics ->
+      answer t (Engine.handle t.engine req)
+    | Protocol.Cancel_request target ->
+      let found = cancel t target in
+      answer t
+        (Protocol.response ~id:req.req_id
+           ~body:
+             (Mdp_prelude.Json.Obj
+                [
+                  ("target", Mdp_prelude.Json.Str target);
+                  ("found", Mdp_prelude.Json.Bool found);
+                ])
+           Protocol.Ok_)
+    | Protocol.Shutdown ->
+      close_admission t;
+      answer t
+        (Protocol.response ~id:req.req_id
+           ~body:(Mdp_prelude.Json.Obj [ ("draining", Mdp_prelude.Json.Bool true) ])
+           Protocol.Ok_)
+    | Protocol.Analyse an -> (
+      match admit t req an with
+      | `Queued -> ()
+      | `Refused resp -> answer t resp))
+
+let shutdown t =
+  close_admission t;
+  let workers =
+    (* Joining twice is an error; steal the list under the lock so
+       concurrent shutdowns are idempotent. *)
+    Mutex.lock t.mu;
+    if t.stopped then begin
+      Mutex.unlock t.mu;
+      []
+    end
+    else begin
+      t.stopped <- true;
+      let w = t.workers in
+      t.workers <- [];
+      Mutex.unlock t.mu;
+      w
+    end
+  in
+  List.iter Domain.join workers
+
+let serve_channels ?workers ?queue_cap engine ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let t = create ?workers ?queue_cap ~respond engine in
+  (try
+     while not (draining t) do
+       match input_line ic with
+       | line -> if String.trim line <> "" then submit t line
+       | exception End_of_file -> raise Exit
+     done
+   with Exit -> ());
+  shutdown t

@@ -1,0 +1,60 @@
+(** The daemon shell around {!Engine}: a pool of worker domains, a
+    bounded admission queue, a cancellation registry and an output
+    serialiser.
+
+    Life of a request line:
+
+    + {!submit} parses it on the caller's thread. Malformed lines are
+      answered immediately ([error], echoing the id when one could be
+      recovered) — a broken client cannot occupy a worker.
+    + [ping]/[health]/[metrics]/[cancel] are answered inline: they must
+      stay responsive precisely when the queue is deep.
+    + Analysis requests pass admission control: if the bounded queue is
+      full the request is shed — with a stale cached result when the
+      client allowed it, else with [overloaded] — otherwise it is
+      enqueued with a fresh cancellation token carrying its deadline
+      budget, registered (by id) for [cancel], and picked up by a
+      worker domain that calls {!Engine.handle} and writes the
+      response.
+    + [shutdown] (or {!shutdown}) closes admission: subsequent submits
+      answer [shutting_down]; queued work drains; workers join.
+
+    Responses are written through a single mutex-guarded callback, so
+    concurrent workers never interleave bytes of two lines. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_cap:int ->
+  respond:(string -> unit) ->
+  Engine.t ->
+  t
+(** Defaults: 2 workers, queue capacity 32 (both clamped to >= 1).
+    [respond] receives complete response lines (no trailing newline);
+    calls are already serialised. *)
+
+val submit : t -> string -> unit
+(** Feed one request line. Always results in exactly one response line
+    (now or when a worker finishes), never raises, never blocks on
+    analysis work. *)
+
+val cancel : t -> string -> bool
+(** Fire the cancellation token of an in-flight request by id. False
+    when no such request is queued or running (already answered, or
+    never existed). *)
+
+val queue_depth : t -> int
+val draining : t -> bool
+
+val shutdown : t -> unit
+(** Close admission, drain the queue, join the workers. Idempotent.
+    Safe to call while requests are in flight — they are answered
+    first. *)
+
+val serve_channels : ?workers:int -> ?queue_cap:int ->
+  Engine.t -> in_channel -> out_channel -> unit
+(** Run the newline-JSON protocol over a channel pair (stdin/stdout in
+    [mdpriv serve], a socket in tests) until EOF or a [shutdown]
+    request, then drain and return. Each response line is flushed
+    eagerly so a single-request client never deadlocks on buffering. *)

@@ -1,0 +1,323 @@
+module Json = Mdp_prelude.Json
+module Prng = Mdp_prelude.Prng
+module Faults = Mdp_runtime.Faults
+module Clock = Mdp_obs.Clock
+
+type spec = {
+  seed : int;
+  requests : int;
+  workers : int;
+  queue_cap : int;
+  fault_rate : float;
+  breaker_cooldown_ms : int;
+  deadline_slack_ms : float;
+}
+
+let default_spec =
+  {
+    seed = 7;
+    requests = 1000;
+    workers = 2;
+    queue_cap = 32;
+    fault_rate = 0.05;
+    breaker_cooldown_ms = 250;
+    deadline_slack_ms = 1500.0;
+  }
+
+type outcome = {
+  delivered : int;
+  answered : int;
+  by_status : (string * int) list;
+  ill_formed : int;
+  cache_overflow : bool;
+  worst_overshoot_ms : float;
+  deadline_violations : int;
+  wall_s : float;
+  heap_mb : float;
+  ok : bool;
+}
+
+(* ----- workload ----- *)
+
+let line fields = Json.to_string ~indent:false (Json.Obj fields)
+
+let request ~id fields = line (("id", Json.Str id) :: fields)
+
+(* Small models that finish fast; a few repeats make the result cache
+   earn its keep, the @-seeded tail forces constant eviction. *)
+let warm_models = [| "synthetic:4-6-3"; "synthetic:5-6-3@3"; "synthetic:4-5-2@9" |]
+
+let malformed rng =
+  let corpus =
+    [|
+      "";
+      "{";
+      "nonsense";
+      "[1,2,3]";
+      "\"just a string\"";
+      {|{"cmd":"bogus","id":"m-bogus"}|};
+      {|{"id":"m-nocmd","model":"synthetic:4-6-3"}|};
+      {|{"cmd":"risk","id":"m-nomodel"}|};
+      {|{"cmd":"cancel","id":"m-notarget"}|};
+      {|{"cmd":"population","id":"m-badsize","model":"synthetic:4-6-3","size":-4}|};
+      {|{"cmd":"lts","id":"m-badms","model":"synthetic:4-6-3","max_states":0}|};
+      {|{"cmd":"risk","id":"m-badmodel","model":"synthetic:oops"}|};
+      {|{"cmd":"risk","id":"m-nofile","model":"/nonexistent/model.mdp"}|};
+    |]
+  in
+  corpus.(Prng.int rng (Array.length corpus))
+
+(* Each generated line, with the deadline budget when it carries one so
+   the oracle can check the overshoot of its (id-correlated) response. *)
+type gen = { text : string; deadline_of : (string * int) option }
+
+let plain text = { text; deadline_of = None }
+
+let generate spec =
+  let rng = Prng.create ~seed:spec.seed in
+  let analyse_ids = ref [] in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  List.init spec.requests (fun _ ->
+      let roll = Prng.int rng 100 in
+      if roll < 35 then begin
+        (* Warm-pool analysis: repeats hit the result cache. *)
+        let id = fresh "r" in
+        analyse_ids := id :: !analyse_ids;
+        let model = warm_models.(Prng.int rng (Array.length warm_models)) in
+        let cmd = if Prng.bool rng then "risk" else "lts" in
+        plain
+          (request ~id
+             [
+               ("cmd", Json.Str cmd);
+               ("model", Json.Str model);
+               ("agree", Json.List [ Json.Str "Service0" ]);
+               ("allow_stale", Json.Bool (Prng.bool rng));
+             ])
+      end
+      else if roll < 50 then begin
+        (* Cache thrashing: ~50 distinct model hashes vs small caches. *)
+        let id = fresh "t" in
+        analyse_ids := id :: !analyse_ids;
+        plain
+          (request ~id
+             [
+               ("cmd", Json.Str "lts");
+               ( "model",
+                 Json.Str (Printf.sprintf "synthetic:3-5-2@%d" (Prng.int rng 50))
+               );
+             ])
+      end
+      else if roll < 60 then begin
+        let id = fresh "p" in
+        analyse_ids := id :: !analyse_ids;
+        plain
+          (request ~id
+             [
+               ("cmd", Json.Str "population");
+               ("model", Json.Str "synthetic:4-6-3");
+               ("size", Json.int (100 + Prng.int rng 400));
+               ("pop_seed", Json.int (Prng.int rng 4));
+             ])
+      end
+      else if roll < 75 then plain (malformed rng)
+      else if roll < 83 then begin
+        (* State-limit blower: same model hash every time, so repeated
+           trips open its breaker and later ones fast-fail. *)
+        let id = fresh "x" in
+        analyse_ids := id :: !analyse_ids;
+        plain
+          (request ~id
+             [
+               ("cmd", Json.Str "lts");
+               ("model", Json.Str "synthetic:9-11-6");
+               ("max_states", Json.int 400);
+             ])
+      end
+      else if roll < 91 then begin
+        (* Deadline buster: a model too big for a few-ms budget. *)
+        let id = fresh "d" in
+        analyse_ids := id :: !analyse_ids;
+        let budget = 1 + Prng.int rng 15 in
+        {
+          text =
+            request ~id
+              [
+                ("cmd", Json.Str "lts");
+                ("model", Json.Str "synthetic:8-10-5@11");
+                ("deadline_ms", Json.int budget);
+                ("max_states", Json.int 1_000_000);
+              ];
+          deadline_of = Some (id, budget);
+        }
+      end
+      else if roll < 96 then begin
+        (* Mid-request cancellation aimed at a recent analysis id. *)
+        match !analyse_ids with
+        | [] -> plain (request ~id:(fresh "g") [ ("cmd", Json.Str "ping") ])
+        | ids ->
+          let target = List.nth ids (Prng.int rng (min 8 (List.length ids))) in
+          plain
+            (request ~id:(fresh "c")
+               [ ("cmd", Json.Str "cancel"); ("target", Json.Str target) ])
+      end
+      else
+        let cmd =
+          match Prng.int rng 3 with
+          | 0 -> "ping"
+          | 1 -> "health"
+          | _ -> "metrics"
+        in
+        plain (request ~id:(fresh "g") [ ("cmd", Json.Str cmd) ]))
+
+(* ----- oracle ----- *)
+
+let run spec =
+  let t_start = Clock.now_ns () in
+  let gens = generate spec in
+  let deadlines = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      match g.deadline_of with
+      | Some (id, ms) -> Hashtbl.replace deadlines id ms
+      | None -> ())
+    gens;
+  (* The chaos stream: drop, duplicate, reorder and delay whole request
+     lines with the same seeded machinery the monitoring pipeline uses
+     on event traces. *)
+  let injection =
+    Faults.inject_any ~seed:(spec.seed + 1)
+      (Faults.uniform spec.fault_rate)
+      (List.map (fun g -> g.text) gens)
+  in
+  let delivered = injection.Faults.delivered in
+  let engine_config =
+    {
+      Engine.default_config with
+      artifact_cap = 6;
+      result_cap = 32;
+      stale_cap = 16;
+      breaker_cooldown_ms = spec.breaker_cooldown_ms;
+    }
+  in
+  let engine = Engine.create ~config:engine_config () in
+  let responses = ref [] in
+  let resp_mu = Mutex.create () in
+  let respond line =
+    Mutex.lock resp_mu;
+    responses := line :: !responses;
+    Mutex.unlock resp_mu
+  in
+  let server =
+    Server.create ~workers:spec.workers ~queue_cap:spec.queue_cap ~respond
+      engine
+  in
+  (* Seeded arrival jitter plus bounded backpressure: an occasional
+     pause between lines (so in-flight work can be cancelled mid-run),
+     and a short drain wait when the queue is full — bursts still
+     overflow and exercise shedding, but most of the stream gets past
+     admission and into the engine. *)
+  let arrival = Prng.create ~seed:(spec.seed + 2) in
+  List.iter
+    (fun l ->
+      if Prng.int arrival 20 = 0 then
+        Unix.sleepf (0.0002 *. float_of_int (1 + Prng.int arrival 5));
+      let rec drain tries =
+        if tries > 0 && Server.queue_depth server >= spec.queue_cap then begin
+          Unix.sleepf 0.0005;
+          drain (tries - 1)
+        end
+      in
+      (* Pace only most of the time: unpaced bursts overflow the queue
+         and keep the overload-shedding path under test. *)
+      if Prng.int arrival 4 > 0 then drain 40;
+      Server.submit server l)
+    delivered;
+  Server.shutdown server;
+  let responses = !responses in
+  (* Contract checks. *)
+  let by_status = Hashtbl.create 8 in
+  let ill_formed = ref 0 in
+  let worst_overshoot = ref 0.0 in
+  let deadline_violations = ref 0 in
+  List.iter
+    (fun l ->
+      match Protocol.response_of_line l with
+      | Error _ -> incr ill_formed
+      | Ok r -> (
+        let s = Protocol.status_string r.status in
+        Hashtbl.replace by_status s
+          (1 + Option.value (Hashtbl.find_opt by_status s) ~default:0);
+        match (r.status, r.resp_id) with
+        | Protocol.Cancelled `Deadline, Some id -> (
+          match Hashtbl.find_opt deadlines id with
+          | Some budget ->
+            let overshoot = r.elapsed_ms -. float_of_int budget in
+            if overshoot > !worst_overshoot then worst_overshoot := overshoot;
+            if overshoot > spec.deadline_slack_ms then
+              incr deadline_violations
+          | None -> ())
+        | _ -> ()))
+    responses;
+  let stats_over =
+    let check json =
+      match (Json.member "len" json, Json.member "cap" json) with
+      | Some l, Some c -> (
+        match (Json.to_int_opt l, Json.to_int_opt c) with
+        | Some l, Some c -> l > c
+        | _ -> true)
+      | _ -> true
+    in
+    match Engine.health_json engine with
+    | Json.Obj fields ->
+      List.exists
+        (fun (k, v) ->
+          (k = "artifacts" || k = "results" || k = "classes") && check v)
+        fields
+    | _ -> true
+  in
+  let answered = List.length responses in
+  let delivered_n = List.length delivered in
+  Gc.full_major ();
+  let heap_mb =
+    float_of_int (Gc.stat ()).Gc.heap_words *. float_of_int (Sys.word_size / 8)
+    /. (1024.0 *. 1024.0)
+  in
+  {
+    delivered = delivered_n;
+    answered;
+    by_status =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_status []);
+    ill_formed = !ill_formed;
+    cache_overflow = stats_over;
+    worst_overshoot_ms = !worst_overshoot;
+    deadline_violations = !deadline_violations;
+    wall_s = float_of_int (Clock.now_ns () - t_start) /. 1.e9;
+    heap_mb;
+    ok =
+      answered = delivered_n
+      && !ill_formed = 0
+      && !deadline_violations = 0
+      && not stats_over;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>soak: %s@,\
+     delivered %d, answered %d, ill-formed %d@,\
+     statuses:@,"
+    (if o.ok then "OK" else "FAILED")
+    o.delivered o.answered o.ill_formed;
+  List.iter
+    (fun (s, n) -> Format.fprintf ppf "  %-14s %d@," s n)
+    o.by_status;
+  Format.fprintf ppf
+    "worst deadline overshoot %.1f ms (%d violation(s))@,\
+     caches %s, heap %.1f MiB, wall %.2f s@]"
+    o.worst_overshoot_ms o.deadline_violations
+    (if o.cache_overflow then "OVER CAP" else "within caps")
+    o.heap_mb o.wall_s

@@ -1,0 +1,52 @@
+(** Chaos soak harness for the daemon.
+
+    Builds a seeded adversarial workload — cache-friendly repeats,
+    cache-thrashing one-off models, malformed lines, state-limit
+    blowers (to trip the breaker), deadline busters, mid-request
+    cancellations, pings — perturbs the request stream with the
+    {!Mdp_runtime.Faults} machinery (drops, duplicates, reorders,
+    delays), drives it through an in-process {!Server}, and checks the
+    resilience contract:
+
+    - the daemon never crashes and no worker dies;
+    - {e every} delivered line is answered with exactly one well-formed
+      response carrying a known status;
+    - deadline-cancelled requests terminate within their budget plus a
+      bounded overshoot (one frontier round);
+    - caches stay within their configured bounds.
+
+    Deterministic workload for a given seed; response timings and
+    therefore shed/breaker counts are not (and are not asserted). *)
+
+type spec = {
+  seed : int;
+  requests : int;  (** Lines generated before fault perturbation. *)
+  workers : int;
+  queue_cap : int;
+  fault_rate : float;
+      (** Drop/duplicate/reorder/delay probability per line. *)
+  breaker_cooldown_ms : int;
+  deadline_slack_ms : float;
+      (** Allowed overshoot past a request's deadline budget. *)
+}
+
+val default_spec : spec
+(** seed 7, 1000 requests, 2 workers, queue 32, 5% faults, 250 ms
+    cooldown, 1500 ms slack. *)
+
+type outcome = {
+  delivered : int;  (** Lines that survived fault injection. *)
+  answered : int;
+  by_status : (string * int) list;  (** Sorted by status name. *)
+  ill_formed : int;  (** Responses failing {!Protocol.response_of_line}. *)
+  cache_overflow : bool;  (** Any cache above its configured cap. *)
+  worst_overshoot_ms : float;
+      (** Max [elapsed - deadline] over deadline-cancelled requests. *)
+  deadline_violations : int;  (** Overshoots beyond the allowed slack. *)
+  wall_s : float;
+  heap_mb : float;  (** Major-heap words at the end, in MiB. *)
+  ok : bool;  (** The whole contract held. *)
+}
+
+val run : spec -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit

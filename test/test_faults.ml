@@ -138,6 +138,52 @@ let test_reorder_converges () =
   check int_ "converged to the clean terminal state" clean_end
     (R.Monitor.current_state m)
 
+(* Losing the very first event strands a monitor that has resync off:
+   every later event of the trace is unplaceable and dead-letters. *)
+let beheaded_trace u = List.tl (medical_trace u [ H.medical_service ])
+
+let test_dead_letter_cap_bounds_memory () =
+  let a = analysed () in
+  let u = a.universe and lts = a.lts in
+  let beheaded = beheaded_trace u in
+  let unbounded = R.Monitor.create u lts in
+  ignore (R.Monitor.run_trace unbounded beheaded);
+  let letters = R.Monitor.dead_letters unbounded in
+  let total = List.length letters in
+  check bool_ "several letters to work with" true (total >= 3);
+  check int_ "default cap holds them all" total (R.Monitor.stats unbounded).dead;
+  check int_ "nothing shed below the cap" 0
+    (R.Monitor.stats unbounded).dead_dropped;
+  let m = R.Monitor.create ~dead_letter_cap:2 u lts in
+  ignore (R.Monitor.run_trace m beheaded);
+  let st = R.Monitor.stats m in
+  check int_ "held letters bounded by the cap" 2 st.dead;
+  check int_ "overflow counted" (total - 2) st.dead_dropped;
+  (* Oldest letters are shed: the newest evidence is what survives. *)
+  check bool_ "newest letters kept" true
+    (R.Monitor.dead_letters m = L.drop (total - 2) letters);
+  let z = R.Monitor.create ~dead_letter_cap:0 u lts in
+  ignore (R.Monitor.run_trace z beheaded);
+  let sz = R.Monitor.stats z in
+  check int_ "cap 0 keeps nothing" 0 sz.dead;
+  check int_ "cap 0 still counts" total sz.dead_dropped;
+  check bool_ "cap 0, empty queue" true (R.Monitor.dead_letters z = [])
+
+let test_dead_letter_cap_checkpoints () =
+  let a = analysed () in
+  let u = a.universe and lts = a.lts in
+  let m = R.Monitor.create ~dead_letter_cap:2 u lts in
+  ignore (R.Monitor.run_trace m (beheaded_trace u));
+  match R.Monitor.of_json u lts (R.Monitor.to_json m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    check bool_ "stats (incl. dead_dropped) survive the roundtrip" true
+      (R.Monitor.stats m' = R.Monitor.stats m);
+    check bool_ "dead letters survive the roundtrip" true
+      (List.for_all2 R.Event.equal
+         (R.Monitor.dead_letters m')
+         (R.Monitor.dead_letters m))
+
 (* ------------------------------------------------------------------ *)
 (* Fleet checkpoint/restore *)
 
@@ -303,6 +349,65 @@ let test_backoff_recovers_write () =
   check bool_ "single attempt fails" true (Result.is_error result);
   check int_ "exactly one attempt" 1 outcome.attempts
 
+let test_inject_any_perturbs_strings () =
+  let lines = List.init 40 (Printf.sprintf "req-%d") in
+  let profile = R.Faults.uniform 0.3 in
+  let i1 = R.Faults.inject_any ~seed:5 profile lines in
+  let i2 = R.Faults.inject_any ~seed:5 profile lines in
+  check bool_ "same seed, same delivery" true (i1.delivered = i2.delivered);
+  check bool_ "same seed, same faults" true (i1.faults = i2.faults);
+  let count p = L.count p i1.faults in
+  let dropped = count (function R.Faults.Dropped _ -> true | _ -> false)
+  and duplicated = count (function R.Faults.Duplicated _ -> true | _ -> false) in
+  check bool_ "something was perturbed" true (i1.faults <> []);
+  check int_ "length accounting"
+    (List.length lines - dropped + duplicated)
+    (List.length i1.delivered);
+  check bool_ "no invented lines" true
+    (List.for_all (fun l -> List.mem l lines) i1.delivered);
+  let id = R.Faults.inject_any ~seed:5 R.Faults.no_faults lines in
+  check bool_ "zero rate is identity" true (id.delivered = lines);
+  check int_ "zero rate, no faults" 0 (List.length id.faults)
+
+(* An op that always fails retriably: the loop runs the full schedule,
+   so [waited] exposes the exact wait sequence. *)
+let always_unavailable () = Error "unavailable: induced for backoff test"
+
+(* default_backoff (base 1, cap 8, 6 attempts): waits 1+2+4+8+8 = 23. *)
+let unjittered_total = 23
+
+let test_backoff_default_schedule_unchanged () =
+  let a = analysed () in
+  let chaos = R.Faults.chaos ~seed:1 (deployment a.universe) in
+  check bool_ "jitter off by default" false R.Faults.default_backoff.jitter;
+  let result, outcome = R.Faults.with_backoff chaos always_unavailable in
+  check bool_ "still failed" true (Result.is_error result);
+  check int_ "all attempts used" 6 outcome.attempts;
+  check int_ "exact exponential schedule" unjittered_total outcome.waited
+
+let test_backoff_jitter_bounded_and_seeded () =
+  let run seed =
+    let a = analysed () in
+    let chaos = R.Faults.chaos ~seed (deployment a.universe) in
+    snd
+      (R.Faults.with_backoff ~policy:R.Faults.jittered_backoff chaos
+         always_unavailable)
+  in
+  let o1 = run 1 and o1' = run 1 in
+  check int_ "same chaos seed, same waits" o1.R.Faults.waited o1'.R.Faults.waited;
+  let outcomes = List.map run [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun o ->
+      check int_ "all attempts used" 6 o.R.Faults.attempts;
+      (* Full jitter draws each wait from [1, ceiling]. *)
+      check bool_ "never exceeds the exponential schedule" true
+        (o.R.Faults.waited <= unjittered_total);
+      check bool_ "waits at least one tick per retry" true
+        (o.R.Faults.waited >= 5))
+    outcomes;
+  check bool_ "seeds spread the waits" true
+    (List.exists (fun o -> o.R.Faults.waited <> o1.R.Faults.waited) outcomes)
+
 let test_backoff_stops_on_permanent_error () =
   let a = analysed () in
   let chaos = R.Faults.chaos ~seed:1 (deployment a.universe) in
@@ -324,6 +429,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_inject_deterministic;
           Alcotest.test_case "zero rate" `Quick test_inject_zero_rate_is_identity;
           Alcotest.test_case "stats" `Quick test_inject_stats_match_faults;
+          Alcotest.test_case "inject_any on request lines" `Quick
+            test_inject_any_perturbs_strings;
         ] );
       ( "self-healing",
         [
@@ -334,6 +441,10 @@ let () =
           Alcotest.test_case "duplicates absorbed" `Quick
             test_duplicates_raise_no_duplicate_alerts;
           Alcotest.test_case "reorder converges" `Quick test_reorder_converges;
+          Alcotest.test_case "dead-letter queue is bounded" `Quick
+            test_dead_letter_cap_bounds_memory;
+          Alcotest.test_case "dead-letter bounds checkpoint" `Quick
+            test_dead_letter_cap_checkpoints;
         ] );
       ( "checkpoint",
         [
@@ -355,5 +466,9 @@ let () =
             test_backoff_recovers_write;
           Alcotest.test_case "permanent error not retried" `Quick
             test_backoff_stops_on_permanent_error;
+          Alcotest.test_case "unjittered schedule unchanged" `Quick
+            test_backoff_default_schedule_unchanged;
+          Alcotest.test_case "full jitter bounded and seeded" `Quick
+            test_backoff_jitter_bounded_and_seeded;
         ] );
     ]

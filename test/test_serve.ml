@@ -1,0 +1,553 @@
+(* Tests for the resilient serve daemon: wire protocol, LRU cache,
+   circuit breaker, cooperative cancellation through the exploration
+   and population engines (including DLS hygiene across cancelled
+   runs), engine-level caching byte-identity, admission control, and a
+   soak smoke run. *)
+
+module Core = Mdp_core
+module S = Mdp_serve
+module Json = Mdp_prelude.Json
+module Cancel = Mdp_obs.Cancel
+module Synthetic = Mdp_scenario.Synthetic
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let spec_exn name =
+  match Synthetic.spec_of_string name with
+  | Some (Ok spec) -> spec
+  | _ -> Alcotest.fail ("bad synthetic spec: " ^ name)
+
+let universe_of name =
+  let diagram, policy = Synthetic.model (spec_exn name) in
+  Core.Universe.make diagram policy
+
+(* A model whose full exploration takes far longer than the deadline
+   budgets used below, so cancellation always lands mid-run. *)
+let big_model = "synthetic:9-11-6"
+let small_model = "synthetic:4-6-3"
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic spec parsing (shared CLI/daemon model naming) *)
+
+let test_spec_of_string () =
+  let s = spec_exn "synthetic:5-8-4" in
+  check int_ "actors" 5 s.Synthetic.nactors;
+  check int_ "fields" 8 s.Synthetic.nfields;
+  check int_ "flows" 4 s.Synthetic.flows_per_service;
+  check int_ "default seed" 42 s.Synthetic.seed;
+  check int_ "seeded" 9 (spec_exn "synthetic:5-8-4@9").Synthetic.seed;
+  check int_ "dash form" 3 (spec_exn "synthetic-3-4-2").Synthetic.nactors;
+  check bool_ "file names pass through" true
+    (Synthetic.spec_of_string "models/healthcare.mdp" = None);
+  match Synthetic.spec_of_string "synthetic:5-8" with
+  | Some (Error msg) ->
+    check bool_ "error names the expected shape" true (contains msg "NACTORS")
+  | _ -> Alcotest.fail "malformed spec must be Some (Error _)"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_parse_request () =
+  let line =
+    {|{"id":"r1","cmd":"risk","model":"synthetic:4-6-3","agree":["Service0"],|}
+    ^ {|"sensitivity":{"Field0":0.9},"deadline_ms":250,"max_states":5000,|}
+    ^ {|"allow_stale":true}|}
+  in
+  match S.Protocol.parse_request line with
+  | Ok { req_id = Some "r1"; cmd = S.Protocol.Analyse a } ->
+    (match a.kind with
+    | S.Protocol.Risk p ->
+      check bool_ "agree" true (p.agreed = [ "Service0" ]);
+      check bool_ "sensitivity" true (p.sensitivities = [ ("Field0", 0.9) ])
+    | _ -> Alcotest.fail "expected risk kind");
+    check bool_ "deadline" true (a.deadline_ms = Some 250);
+    check bool_ "max states" true (a.max_states = Some 5000);
+    check bool_ "allow stale" true a.allow_stale
+  | _ -> Alcotest.fail "request did not parse"
+
+let test_parse_errors_keep_id () =
+  (match S.Protocol.parse_request {|{"id":"x7","cmd":"frobnicate"}|} with
+  | Error (Some "x7", msg) ->
+    check bool_ "mentions the cmd" true (contains msg "frobnicate")
+  | _ -> Alcotest.fail "unknown cmd must keep the id");
+  (match S.Protocol.parse_request {|{"id":12,"cmd":"risk"}|} with
+  | Error (Some "12", _) -> ()
+  | _ -> Alcotest.fail "numeric id must be recovered");
+  (match S.Protocol.parse_request "[1,2]" with
+  | Error (None, _) -> ()
+  | _ -> Alcotest.fail "non-object must fail without id");
+  match S.Protocol.parse_request "{nope" with
+  | Error (None, _) -> ()
+  | _ -> Alcotest.fail "broken JSON must fail"
+
+let test_response_roundtrip () =
+  let r =
+    S.Protocol.response ~id:(Some "q1") ~cached:true ~elapsed_ms:12.5
+      ~body:(Json.Obj [ ("x", Json.int 3) ])
+      (S.Protocol.Cancelled `Deadline)
+  in
+  let line = S.Protocol.response_to_line r in
+  check bool_ "single line" true (not (String.contains line '\n'));
+  match S.Protocol.response_of_line line with
+  | Ok r' ->
+    check bool_ "id" true (r'.resp_id = Some "q1");
+    check bool_ "deadline reason survives" true
+      (r'.status = S.Protocol.Cancelled `Deadline);
+    check bool_ "cached" true r'.cached;
+    check bool_ "body" true (r'.body = Json.Obj [ ("x", Json.Num 3.0) ])
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache *)
+
+let test_cache_lru_eviction () =
+  let c = S.Cache.create ~name:"t/lru" ~cap:2 ~stale_cap:2 () in
+  S.Cache.put c "a" 1;
+  S.Cache.put c "b" 2;
+  check bool_ "a hit refreshes recency" true (S.Cache.find c "a" = Some 1);
+  S.Cache.put c "c" 3;
+  check bool_ "b was the LRU victim" true (S.Cache.find c "b" = None);
+  check bool_ "a survived" true (S.Cache.find c "a" = Some 1);
+  check bool_ "c present" true (S.Cache.find c "c" = Some 3);
+  check bool_ "evicted b still served stale" true
+    (S.Cache.find_stale c "b" = Some 2);
+  let s = S.Cache.stats c in
+  check int_ "len" 2 s.S.Cache.len;
+  check int_ "evictions" 1 s.S.Cache.evictions;
+  check int_ "stale len" 1 s.S.Cache.stale_len
+
+let test_cache_bounded_under_churn () =
+  let c = S.Cache.create ~name:"t/churn" ~cap:4 ~stale_cap:3 () in
+  for i = 0 to 499 do
+    S.Cache.put c (string_of_int (i mod 37)) i;
+    (* Read-heavy phases must not grow internal bookkeeping without
+       bound either; [stats] reflects the live table only. *)
+    ignore (S.Cache.find c (string_of_int (i mod 11)))
+  done;
+  let s = S.Cache.stats c in
+  check bool_ "len bounded" true (s.S.Cache.len <= 4);
+  check bool_ "stale bounded" true (s.S.Cache.stale_len <= 3);
+  check bool_ "evictions happened" true (s.S.Cache.evictions > 0);
+  (* Updating an existing key must not evict. *)
+  let c2 = S.Cache.create ~name:"t/upd" ~cap:2 () in
+  S.Cache.put c2 "k" 1;
+  S.Cache.put c2 "k" 2;
+  check bool_ "update in place" true (S.Cache.find c2 "k" = Some 2);
+  check int_ "no eviction on update" 0 (S.Cache.stats c2).S.Cache.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let test_breaker_trips_and_recovers () =
+  let b = S.Breaker.create ~threshold:2 ~cooldown_ms:40 () in
+  check bool_ "starts closed" true (S.Breaker.admit b "m" = S.Breaker.Proceed);
+  S.Breaker.failure b "m";
+  check bool_ "one failure stays closed" true
+    (S.Breaker.admit b "m" = S.Breaker.Proceed);
+  S.Breaker.failure b "m";
+  (match S.Breaker.admit b "m" with
+  | S.Breaker.Fast_fail _ -> ()
+  | S.Breaker.Proceed -> Alcotest.fail "threshold failures must open");
+  check int_ "one trip" 1 (S.Breaker.trips b);
+  check int_ "counted open" 1 (S.Breaker.open_count b);
+  check bool_ "other keys unaffected" true
+    (S.Breaker.admit b "other" = S.Breaker.Proceed);
+  Unix.sleepf 0.06;
+  (* Cooldown over: exactly one probe is admitted. *)
+  check bool_ "probe admitted" true (S.Breaker.admit b "m" = S.Breaker.Proceed);
+  (match S.Breaker.admit b "m" with
+  | S.Breaker.Fast_fail _ -> ()
+  | S.Breaker.Proceed -> Alcotest.fail "second concurrent probe must fast-fail");
+  S.Breaker.success b "m";
+  check bool_ "probe success closes" true
+    (S.Breaker.admit b "m" = S.Breaker.Proceed);
+  check int_ "nothing open" 0 (S.Breaker.open_count b)
+
+let test_breaker_failed_probe_reopens () =
+  let b = S.Breaker.create ~threshold:1 ~cooldown_ms:40 () in
+  S.Breaker.failure b "m";
+  (match S.Breaker.admit b "m" with
+  | S.Breaker.Fast_fail _ -> ()
+  | S.Breaker.Proceed -> Alcotest.fail "threshold 1 must open immediately");
+  Unix.sleepf 0.06;
+  check bool_ "probe admitted" true (S.Breaker.admit b "m" = S.Breaker.Proceed);
+  S.Breaker.failure b "m";
+  match S.Breaker.admit b "m" with
+  | S.Breaker.Fast_fail _ -> check int_ "re-trip counted" 2 (S.Breaker.trips b)
+  | S.Breaker.Proceed -> Alcotest.fail "failed probe must reopen"
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation through the exploration engine *)
+
+let dot_of u lts = Core.Lts_render.to_dot u lts
+
+(* A cancelled run must leave no residue: the same universe explored
+   again (un-cancelled) must match a run on a fresh universe byte for
+   byte — this is what guards the Domain.DLS read-memo hygiene. *)
+let cancelled_then_clean ~jobs ~cancel model =
+  let u = universe_of model in
+  (match Core.Generate.run ~jobs ~cancel u with
+  | _ -> Alcotest.fail "expected cancellation"
+  | exception Cancel.Cancelled _ -> ());
+  let again = Core.Generate.run ~jobs u in
+  let fresh = Core.Generate.run ~jobs (universe_of model) in
+  check string_
+    (Printf.sprintf "jobs=%d: post-cancel run byte-identical to fresh" jobs)
+    (dot_of (universe_of model) fresh)
+    (dot_of u again)
+
+let test_cancel_pre_fired_token () =
+  List.iter
+    (fun jobs ->
+      let c = Cancel.create () in
+      Cancel.cancel c;
+      cancelled_then_clean ~jobs ~cancel:c small_model)
+    [ 1; 4 ]
+
+let test_cancel_mid_run_deadline () =
+  List.iter
+    (fun jobs ->
+      let u = universe_of big_model in
+      let options =
+        { Core.Generate.default_options with max_states = 1_000_000 }
+      in
+      let cancel = Cancel.with_budget_ms 5 in
+      let t0 = Mdp_obs.Clock.now_ns () in
+      (match Core.Generate.run ~options ~jobs ~cancel u with
+      | _ -> Alcotest.fail "expected mid-run deadline cancellation"
+      | exception Cancel.Cancelled Cancel.Deadline -> ());
+      let elapsed_ms =
+        float_of_int (Mdp_obs.Clock.now_ns () - t0) /. 1.e6
+      in
+      check bool_
+        (Printf.sprintf "jobs=%d: stopped within budget + slack (%.0fms)" jobs
+           elapsed_ms)
+        true (elapsed_ms < 2000.0);
+      (* The universe stays usable for further (bounded) runs. *)
+      let small = universe_of small_model in
+      ignore (Core.Generate.run ~jobs small))
+    [ 1; 4 ]
+
+let test_population_cancel () =
+  let u = universe_of small_model in
+  let lts = Core.Generate.run u in
+  let spec =
+    {
+      Core.Population.seed = 3;
+      size = 400;
+      westin_mix = Core.Population.default_mix;
+      agree_probability = 0.5;
+    }
+  in
+  let profiles = Core.Population.simulate spec (Core.Universe.diagram u) in
+  let fired = Cancel.create () in
+  Cancel.cancel fired;
+  List.iter
+    (fun jobs ->
+      match Core.Population.analyse_compiled ~jobs ~cancel:fired u lts profiles with
+      | _ -> Alcotest.fail "expected population cancellation"
+      | exception Cancel.Cancelled _ -> ())
+    [ 1; 4 ];
+  (* The LTS and a fresh pass are unaffected by the aborted one. *)
+  let a = Core.Population.analyse_compiled u lts profiles in
+  let b = Core.Population.analyse u lts profiles in
+  check bool_ "post-cancel aggregate matches naive" true (a = b)
+
+let test_run_checked_failures () =
+  let diagram, policy = Synthetic.model (spec_exn small_model) in
+  (match
+     Core.Analysis.run_checked
+       ~options:{ Core.Generate.default_options with max_states = 5 }
+       diagram policy
+   with
+  | Error (Core.Analysis.State_limit { limit; hint }) ->
+    check int_ "limit carried" 5 limit;
+    check bool_ "hint present" true (contains hint "max-states")
+  | _ -> Alcotest.fail "expected structured state-limit failure");
+  let fired = Cancel.create () in
+  Cancel.cancel fired;
+  match Core.Analysis.run_checked ~cancel:fired diagram policy with
+  | Error (Core.Analysis.Cancelled { deadline = false; _ }) -> ()
+  | _ -> Alcotest.fail "expected structured cancellation failure"
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let analyse ?(model = small_model) ?max_states ?deadline_ms ?(allow_stale = false)
+    ?(kind = S.Protocol.Lts_stats) id =
+  {
+    S.Protocol.req_id = Some id;
+    cmd =
+      S.Protocol.Analyse
+        { kind; model = S.Protocol.Named model; max_states; deadline_ms; allow_stale };
+  }
+
+let risk_kind =
+  S.Protocol.Risk
+    { agreed = [ "Service0" ]; sensitivities = [ ("Field0", 0.9) ] }
+
+let pop_kind = S.Protocol.Population { psize = 150; pseed = 3; pagree = 0.5 }
+
+let body_string (r : S.Protocol.response) = Json.to_string r.body
+
+let test_engine_warm_cache_byte_identical () =
+  let e = S.Engine.create () in
+  List.iter
+    (fun kind ->
+      let req = analyse ~kind "a" in
+      let cold = S.Engine.handle e req in
+      let warm = S.Engine.handle e req in
+      check bool_ "cold ok" true (cold.status = S.Protocol.Ok_);
+      check bool_ "cold not cached" false cold.cached;
+      check bool_ "warm cached" true warm.cached;
+      check string_ "warm body byte-identical" (body_string cold)
+        (body_string warm))
+    [ S.Protocol.Lts_stats; risk_kind; pop_kind ]
+
+let test_engine_deadline_cancel () =
+  let e = S.Engine.create () in
+  let req = analyse ~model:big_model ~max_states:1_000_000 ~deadline_ms:5 "d" in
+  (* The server derives the token from the request's budget; do the
+     same here ([handle] itself only polls the token it is given). *)
+  let budget =
+    match req.S.Protocol.cmd with
+    | S.Protocol.Analyse a -> S.Engine.deadline_ms_for e a
+    | _ -> None
+  in
+  check bool_ "budget comes from the request" true (budget = Some 5);
+  let resp =
+    S.Engine.handle e ~cancel:(Cancel.with_budget_ms (Option.get budget)) req
+  in
+  check bool_ "deadline cancelled" true
+    (resp.status = S.Protocol.Cancelled `Deadline);
+  (* The engine remains fully usable afterwards. *)
+  let ok = S.Engine.handle e (analyse "ok") in
+  check bool_ "engine reusable" true (ok.status = S.Protocol.Ok_)
+
+let test_engine_client_cancel_mid_flight () =
+  let e = S.Engine.create () in
+  let token = Cancel.create () in
+  let req = analyse ~model:big_model ~max_states:1_000_000 "c" in
+  let worker = Domain.spawn (fun () -> S.Engine.handle e ~cancel:token req) in
+  Unix.sleepf 0.01;
+  Cancel.cancel token;
+  let resp = Domain.join worker in
+  check bool_ "client cancelled" true
+    (resp.status = S.Protocol.Cancelled `Client)
+
+let test_engine_state_limit_and_breaker () =
+  let config =
+    { S.Engine.default_config with breaker_threshold = 2; breaker_cooldown_ms = 10_000 }
+  in
+  let e = S.Engine.create ~config () in
+  let req id = analyse ~model:big_model ~max_states:300 id in
+  let r1 = S.Engine.handle e (req "x1") in
+  check bool_ "structured state limit" true (r1.status = S.Protocol.State_limit);
+  (match Json.member "limit" r1.body with
+  | Some l -> check bool_ "limit in body" true (Json.to_int_opt l = Some 300)
+  | None -> Alcotest.fail "state_limit body must carry the limit");
+  (match Json.member "hint" r1.body with
+  | Some (Json.Str h) -> check bool_ "hint in body" true (contains h "max-states")
+  | _ -> Alcotest.fail "state_limit body must carry a hint");
+  let r2 = S.Engine.handle e (req "x2") in
+  check bool_ "second trip still structured" true
+    (r2.status = S.Protocol.State_limit);
+  let r3 = S.Engine.handle e (req "x3") in
+  check bool_ "breaker now fast-fails" true (r3.status = S.Protocol.Breaker_open);
+  (* Other models keep working while one breaker is open. *)
+  let ok = S.Engine.handle e (analyse "ok") in
+  check bool_ "other models unaffected" true (ok.status = S.Protocol.Ok_)
+
+let test_engine_stale_degradation () =
+  let config =
+    { S.Engine.default_config with result_cap = 1; stale_cap = 4 }
+  in
+  let e = S.Engine.create ~config () in
+  let req_a = analyse ~allow_stale:true "a" in
+  let cold = S.Engine.handle e req_a in
+  check bool_ "cold ok" true (cold.status = S.Protocol.Ok_);
+  (* Evict model A's result with a different model's. *)
+  ignore (S.Engine.handle e (analyse ~model:"synthetic:3-5-2" "b"));
+  match S.Engine.stale_response e req_a with
+  | Some resp ->
+    check bool_ "flagged stale" true resp.stale;
+    check bool_ "flagged cached" true resp.cached;
+    check string_ "stale body identical to original" (body_string cold)
+      (body_string resp)
+  | None -> Alcotest.fail "evicted result must be servable as stale"
+
+let test_engine_malformed_model () =
+  let e = S.Engine.create () in
+  let bad = S.Engine.handle e (analyse ~model:"synthetic:nope" "m1") in
+  check bool_ "bad spec is an error" true (bad.status = S.Protocol.Error_);
+  let missing = S.Engine.handle e (analyse ~model:"/no/such/file.mdp" "m2") in
+  check bool_ "missing file is an error" true (missing.status = S.Protocol.Error_);
+  let inline_bad =
+    S.Engine.handle e
+      {
+        S.Protocol.req_id = Some "m3";
+        cmd =
+          S.Protocol.Analyse
+            {
+              kind = S.Protocol.Lts_stats;
+              model = S.Protocol.Inline "actor{{{";
+              max_states = None;
+              deadline_ms = None;
+              allow_stale = false;
+            };
+      }
+  in
+  check bool_ "inline parse error is an error" true
+    (inline_bad.status = S.Protocol.Error_)
+
+(* ------------------------------------------------------------------ *)
+(* Server *)
+
+let collecting_server ?(workers = 1) ?(queue_cap = 1) engine =
+  let lines = ref [] in
+  let mu = Mutex.create () in
+  let respond l =
+    Mutex.lock mu;
+    lines := l :: !lines;
+    Mutex.unlock mu
+  in
+  let server = S.Server.create ~workers ~queue_cap ~respond engine in
+  (server, lines)
+
+let statuses lines =
+  List.filter_map
+    (fun l ->
+      match S.Protocol.response_of_line l with
+      | Ok r -> Some (S.Protocol.status_string r.status)
+      | Error _ -> None)
+    lines
+
+let test_server_overload_and_accounting () =
+  let server, lines = collecting_server (S.Engine.create ()) in
+  let req i =
+    Printf.sprintf
+      {|{"id":"o%d","cmd":"lts","model":"synthetic:8-10-5@11","deadline_ms":40,"max_states":1000000}|}
+      i
+  in
+  for i = 1 to 6 do
+    S.Server.submit server (req i)
+  done;
+  S.Server.submit server {|{"id":"p","cmd":"ping"}|};
+  S.Server.submit server "garbage";
+  S.Server.shutdown server;
+  let got = statuses !lines in
+  check int_ "every line answered" 8 (List.length got);
+  check bool_ "well-formed responses only" true
+    (List.length !lines = List.length got);
+  check bool_ "overload shed happened" true (List.mem "overloaded" got);
+  check bool_ "ping answered inline" true (List.mem "ok" got);
+  check bool_ "garbage answered" true (List.mem "error" got)
+
+let test_server_shutdown_then_refuse () =
+  let server, lines = collecting_server (S.Engine.create ()) in
+  S.Server.submit server {|{"id":"s1","cmd":"shutdown"}|};
+  S.Server.submit server {|{"id":"s2","cmd":"lts","model":"synthetic:4-6-3"}|};
+  S.Server.shutdown server;
+  let got = statuses !lines in
+  check bool_ "shutdown acknowledged" true (List.mem "ok" got);
+  check bool_ "post-shutdown submit refused" true
+    (List.mem "shutting_down" got)
+
+let test_server_cancel_unknown () =
+  let server, lines = collecting_server (S.Engine.create ()) in
+  S.Server.submit server {|{"id":"c1","cmd":"cancel","target":"ghost"}|};
+  S.Server.shutdown server;
+  match List.filter_map (fun l -> Result.to_option (S.Protocol.response_of_line l)) !lines with
+  | [ r ] ->
+    check bool_ "ok status" true (r.status = S.Protocol.Ok_);
+    check bool_ "found=false" true
+      (Json.member "found" r.body = Some (Json.Bool false))
+  | _ -> Alcotest.fail "expected exactly one response"
+
+(* ------------------------------------------------------------------ *)
+(* Soak smoke *)
+
+let test_soak_smoke () =
+  let outcome =
+    S.Soak.run { S.Soak.default_spec with requests = 150; seed = 3 }
+  in
+  check bool_ "contract held" true outcome.S.Soak.ok;
+  check int_ "every delivered line answered" outcome.S.Soak.delivered
+    outcome.S.Soak.answered;
+  check int_ "no ill-formed responses" 0 outcome.S.Soak.ill_formed;
+  check bool_ "some requests succeeded" true
+    (match List.assoc_opt "ok" outcome.S.Soak.by_status with
+    | Some n -> n > 0
+    | None -> false)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "synthetic spec parsing" `Quick test_spec_of_string;
+          Alcotest.test_case "request parsing" `Quick test_parse_request;
+          Alcotest.test_case "errors keep the id" `Quick
+            test_parse_errors_keep_id;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction + stale store" `Quick
+            test_cache_lru_eviction;
+          Alcotest.test_case "bounded under churn" `Quick
+            test_cache_bounded_under_churn;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips, cools down, recovers" `Quick
+            test_breaker_trips_and_recovers;
+          Alcotest.test_case "failed probe reopens" `Quick
+            test_breaker_failed_probe_reopens;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "pre-fired token, clean rerun (jobs 1/4)" `Quick
+            test_cancel_pre_fired_token;
+          Alcotest.test_case "mid-run deadline (jobs 1/4)" `Quick
+            test_cancel_mid_run_deadline;
+          Alcotest.test_case "population sweep cancels" `Quick
+            test_population_cancel;
+          Alcotest.test_case "run_checked structured failures" `Quick
+            test_run_checked_failures;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "warm cache byte-identical" `Quick
+            test_engine_warm_cache_byte_identical;
+          Alcotest.test_case "deadline cancellation" `Quick
+            test_engine_deadline_cancel;
+          Alcotest.test_case "client cancel mid-flight" `Quick
+            test_engine_client_cancel_mid_flight;
+          Alcotest.test_case "state limit trips breaker" `Quick
+            test_engine_state_limit_and_breaker;
+          Alcotest.test_case "stale degradation" `Quick
+            test_engine_stale_degradation;
+          Alcotest.test_case "malformed models" `Quick
+            test_engine_malformed_model;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "overload shed + full accounting" `Quick
+            test_server_overload_and_accounting;
+          Alcotest.test_case "shutdown refuses new work" `Quick
+            test_server_shutdown_then_refuse;
+          Alcotest.test_case "cancel unknown id" `Quick
+            test_server_cancel_unknown;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "150-request chaos smoke" `Quick test_soak_smoke ] );
+    ]
