@@ -1399,6 +1399,332 @@ let perf_pr6 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR6.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 7: the packed LTS engine against the PR 2 boxed engine — retained
+   bytes/state (Gc live delta around generation, both engines, plus the
+   packed engine's own byte-exact mem_stats breakdown) and sequential
+   throughput — with the numbering-determinism gate extended to the
+   sharded dedup across job counts. Emits machine-readable
+   BENCH_PR7.json and fails if packed retains more than 1/8 the
+   bytes/state of boxed where both run, if sequential packed throughput
+   drops below 0.9x boxed on the gated case, or if any job count
+   produces different state numbering. *)
+
+type pr7_case = {
+  c7_name : string;
+  c7_dims : int * int * int;  (* actors, fields, flows/service *)
+  c7_services : int;
+  c7_max_states : int;
+  c7_gate_throughput : bool;  (* the 0.9x sequential-throughput gate *)
+  c7_det_jobs : int list;  (* job counts for the determinism matrix *)
+  c7_runs : int;  (* timing samples (median) *)
+  c7_boxed : bool;  (* run the boxed engine for memory + timing *)
+}
+
+let pr7_cases ~smoke =
+  if smoke then
+    [
+      (* The CI bench-smoke case: ~775k states under the workflow's
+         ulimit memory cap. Packed retains ~40 MB here; the boxed
+         comparison run is what needs most of the allowance. *)
+      {
+        c7_name = "synthetic:12-14-7";
+        c7_dims = (12, 14, 7);
+        c7_services = 2;
+        c7_max_states = 1_000_000;
+        c7_gate_throughput = true;
+        c7_det_jobs = [ 1; 2; 4; 8 ];
+        c7_runs = 1;
+        c7_boxed = true;
+      };
+    ]
+  else
+    [
+      (* PR 2's headline case gates throughput: the packed engine must
+         keep >= 0.9x the boxed engine's sequential rate here. *)
+      {
+        c7_name = "synthetic:11-14-8";
+        c7_dims = (11, 14, 8);
+        c7_services = 2;
+        c7_max_states = 400_000;
+        c7_gate_throughput = true;
+        c7_det_jobs = [ 1; 2; 4; 8 ];
+        c7_runs = 3;
+        c7_boxed = true;
+      };
+      (* The headroom case the packed engine exists for: millions of
+         states in RAM. Timed once per engine — the gap being measured
+         is memory, and a boxed run here is minutes. *)
+      {
+        c7_name = "synthetic:8-14-8x3";
+        c7_dims = (8, 14, 8);
+        c7_services = 3;
+        c7_max_states = 25_000_000;
+        c7_gate_throughput = false;
+        c7_det_jobs = [ 4 ];
+        c7_runs = 1;
+        c7_boxed = true;
+      };
+    ]
+
+let perf_pr7 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr7] packed LTS engine vs boxed (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
+  let module J = Mdp_prelude.Json in
+  let module MS = Mdp_lts.Lts in
+  let ok = ref true in
+  let live_bytes () =
+    Gc.compact ();
+    (Gc.stat ()).Gc.live_words * 8
+  in
+  let same_lts a b =
+    Core.Plts.num_states a = Core.Plts.num_states b
+    && Core.Plts.num_transitions a = Core.Plts.num_transitions b
+    &&
+    let n = Core.Plts.num_states a in
+    let rec go i =
+      i >= n
+      || Core.Config.equal (Core.Plts.state_data a i) (Core.Plts.state_data b i)
+         && go (i + 1)
+    in
+    go 0
+  in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "states"; "trans"; "boxed B/st"; "packed B/st"; "ratio";
+          "boxed st/s"; "packed st/s"; "det" ]
+  in
+  let json_cases =
+    List.map
+      (fun c ->
+        let na, nf, fps = c.c7_dims in
+        let spec =
+          {
+            Synthetic.seed = 42;
+            nactors = na;
+            nfields = nf;
+            nstores = 2;
+            nservices = c.c7_services;
+            flows_per_service = fps;
+          }
+        in
+        let diagram, policy = Synthetic.model spec in
+        let u = Core.Universe.make diagram policy in
+        let popts =
+          { Core.Generate.default_options with max_states = c.c7_max_states }
+        in
+        let bopts = { popts with packed = false } in
+        (* Retained memory: one held run per engine, measured as the
+           Gc live delta across generation (after compaction). *)
+        let before = live_bytes () in
+        let t0 = Mdp_obs.Clock.now_ns () in
+        let plts = Core.Generate.run ~options:popts u in
+        let t_packed_first = Mdp_obs.Clock.elapsed_s t0 in
+        let packed_live = live_bytes () - before in
+        let states = Core.Plts.num_states plts in
+        let ntrans = Core.Plts.num_transitions plts in
+        let pms = Option.get (Core.Plts.mem_stats plts) in
+        let fstates = float_of_int states in
+        (* Numbering determinism: every job count must reproduce the
+           sequential run byte-for-byte (state order and count). *)
+        let t_par = ref None in
+        let det =
+          List.for_all
+            (fun j ->
+              let t0 = Mdp_obs.Clock.now_ns () in
+              let l = Core.Generate.run ~options:popts ~jobs:j u in
+              if j = jobs then t_par := Some (Mdp_obs.Clock.elapsed_s t0);
+              let same = same_lts plts l in
+              if not same then
+                Printf.printf "  %s: NUMBERING DIVERGES at jobs=%d\n" c.c7_name
+                  j;
+              same)
+            c.c7_det_jobs
+        in
+        if not det then ok := false;
+        (* Boxed comparison: retained bytes and sequential time. *)
+        let boxed =
+          if not c.c7_boxed then None
+          else begin
+            let before = live_bytes () in
+            let t0 = Mdp_obs.Clock.now_ns () in
+            let blts = Core.Generate.run ~options:bopts u in
+            let t_first = Mdp_obs.Clock.elapsed_s t0 in
+            let boxed_live = live_bytes () - before in
+            let agree = same_lts plts blts in
+            if not agree then begin
+              Printf.printf "  %s: ENGINES DISAGREE (packed %d/%d, boxed %d/%d)\n"
+                c.c7_name states ntrans
+                (Core.Plts.num_states blts)
+                (Core.Plts.num_transitions blts);
+              ok := false
+            end;
+            let t_boxed =
+              if c.c7_runs <= 1 then t_first
+              else
+                time_median ~runs:c.c7_runs (fun () ->
+                    Core.Generate.run ~options:bopts u)
+            in
+            Some (boxed_live, t_boxed, agree)
+          end
+        in
+        let t_packed =
+          if c.c7_runs <= 1 then t_packed_first
+          else
+            time_median ~runs:c.c7_runs (fun () ->
+                Core.Generate.run ~options:popts u)
+        in
+        let packed_bps = pms.MS.ms_bytes_per_state in
+        (* Exported via BENCH_METRICS.prom; the last (largest) case
+           wins, matching the headline number. *)
+        Mdp_obs.Metrics.set_gauge "lts/packed_bytes_per_state"
+          (int_of_float (packed_bps +. 0.5));
+        let boxed_bps =
+          Option.map (fun (lv, _, _) -> float_of_int lv /. fstates) boxed
+        in
+        let ratio = Option.map (fun b -> packed_bps /. b) boxed_bps in
+        let ratio_ok =
+          match ratio with None -> true | Some r -> r <= 0.125
+        in
+        if not ratio_ok then begin
+          Printf.printf "  %s: MEMORY RATIO GATE FAILED (packed/boxed = %.3f)\n"
+            c.c7_name
+            (Option.get ratio);
+          ok := false
+        end;
+        let rel =
+          Option.map (fun (_, tb, _) -> tb /. t_packed) boxed
+        in
+        let throughput_ok =
+          (not c.c7_gate_throughput)
+          || (match rel with None -> true | Some r -> r >= 0.9)
+        in
+        if not throughput_ok then begin
+          Printf.printf
+            "  %s: THROUGHPUT GATE FAILED (packed %.2fx boxed, need >= 0.9x)\n"
+            c.c7_name (Option.get rel);
+          ok := false
+        end;
+        let fmt_opt f = function None -> "-" | Some v -> Printf.sprintf f v in
+        Mdp_prelude.Texttable.add_row table
+          [
+            c.c7_name;
+            string_of_int states;
+            string_of_int ntrans;
+            fmt_opt "%.0f" boxed_bps;
+            Printf.sprintf "%.1f" packed_bps;
+            fmt_opt "%.3f" ratio;
+            fmt_opt "%.0f"
+              (Option.map (fun (_, tb, _) -> fstates /. tb) boxed);
+            Printf.sprintf "%.0f" (fstates /. t_packed);
+            string_of_bool det;
+          ];
+        let delta_hit_rate =
+          float_of_int pms.MS.ms_delta_states
+          /. float_of_int (max 1 (pms.MS.ms_full_states + pms.MS.ms_delta_states))
+        in
+        J.Obj
+          ([
+             ("name", J.Str c.c7_name);
+             ("states", J.int states);
+             ("transitions", J.int ntrans);
+             ( "packed",
+               J.Obj
+                 [
+                   ("seconds_seq", J.Num t_packed);
+                   ("states_per_sec", J.Num (fstates /. t_packed));
+                   ( "seconds_par",
+                     match !t_par with None -> J.Null | Some t -> J.Num t );
+                   ("live_bytes", J.int packed_live);
+                   ("bytes_per_state", J.Num packed_bps);
+                   ( "mem",
+                     J.Obj
+                       [
+                         ("state_bytes", J.int pms.MS.ms_state_bytes);
+                         ("edge_bytes", J.int pms.MS.ms_edge_bytes);
+                         ("index_bytes", J.int pms.MS.ms_index_bytes);
+                         ("dedup_bytes", J.int pms.MS.ms_dedup_bytes);
+                         ("full_states", J.int pms.MS.ms_full_states);
+                         ("delta_states", J.int pms.MS.ms_delta_states);
+                         ("delta_hit_rate", J.Num delta_hit_rate);
+                         ("labels", J.int pms.MS.ms_labels);
+                         ("total_bytes", J.int pms.MS.ms_total_bytes);
+                       ] );
+                 ] );
+             ( "determinism",
+               J.Obj
+                 [
+                   ("jobs", J.List (List.map J.int c.c7_det_jobs));
+                   ("ok", J.Bool det);
+                 ] );
+             ("memory_ratio_ok", J.Bool ratio_ok);
+             ("throughput_gated", J.Bool c.c7_gate_throughput);
+             ("throughput_ok", J.Bool throughput_ok);
+           ]
+          @ (match boxed with
+            | None -> []
+            | Some (lv, tb, agree) ->
+              [
+                ( "boxed",
+                  J.Obj
+                    [
+                      ("seconds_seq", J.Num tb);
+                      ("states_per_sec", J.Num (fstates /. tb));
+                      ("live_bytes", J.int lv);
+                      ("bytes_per_state", J.Num (Option.get boxed_bps));
+                    ] );
+                ("engines_agree", J.Bool agree);
+                ("memory_ratio", J.Num (Option.get ratio));
+                ("throughput_rel", J.Num (Option.get rel));
+              ])))
+      (pr7_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  (* Peak memory and the packed layout gauges for the Prometheus
+     artifact; the shard-occupancy histogram accumulates one sample per
+     shard per packed exploration in this section. *)
+  Mdp_obs.Metrics.sample_memory ();
+  let snap = Mdp_obs.Metrics.snapshot () in
+  let gauge name =
+    Option.value ~default:0
+      (List.assoc_opt name snap.Mdp_obs.Metrics.gauges)
+  in
+  let shard_json =
+    match List.assoc_opt "lts/shard_occupancy" snap.Mdp_obs.Metrics.histograms with
+    | None -> J.Null
+    | Some h ->
+      J.Obj
+        [
+          ("samples", J.int h.Mdp_obs.Metrics.h_count);
+          ("min", J.int h.Mdp_obs.Metrics.h_min);
+          ("max", J.int h.Mdp_obs.Metrics.h_max);
+          ( "mean",
+            J.Num
+              (float_of_int h.Mdp_obs.Metrics.h_sum
+              /. float_of_int (max 1 h.Mdp_obs.Metrics.h_count)) );
+        ]
+  in
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr7-packed-lts");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("rss_bytes", J.int (gauge "mem/rss_bytes"));
+        ("shard_occupancy", shard_json);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR7.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR7.json\n";
+  !ok
+
 let () =
   (* Spans feed the per-section phase breakdowns in BENCH_*.json and
      the BENCH_SPANS.jsonl / BENCH_METRICS.prom artifacts. *)
@@ -1409,6 +1735,7 @@ let () =
   let pr3_only = List.mem "--pr3" argv in
   let pr4_only = List.mem "--pr4" argv in
   let pr6_only = List.mem "--pr6" argv in
+  let pr7_only = List.mem "--pr7" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -1417,18 +1744,25 @@ let () =
     in
     find argv
   in
-  if smoke && not (pr2_only || pr3_only || pr4_only || pr6_only) then begin
+  if smoke && not (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only)
+  then begin
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
     let pr4_ok = perf_pr4 ~jobs ~smoke () in
     let pr6_ok = perf_pr6 ~jobs ~smoke () in
+    let pr7_ok = perf_pr7 ~jobs ~smoke () in
     write_observability_artifacts ();
-    exit (if pr2_ok && pr3_ok && pr4_ok && pr6_ok then 0 else 1)
+    exit (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok then 0 else 1)
   end;
   if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
   if pr3_only then exit (if perf_pr3 ~jobs ~smoke () then 0 else 1);
   if pr4_only then exit (if perf_pr4 ~jobs ~smoke () then 0 else 1);
   if pr6_only then exit (if perf_pr6 ~jobs ~smoke () then 0 else 1);
+  if pr7_only then begin
+    let ok = perf_pr7 ~jobs ~smoke () in
+    write_observability_artifacts ();
+    exit (if ok then 0 else 1)
+  end;
   fig1 ();
   fig2 ();
   fig3 ();
@@ -1446,7 +1780,8 @@ let () =
   let pr3_ok = perf_pr3 ~jobs ~smoke:false () in
   let pr4_ok = perf_pr4 ~jobs ~smoke:false () in
   let pr6_ok = perf_pr6 ~jobs ~smoke:false () in
+  let pr7_ok = perf_pr7 ~jobs ~smoke:false () in
   perf ();
   write_observability_artifacts ();
   Printf.printf "\ndone.\n";
-  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok) then exit 1
+  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok) then exit 1

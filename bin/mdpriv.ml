@@ -876,6 +876,21 @@ let serve_cmd =
       & info [ "fault-rate" ] ~docv:"P"
           ~doc:"Soak drop/duplicate/reorder/delay probability per line.")
   in
+  (* The daemon's guard defaults higher than one-shot generation: the
+     packed LTS engine holds millions of states in a few bytes each, and
+     a long-lived server is exactly where the large-model headroom
+     matters. State-limit responses report the observed bytes/state so
+     the ceiling can be tuned against real memory. *)
+  let serve_max_states =
+    Arg.(
+      value
+      & opt int Mdp_serve.Engine.default_config.Mdp_serve.Engine.max_states
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Ceiling clamped onto per-request max_states; generation past \
+             it aborts with a $(b,state_limit) response carrying the \
+             observed states, transitions and bytes/state.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -883,7 +898,7 @@ let serve_cmd =
           stdin, responses on stdout. See docs/SERVE.md for the protocol.")
     Term.(
       const run $ workers $ queue_cap $ jobs_arg $ cache_cap $ deadline
-      $ max_states_arg $ soak $ seed $ fault_rate $ metrics_term)
+      $ serve_max_states $ soak $ seed $ fault_rate $ metrics_term)
 
 (* ----- chaos ----- *)
 

@@ -21,6 +21,25 @@ val copy : t -> t
 val equal : t -> t -> bool
 val hash : t -> int
 
+(** {1 Packed-word codec}
+
+    A config is fully determined by the payload words of its bitsets;
+    the packed LTS engine stores only those words. Layout: [privacy.has],
+    [privacy.could], each store in index order, [executed]. *)
+
+val nwords : t -> int
+(** Total payload word count — a constant for all configs of one
+    universe. *)
+
+val blit_words : t -> int array -> int -> int
+(** Write the words into the buffer at the offset; returns the offset
+    past the last word written. *)
+
+val of_words : template:t -> int array -> int -> t
+(** Rebuild a config from words previously written by {!blit_words}.
+    [template] supplies the shape (bitset capacities, store count) and
+    must come from the same universe. *)
+
 val store_has : t -> store:int -> field:int -> bool
 val executed : t -> flow:int -> bool
 

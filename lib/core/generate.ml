@@ -11,6 +11,7 @@ type options = {
   enforce_policy : bool;
   services : string list option;
   max_states : int;
+  packed : bool;
 }
 
 let default_options =
@@ -22,6 +23,7 @@ let default_options =
     enforce_policy = true;
     services = None;
     max_states = 100_000;
+    packed = true;
   }
 
 let flow_only =
@@ -485,5 +487,21 @@ let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
     let deletes = if options.potential_deletes then potential_deletes u cfg else [] in
     from_flows @ reads @ deletes
   in
+  let init = Config.initial u in
+  (* The packed engine stores only the configs' bitset payload words
+     (layout and width are universe constants); [init] doubles as the
+     shape template for decoding. Universes too wide for the packed
+     record wordmap (63 words = ~2000 booleans per map) fall back to
+     the boxed engine. *)
+  let packing =
+    if options.packed && Config.nwords init <= 63 then
+      Some
+        {
+          Mdp_lts.Lts.pk_words = Config.nwords init;
+          pk_blit = (fun cfg dst off -> ignore (Config.blit_words cfg dst off : int));
+          pk_decode = (fun src off -> Config.of_words ~template:init src off);
+        }
+    else None
+  in
   Plts.explore ~max_states:options.max_states ~jobs ?par_threshold ?cancel
-    ~init:(Config.initial u) ~step ()
+    ?packing ~init ~step ()

@@ -49,6 +49,12 @@ type options = {
       (** Restrict generation to these services (e.g. Fig. 3 generates
           the Medical Service process alone). [None] = all. *)
   max_states : int;
+  packed : bool;
+      (** Store the explored LTS in the packed arena engine (states as
+          delta-encoded word records, sharded dedup — see
+          {!Mdp_lts.Lts}) instead of materialised configs. On (the
+          default) a state costs a few bytes instead of hundreds; the
+          resulting LTS is observationally identical. *)
 }
 
 val default_options : options

@@ -89,9 +89,11 @@ let analyse u lts binding =
           | fi -> Some (attr, anon, fi))
         quasi_attrs
     in
-    let snapshot = Plts.states lts in
-    List.iter
-      (fun src ->
+    (* The sweep appends states to [lts]; bound it by the pre-sweep count
+       so only generated states are scanned (snapshot semantics, without
+       materialising an O(n) id list). *)
+    let n0 = Plts.num_states lts in
+    for src = 0 to n0 - 1 do
         let cfg : Config.t = Plts.state_data lts src in
         for a = 0 to Universe.nactors u - 1 do
           let actor = Universe.actor_name u a in
@@ -142,8 +144,8 @@ let analyse u lts binding =
               { src; dst; actor; field = sensitive_field; fields_read; report }
               :: !results
           end
-        done)
-      snapshot);
+        done
+    done);
   List.sort (fun a b -> Int.compare a.src b.src) !results
 
 let check ~max_violation_ratio transitions =

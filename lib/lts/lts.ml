@@ -16,8 +16,57 @@ end
 
 exception Too_many_states of int
 
+(* What the engine knew when it raised {!Too_many_states}: the serve
+   daemon reports observed bytes/state back to operators so they can
+   size [--max-states] against real memory, not guesswork. Domain-local
+   because explorations on different serve workers abort
+   independently; the raise and the catch happen on the same domain. *)
+type abort_stats = {
+  ab_limit : int;
+  ab_states : int;
+  ab_transitions : int;
+  ab_bytes_per_state : float option;
+      (* [None] for the boxed engine, which has no byte-exact accounting *)
+}
+
+let abort_stats_key : abort_stats option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let last_abort_stats () = !(Domain.DLS.get abort_stats_key)
+let record_abort st = Domain.DLS.get abort_stats_key := Some st
+
+(* Byte accounting of a packed LTS, split by structure so benchmarks
+   can show where the memory goes. *)
+type mem_stats = {
+  ms_states : int;
+  ms_transitions : int;
+  ms_state_bytes : int;  (** state-record arena (full + delta records) *)
+  ms_edge_bytes : int;  (** flat (label id, dst) edge stream *)
+  ms_index_bytes : int;  (** record offsets, depths, row table *)
+  ms_dedup_bytes : int;  (** shard tables *)
+  ms_full_states : int;
+  ms_delta_states : int;
+  ms_labels : int;  (** distinct interned labels *)
+  ms_total_bytes : int;
+  ms_bytes_per_state : float;
+}
+
+(* A state codec for the packed engine: every reachable state of one
+   model encodes to exactly [pk_words] payload words. [pk_decode] must
+   be safe to call concurrently (the parallel explorer decodes on
+   worker domains). Word-equality must coincide with [S.equal] on the
+   states of one model — true for bitset-backed privacy configs, and
+   the contract any other packer must honour. *)
+type 'a packer = {
+  pk_words : int;
+  pk_blit : 'a -> int array -> int -> unit;
+  pk_decode : int array -> int -> 'a;
+}
+
 module Make (S : STATE) (L : LABEL) = struct
   module Tbl = Hashtbl.Make (S)
+  module Ltbl = Hashtbl.Make (L)
+  module P = Packed_repr
 
   type state_id = int
 
@@ -48,17 +97,93 @@ module Make (S : STATE) (L : LABEL) = struct
      which is quadratic on high-fan-out states). *)
   let scan_threshold = 16
 
-  type t = {
+  (* ----- storage backends ----- *)
+
+  (* Boxed: every state held as a materialised [S.t] in one hash-consing
+     table — the PR 2 engine, kept both as the comparison baseline and
+     as the backend for hand-built LTSs ([create]/[add_state]). *)
+  type boxed = {
     ids : state_id Tbl.t;
     mutable data : S.t array;
-    mutable n : int;
     mutable out : succs array;
-    mutable ntrans : int;
-    mutable init : state_id option;
     dup : (int * int * int, L.t list) Hashtbl.t;
         (* (src, L.hash label, dst) -> labels with that hash; only
            consulted for sources whose out-degree exceeds
            [scan_threshold]. *)
+  }
+
+  (* Packed: a state is [pk_words] payload words, stored as a
+     byte-granular record in a chunked arena — either patched against
+     zero (a "full" record) or delta-encoded against its frontier
+     parent when that is smaller. Dedup is [nshards] open-addressing
+     tables partitioned by hash, probing by a hash tag first and
+     word-comparing (one record decode) only on tag match. Labels are
+     interned once; edges are varint rows, one per source, emitted as
+     exploration expands each source exactly once: out-degree, then per
+     edge a label-id varint and a zigzag varint of the destination
+     relative to the previous one (the first relative to the source).
+     BFS numbering makes consecutively discovered destinations
+     adjacent, so most destination varints are a single byte and a
+     typical edge costs 2-4 bytes against 48 for a boxed cons cell plus
+     tuple. Transitions added after exploration (the pseudonym-risk
+     pass) append to per-source int overflow rows.
+
+     A finished exploration is sealed by [packed_compact]: side tables
+     are trimmed to exact size and each dedup shard is rebuilt from its
+     explore-time int entries (8 bytes, load <= 1/2 — sized for probe
+     speed while millions of lookups are in flight) into a compact
+     5-byte-entry table at load <= 0.85, since post-exploration lookups
+     are rare. The retained bytes are what the serve cache holds on to,
+     which is the number the mem_stats report. *)
+  type shard = {
+    mutable tbl : int array;
+        (* explore-time entries: (tag30 lsl 32) lor (id + 1); 0 empty *)
+    mutable ctbl : Bytes.t;
+        (* sealed entries, 5-byte stride: u32 LE (id + 1) then one tag
+           byte; empty until [seal_shard] *)
+    mutable ccap : int;  (* sealed capacity in entries; 0 = not sealed *)
+    mutable count : int;
+  }
+
+  type ov = { mutable oarr : int array; mutable olen : int }
+
+  type packed = {
+    pk : S.t packer;
+    pstamp : int;  (* distinguishes this LTS in the domain decode cache *)
+    arena : P.Arena.t;
+    offs : P.U32.t;  (* state -> arena offset of its record *)
+    depths : P.U8.t;  (* state -> delta-chain depth *)
+    shards : shard array;
+    mutable full_states : int;
+    mutable delta_states : int;
+    (* labels *)
+    lbl_ids : int Ltbl.t;
+    mutable lbl_data : L.t array;
+    mutable nlabels : int;
+    (* edges: varint rows in one growable byte buffer *)
+    mutable ebytes : Bytes.t;
+    mutable elen : int;
+    row_start : P.U32.t;  (* state -> byte offset of its row, or row_none *)
+    ov : (int, ov) Hashtbl.t;
+    (* the open row of the state being expanded: (lid lsl 32) lor dst *)
+    mutable rbuf : int array;
+    mutable rlen : int;
+    (* single-domain scratch: the sequential explorer, [add_state] and
+       [find_state] reuse these; concurrent readers ([state_data] from
+       analysis workers) allocate their own *)
+    enc_buf : Bytes.t;
+    cur : P.cursor;
+    cand_buf : int array;
+    cmp_buf : int array;
+  }
+
+  type repr = Boxed of boxed | Packed of packed
+
+  type t = {
+    repr : repr;
+    mutable n : int;
+    mutable ntrans : int;
+    mutable init : state_id option;
     mutable preds : (state_id * L.t) list array option;
         (* Reverse index, built lazily by [predecessors]; dropped on any
            mutation. *)
@@ -66,44 +191,567 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let create () =
     {
-      ids = Tbl.create 64;
-      data = [||];
+      repr =
+        Boxed
+          { ids = Tbl.create 64; data = [||]; out = [||]; dup = Hashtbl.create 64 };
       n = 0;
-      out = [||];
       ntrans = 0;
       init = None;
-      dup = Hashtbl.create 64;
       preds = None;
     }
 
-  let grow t =
-    if t.n >= Array.length t.data then begin
-      let cap = max 16 (2 * Array.length t.data) in
-      let data = Array.make cap t.data.(0) in
-      Array.blit t.data 0 data 0 t.n;
-      t.data <- data;
-      let out = Array.make cap t.out.(0) in
-      Array.blit t.out 0 out 0 t.n;
-      t.out <- out
+  let nshards = 64
+  let shard_of h = h land (nshards - 1)
+  let tag_of h = h lsr 32 (* 30 bits: hashes are 62-bit non-negative *)
+
+  (* Sentinel [row_start] for states that have no edge row (created by
+     [add_state] after exploration, or not yet expanded). *)
+  let row_none = 0xffff_ffff
+
+  (* Delta chains this deep cost a longer [decode_words] walk but cut
+     the share of full records (the dominant state-arena cost) to a few
+     percent; the wordmap keeps a chain level down to a few byte reads,
+     and [depths] stays a byte table. *)
+  let max_chain = 31
+
+  let packed_stamps = Atomic.make 1
+
+  let create_packed pk =
+    if pk.pk_words > 63 then
+      invalid_arg "Lts: packed states are limited to 63 words";
+    {
+      repr =
+        Packed
+          {
+            pk;
+            pstamp = Atomic.fetch_and_add packed_stamps 1;
+            arena = P.Arena.create ();
+            offs = P.U32.create ();
+            depths = P.U8.create ();
+            shards =
+              Array.init nshards (fun _ ->
+                  { tbl = Array.make 64 0; ctbl = Bytes.empty; ccap = 0; count = 0 });
+            full_states = 0;
+            delta_states = 0;
+            lbl_ids = Ltbl.create 64;
+            lbl_data = [||];
+            nlabels = 0;
+            ebytes = Bytes.create 4096;
+            elen = 0;
+            row_start = P.U32.create ();
+            ov = Hashtbl.create 16;
+            rbuf = Array.make 16 0;
+            rlen = 0;
+            enc_buf = Bytes.create (32 + (10 * pk.pk_words));
+            cur = P.cursor ();
+            cand_buf = Array.make pk.pk_words 0;
+            cmp_buf = Array.make pk.pk_words 0;
+          };
+      n = 0;
+      ntrans = 0;
+      init = None;
+      preds = None;
+    }
+
+  (* ----- packed primitives ----- *)
+
+  let words_equal a b w =
+    let rec go i = i = w || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+    go 0
+
+  (* Lowest set bit index of a non-zero word. *)
+  let ntz v =
+    let rec go k b = if b land 1 = 1 then k else go (k + 1) (b lsr 1) in
+    go 0 v
+
+  (* Per-domain decode cache: direct-mapped by state id, memoising
+     decoded word vectors. Deep delta chains are what keep the arena
+     small, but a raw chain walk per dedup probe is what would make
+     them slow: siblings share a delta parent and dedup hits cluster on
+     recent frontiers, so with every chain level cached on the way up,
+     the typical decode is one key compare and a blit, or one patch
+     apply on top of a cached parent. Domain-local (never shared, never
+     locked); entries are keyed by the owning LTS's [pstamp] so
+     interleaved decodes from several LTSs never cross-contaminate and
+     switching costs nothing. Records are append-only and immutable,
+     so entries never need invalidating. *)
+  let cache_bits = 16
+  let cache_slots = 1 lsl cache_bits
+
+  (* Ids at or above this would collide with the stamp bits of the
+     cache key; such states (impossible under the 4 GiB arena bound)
+     simply bypass the cache. *)
+  let cache_id_limit = 1 lsl 28
+
+  type dcache = {
+    mutable dc_wpw : int;  (* words per slot; -1 = unallocated *)
+    mutable dc_keys : int array;  (* (pstamp lsl 28) lor id, or -1 *)
+    mutable dc_words : int array;  (* cache_slots * dc_wpw *)
+  }
+
+  let dcache_key : dcache Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { dc_wpw = -1; dc_keys = [||]; dc_words = [||] })
+
+  let get_dcache p =
+    let dc = Domain.DLS.get dcache_key in
+    if dc.dc_wpw <> p.pk.pk_words then begin
+      dc.dc_wpw <- p.pk.pk_words;
+      dc.dc_keys <- Array.make cache_slots (-1);
+      dc.dc_words <- Array.make (cache_slots * p.pk.pk_words) 0
+    end;
+    dc
+
+  (* Drop the calling domain's cache: called when an LTS is sealed so
+     retained memory is the packed structures alone. *)
+  let drop_dcache () =
+    let dc = Domain.DLS.get dcache_key in
+    dc.dc_wpw <- -1;
+    dc.dc_keys <- [||];
+    dc.dc_words <- [||]
+
+  (* Decode state [id]'s words into [buf]: walk the delta chain up to
+     its full record (depth <= [max_chain]) or the nearest cached
+     ancestor, then apply patches back down, caching each level. Each
+     record carries a wordmap of the words it touches, so a chain level
+     costs a handful of byte reads — most delta levels change one or
+     two of the packed words. [cur] is caller-owned so concurrent
+     decodes never race. *)
+  let rec decode_rec p dc cur buf id =
+    let w = p.pk.pk_words in
+    let slot = id land (cache_slots - 1) in
+    let key = (p.pstamp lsl 28) lor id in
+    let cacheable = id < cache_id_limit && p.pstamp lsl 28 >= 0 in
+    if cacheable && Array.unsafe_get dc.dc_keys slot = key then
+      Array.blit dc.dc_words (slot * w) buf 0 w
+    else begin
+      P.Arena.seek p.arena cur (P.U32.get p.offs id);
+      let tag = P.get_varint cur in
+      if tag = 0 then begin
+        let map = P.get_varint cur in
+        Array.fill buf 0 w 0;
+        let m = ref map in
+        while !m <> 0 do
+          let i = ntz !m in
+          buf.(i) <- P.get_word_patch cur ~base:0;
+          m := !m land (!m - 1)
+        done
+      end
+      else begin
+        let b = cur.P.b and pos = cur.P.pos in
+        decode_rec p dc cur buf (tag - 1);
+        cur.P.b <- b;
+        cur.P.pos <- pos;
+        let map = P.get_varint cur in
+        let m = ref map in
+        while !m <> 0 do
+          let i = ntz !m in
+          buf.(i) <- P.get_word_patch cur ~base:buf.(i);
+          m := !m land (!m - 1)
+        done
+      end;
+      if cacheable then begin
+        Array.unsafe_set dc.dc_keys slot key;
+        Array.blit buf 0 dc.dc_words (slot * w) w
+      end
+    end
+
+  let decode_words p cur buf id = decode_rec p (get_dcache p) cur buf id
+
+  let shard_grow sh =
+    let old = sh.tbl in
+    let cap = 2 * Array.length old in
+    let mask = cap - 1 in
+    let tbl = Array.make cap 0 in
+    Array.iter
+      (fun e ->
+        if e <> 0 then begin
+          let i = ref (e lsr 32 land mask) in
+          while tbl.(!i) <> 0 do
+            i := (!i + 1) land mask
+          done;
+          tbl.(!i) <- e
+        end)
+      old;
+    sh.tbl <- tbl
+
+  (* Sealed-shard slot and filter tag, both derived from the 30-bit tag
+     so sealing can rebuild without rehashing any state: the slot takes
+     the tag modulo the (arbitrary, exact-load) capacity, the filter
+     byte bits 22-29 (an overlap only weakens the filter). *)
+  let cslot tag cap = tag mod cap
+  let ctag8 tag = (tag lsr 22) land 0xff
+
+  (* Rebuild the explore-time int entries into the compact 5-byte form
+     at a 0.85 load. The capacity is exact, not a power of two — pow2
+     rounding would retain up to 2x the bytes (measured ~10.7 vs ~5.9
+     bytes/state on a 14M-state case) — so probing is modulo; sealed
+     probes only serve post-exploration lookups, where division cost
+     is irrelevant. *)
+  let seal_shard sh =
+    let cap = max 16 ((sh.count * 20 / 17) + 1) in
+    let ctbl = Bytes.make (5 * cap) '\000' in
+    Array.iter
+      (fun e ->
+        if e <> 0 then begin
+          let tag = e lsr 32 in
+          let i = ref (cslot tag cap) in
+          while Bytes.get_int32_le ctbl (5 * !i) <> 0l do
+            incr i;
+            if !i = cap then i := 0
+          done;
+          Bytes.set_int32_le ctbl (5 * !i) (Int32.of_int (e land 0xffff_ffff));
+          Bytes.unsafe_set ctbl ((5 * !i) + 4) (Char.unsafe_chr (ctag8 tag))
+        end)
+      sh.tbl;
+    sh.ctbl <- ctbl;
+    sh.ccap <- cap;
+    sh.tbl <- [||]
+
+  let cshard_find p sh tag words cur buf =
+    let cap = sh.ccap in
+    let t8 = ctag8 tag in
+    let i = ref (cslot tag cap) in
+    let res = ref (-1) in
+    (try
+       while Bytes.get_int32_le sh.ctbl (5 * !i) <> 0l do
+         if Char.code (Bytes.unsafe_get sh.ctbl ((5 * !i) + 4)) = t8 then begin
+           let id =
+             (Int32.to_int (Bytes.get_int32_le sh.ctbl (5 * !i))
+             land 0xffff_ffff)
+             - 1
+           in
+           decode_words p cur buf id;
+           if words_equal words buf p.pk.pk_words then begin
+             res := id;
+             raise_notrace Exit
+           end
+         end;
+         incr i;
+         if !i = cap then i := 0
+       done
+     with Exit -> ());
+    !res
+
+  (* Find the id whose words equal [words], or -1. Probes by tag;
+     decodes (into [buf]) only on tag match, so a probe is normally a
+     handful of int compares. *)
+  let shard_find p sh tag words cur buf =
+    if sh.ccap > 0 then cshard_find p sh tag words cur buf
+    else begin
+      let mask = Array.length sh.tbl - 1 in
+      let i = ref (tag land mask) in
+      let res = ref (-1) in
+      (try
+         while sh.tbl.(!i) <> 0 do
+           let e = sh.tbl.(!i) in
+           if e lsr 32 = tag then begin
+             let id = (e land 0xffff_ffff) - 1 in
+             decode_words p cur buf id;
+             if words_equal words buf p.pk.pk_words then begin
+               res := id;
+               raise_notrace Exit
+             end
+           end;
+           i := (!i + 1) land mask
+         done
+       with Exit -> ());
+      !res
+    end
+
+  (* Growing a sealed shard cannot re-derive slots from the stored tag
+     byte, so it rehashes by decoding each entry's state. Only the rare
+     post-exploration [add_state] path can trigger this. *)
+  let cshard_grow p sh =
+    let cap = 2 * sh.ccap in
+    let ctbl = Bytes.make (5 * cap) '\000' in
+    let cur = P.cursor () in
+    let buf = Array.make p.pk.pk_words 0 in
+    for j = 0 to sh.ccap - 1 do
+      let e = Int32.to_int (Bytes.get_int32_le sh.ctbl (5 * j)) land 0xffff_ffff in
+      if e <> 0 then begin
+        decode_words p cur buf (e - 1);
+        let tag = tag_of (P.hash_words buf p.pk.pk_words) in
+        let i = ref (cslot tag cap) in
+        while Bytes.get_int32_le ctbl (5 * !i) <> 0l do
+          incr i;
+          if !i = cap then i := 0
+        done;
+        Bytes.set_int32_le ctbl (5 * !i) (Int32.of_int e);
+        Bytes.unsafe_set ctbl ((5 * !i) + 4) (Char.unsafe_chr (ctag8 tag))
+      end
+    done;
+    sh.ctbl <- ctbl;
+    sh.ccap <- cap
+
+  (* Insert a known-absent id. *)
+  let shard_insert p sh tag id =
+    if sh.ccap > 0 then begin
+      if 20 * (sh.count + 1) > 17 * sh.ccap then cshard_grow p sh;
+      let cap = sh.ccap in
+      let i = ref (cslot tag cap) in
+      while Bytes.get_int32_le sh.ctbl (5 * !i) <> 0l do
+        incr i;
+        if !i = cap then i := 0
+      done;
+      Bytes.set_int32_le sh.ctbl (5 * !i) (Int32.of_int (id + 1));
+      Bytes.unsafe_set sh.ctbl ((5 * !i) + 4) (Char.unsafe_chr (ctag8 tag));
+      sh.count <- sh.count + 1
+    end
+    else begin
+      if 2 * (sh.count + 1) > Array.length sh.tbl then shard_grow sh;
+      let mask = Array.length sh.tbl - 1 in
+      let i = ref (tag land mask) in
+      while sh.tbl.(!i) <> 0 do
+        i := (!i + 1) land mask
+      done;
+      sh.tbl.(!i) <- (tag lsl 32) lor (id + 1);
+      sh.count <- sh.count + 1
+    end
+
+  (* Append the record for [words]: delta against [parent] when the
+     chain stays short and the patch bytes beat a full record. Both
+     record kinds carry a wordmap (bit i = word i present) so untouched
+     words cost nothing to store or decode. *)
+  let encode_record p ~parent ~parent_words ~parent_depth words =
+    let w = p.pk.pk_words in
+    let full_map = ref 0 and full_size = ref 0 in
+    for i = 0 to w - 1 do
+      if words.(i) <> 0 then begin
+        full_map := !full_map lor (1 lsl i);
+        full_size := !full_size + P.word_patch_size ~base:0 words.(i)
+      end
+    done;
+    let full_total = 1 + P.varint_size !full_map + !full_size in
+    let delta_map = ref 0 in
+    let delta_total =
+      if parent < 0 || parent_depth >= max_chain then max_int
+      else begin
+        let s = ref 0 in
+        for i = 0 to w - 1 do
+          if words.(i) <> parent_words.(i) then begin
+            delta_map := !delta_map lor (1 lsl i);
+            s := !s + P.word_patch_size ~base:parent_words.(i) words.(i)
+          end
+        done;
+        P.varint_size (parent + 1) + P.varint_size !delta_map + !s
+      end
+    in
+    let b = p.enc_buf in
+    let len, depth =
+      if delta_total < full_total then begin
+        let pos = ref (P.put_varint b 0 (parent + 1)) in
+        pos := P.put_varint b !pos !delta_map;
+        let m = ref !delta_map in
+        while !m <> 0 do
+          let i = ntz !m in
+          pos := P.put_word_patch b !pos ~base:parent_words.(i) words.(i);
+          m := !m land (!m - 1)
+        done;
+        p.delta_states <- p.delta_states + 1;
+        (!pos, parent_depth + 1)
+      end
+      else begin
+        let pos = ref (P.put_varint b 0 0) in
+        pos := P.put_varint b !pos !full_map;
+        let m = ref !full_map in
+        while !m <> 0 do
+          let i = ntz !m in
+          pos := P.put_word_patch b !pos ~base:0 words.(i);
+          m := !m land (!m - 1)
+        done;
+        p.full_states <- p.full_states + 1;
+        (!pos, 0)
+      end
+    in
+    (P.Arena.append p.arena b len, depth)
+
+  let packed_new_state t p ~parent ~parent_words ~parent_depth words h =
+    let id = t.n in
+    let off, depth = encode_record p ~parent ~parent_words ~parent_depth words in
+    P.U32.set p.offs id off;
+    P.U8.set p.depths id depth;
+    P.U32.set p.row_start id row_none;
+    shard_insert p p.shards.(shard_of h) (tag_of h) id;
+    t.n <- id + 1;
+    t.preds <- None;
+    if t.init = None then t.init <- Some id;
+    id
+
+  (* Seal a finished exploration: trim every growable structure to what
+     it actually holds (doubling leaves up to 2x slack) and rebuild the
+     dedup shards in their compact form. Skipped on abort — an aborted
+     LTS is discarded anyway. *)
+  let packed_compact p n =
+    if Bytes.length p.ebytes > p.elen then
+      p.ebytes <- Bytes.sub p.ebytes 0 (max 1 p.elen);
+    P.U32.trim p.offs n;
+    P.U32.trim p.row_start n;
+    P.U8.trim p.depths n;
+    Array.iter seal_shard p.shards;
+    drop_dcache ()
+
+  let intern p label =
+    match Ltbl.find_opt p.lbl_ids label with
+    | Some i -> i
+    | None ->
+      let i = p.nlabels in
+      if i = Array.length p.lbl_data then begin
+        let cap = max 16 (2 * i) in
+        let bigger = Array.make cap label in
+        Array.blit p.lbl_data 0 bigger 0 i;
+        p.lbl_data <- bigger
+      end;
+      p.lbl_data.(i) <- label;
+      p.nlabels <- i + 1;
+      Ltbl.add p.lbl_ids label i;
+      i
+
+  (* Append an edge to the open row (scratch ints until the row is
+     sealed by [close_row]). *)
+  let push_edge p e =
+    if p.rlen = Array.length p.rbuf then begin
+      let cap = max 16 (2 * p.rlen) in
+      let bigger = Array.make cap 0 in
+      Array.blit p.rbuf 0 bigger 0 p.rlen;
+      p.rbuf <- bigger
+    end;
+    p.rbuf.(p.rlen) <- e;
+    p.rlen <- p.rlen + 1
+
+  (* Any identical edge already in the open row? Edges are single ints,
+     so the in-row duplicate check is an int scan. *)
+  let row_contains p e =
+    let rec go i = i < p.rlen && (p.rbuf.(i) = e || go (i + 1)) in
+    go 0
+
+  let ensure_ebytes p extra =
+    if p.elen + extra > Bytes.length p.ebytes then begin
+      let cap = max (p.elen + extra) (2 * Bytes.length p.ebytes) in
+      let bigger = Bytes.create cap in
+      Bytes.blit p.ebytes 0 bigger 0 p.elen;
+      p.ebytes <- bigger
+    end
+
+  (* Encode the open row as [src]'s permanent varint row and reset the
+     scratch. Must be called exactly once per expanded source, in
+     discovery order for both explorers (which keeps the byte layout
+     identical to the sequential engine's). *)
+  let close_row p src =
+    ensure_ebytes p ((10 * (p.rlen + 1)) + 10);
+    let pos = ref (P.put_varint p.ebytes p.elen p.rlen) in
+    let prev = ref src in
+    for i = 0 to p.rlen - 1 do
+      let e = p.rbuf.(i) in
+      let dst = e land 0xffff_ffff in
+      pos := P.put_varint p.ebytes !pos (e lsr 32);
+      pos := P.put_varint p.ebytes !pos (P.zigzag (dst - !prev));
+      prev := dst
+    done;
+    if !pos >= row_none then
+      failwith "Mdp_lts: packed edge rows exceed the 4 GiB offset range";
+    P.U32.set p.row_start src p.elen;
+    p.elen <- !pos;
+    p.rlen <- 0
+
+  (* Decode the sealed row of [src] (overflow not included): calls
+     [f lid dst] per edge in insertion order. *)
+  let iter_row p src f =
+    let rs = P.U32.get p.row_start src in
+    if rs <> row_none then begin
+      let cur = { P.b = p.ebytes; P.pos = rs } in
+      let deg = P.get_varint cur in
+      let prev = ref src in
+      for _ = 1 to deg do
+        let lid = P.get_varint cur in
+        let dst = !prev + P.unzigzag (P.get_varint cur) in
+        prev := dst;
+        f lid dst
+      done
+    end
+
+  let row_degree p src =
+    let rs = P.U32.get p.row_start src in
+    if rs = row_none then 0
+    else begin
+      let cur = { P.b = p.ebytes; P.pos = rs } in
+      P.get_varint cur
+    end
+
+  let packed_mem p n ntrans =
+    let state_bytes = P.Arena.bytes p.arena in
+    let edge_bytes = Bytes.length p.ebytes in
+    let index_bytes =
+      P.U32.bytes p.offs + P.U32.bytes p.row_start + P.U8.bytes p.depths
+    in
+    let dedup_bytes =
+      Array.fold_left
+        (fun a sh ->
+          a + (8 * Array.length sh.tbl) + Bytes.length sh.ctbl)
+        0 p.shards
+    in
+    let total = state_bytes + edge_bytes + index_bytes + dedup_bytes in
+    {
+      ms_states = n;
+      ms_transitions = ntrans;
+      ms_state_bytes = state_bytes;
+      ms_edge_bytes = edge_bytes;
+      ms_index_bytes = index_bytes;
+      ms_dedup_bytes = dedup_bytes;
+      ms_full_states = p.full_states;
+      ms_delta_states = p.delta_states;
+      ms_labels = p.nlabels;
+      ms_total_bytes = total;
+      ms_bytes_per_state = float_of_int total /. float_of_int (max 1 n);
+    }
+
+  let mem_stats t =
+    match t.repr with
+    | Boxed _ -> None
+    | Packed p -> Some (packed_mem p t.n t.ntrans)
+
+  (* ----- construction ----- *)
+
+  let grow_boxed t b =
+    if t.n >= Array.length b.data then begin
+      let cap = max 16 (2 * Array.length b.data) in
+      let data = Array.make cap b.data.(0) in
+      Array.blit b.data 0 data 0 t.n;
+      b.data <- data;
+      let out = Array.make cap b.out.(0) in
+      Array.blit b.out 0 out 0 t.n;
+      b.out <- out
     end
 
   let add_state t s =
-    match Tbl.find_opt t.ids s with
-    | Some id -> id
-    | None ->
-      let id = t.n in
-      if id = 0 then begin
-        t.data <- Array.make 16 s;
-        t.out <- Array.init 16 (fun _ -> new_succs ())
-      end
-      else grow t;
-      t.data.(id) <- s;
-      t.out.(id) <- new_succs ();
-      t.n <- id + 1;
-      Tbl.add t.ids s id;
-      t.preds <- None;
-      if t.init = None then t.init <- Some id;
-      id
+    match t.repr with
+    | Boxed b -> (
+      match Tbl.find_opt b.ids s with
+      | Some id -> id
+      | None ->
+        let id = t.n in
+        if id = 0 then begin
+          b.data <- Array.make 16 s;
+          b.out <- Array.init 16 (fun _ -> new_succs ())
+        end
+        else grow_boxed t b;
+        b.data.(id) <- s;
+        b.out.(id) <- new_succs ();
+        t.n <- id + 1;
+        Tbl.add b.ids s id;
+        t.preds <- None;
+        if t.init = None then t.init <- Some id;
+        id)
+    | Packed p ->
+      p.pk.pk_blit s p.cand_buf 0;
+      let h = P.hash_words p.cand_buf p.pk.pk_words in
+      let id =
+        shard_find p p.shards.(shard_of h) (tag_of h) p.cand_buf p.cur p.cmp_buf
+      in
+      if id >= 0 then id
+      else
+        packed_new_state t p ~parent:(-1) ~parent_words:[||] ~parent_depth:0
+          p.cand_buf h
 
   let set_initial t id =
     if id < 0 || id >= t.n then invalid_arg "Lts.set_initial";
@@ -116,26 +764,128 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let num_states t = t.n
   let num_transitions t = t.ntrans
+
   let state_data t id =
     if id < 0 || id >= t.n then invalid_arg "Lts.state_data";
-    t.data.(id)
+    match t.repr with
+    | Boxed b -> b.data.(id)
+    | Packed p ->
+      (* Fresh cursor and buffer: analyses may decode from several
+         domains at once. *)
+      let cur = P.cursor () in
+      let buf = Array.make p.pk.pk_words 0 in
+      decode_words p cur buf id;
+      p.pk.pk_decode buf 0
 
-  let find_state t s = Tbl.find_opt t.ids s
+  let find_state t s =
+    match t.repr with
+    | Boxed b -> Tbl.find_opt b.ids s
+    | Packed p ->
+      p.pk.pk_blit s p.cand_buf 0;
+      let h = P.hash_words p.cand_buf p.pk.pk_words in
+      let id =
+        shard_find p p.shards.(shard_of h) (tag_of h) p.cand_buf p.cur p.cmp_buf
+      in
+      if id >= 0 then Some id else None
 
   let states t = List.init t.n Fun.id
 
-  let successors t id =
-    if id < 0 || id >= t.n then invalid_arg "Lts.successors";
-    let s = t.out.(id) in
-    List.init s.len (fun i -> s.arr.(i))
+  let iter_states t f =
+    for i = 0 to t.n - 1 do
+      f i
+    done
+
+  let fold_states t f init =
+    let acc = ref init in
+    for i = 0 to t.n - 1 do
+      acc := f !acc i
+    done;
+    !acc
+
+  (* Raise the state guard with context attached for the caller's error
+     report (the boxed engine has no byte-exact accounting, so
+     bytes/state is [None] there). *)
+  let too_many t limit =
+    let bps =
+      match t.repr with
+      | Boxed _ -> None
+      | Packed p -> Some (packed_mem p t.n t.ntrans).ms_bytes_per_state
+    in
+    record_abort
+      {
+        ab_limit = limit;
+        ab_states = t.n;
+        ab_transitions = t.ntrans;
+        ab_bytes_per_state = bps;
+      };
+    raise (Too_many_states limit)
+
+  (* ----- successor access ----- *)
 
   let iter_successors t id f =
     if id < 0 || id >= t.n then invalid_arg "Lts.iter_successors";
-    let s = t.out.(id) in
-    for i = 0 to s.len - 1 do
-      let label, dst = s.arr.(i) in
-      f label dst
-    done
+    match t.repr with
+    | Boxed b ->
+      let s = b.out.(id) in
+      for i = 0 to s.len - 1 do
+        let label, dst = s.arr.(i) in
+        f label dst
+      done
+    | Packed p ->
+      iter_row p id (fun lid dst -> f p.lbl_data.(lid) dst);
+      (match Hashtbl.find_opt p.ov id with
+      | None -> ()
+      | Some o ->
+        for i = 0 to o.olen - 1 do
+          let e = o.oarr.(i) in
+          f p.lbl_data.(e lsr 32) (e land 0xffff_ffff)
+        done)
+
+  let successors t id =
+    let acc = ref [] in
+    iter_successors t id (fun label dst -> acc := (label, dst) :: !acc);
+    List.rev !acc
+
+  (* Positional successor access for the iterative graph walks below:
+     no closure allocation, resumable mid-row. *)
+  let out_degree t id =
+    match t.repr with
+    | Boxed b -> b.out.(id).len
+    | Packed p ->
+      row_degree p id
+      + (match Hashtbl.find_opt p.ov id with None -> 0 | Some o -> o.olen)
+
+  (* O(row) for the packed backend: the varint row has no random
+     access. Row degrees in generated models are bounded by the flow
+     count, so the graph walks below stay effectively linear. *)
+  let nth_dst t id i =
+    match t.repr with
+    | Boxed b -> snd b.out.(id).arr.(i)
+    | Packed p ->
+      let rs = P.U32.get p.row_start id in
+      let remaining = ref i in
+      let found = ref (-1) in
+      if rs <> row_none then begin
+        let cur = { P.b = p.ebytes; P.pos = rs } in
+        let deg = P.get_varint cur in
+        let prev = ref id in
+        (try
+           for _ = 1 to deg do
+             let _lid = P.get_varint cur in
+             let dst = !prev + P.unzigzag (P.get_varint cur) in
+             prev := dst;
+             if !remaining = 0 then begin
+               found := dst;
+               raise_notrace Exit
+             end;
+             decr remaining
+           done
+         with Exit -> ())
+      end;
+      if !found >= 0 then !found
+      else
+        (Option.get (Hashtbl.find_opt p.ov id)).oarr.(!remaining)
+        land 0xffff_ffff
 
   let scan_dup s label dst =
     let rec go i =
@@ -146,49 +896,84 @@ module Make (S : STATE) (L : LABEL) = struct
     in
     go 0
 
-  let index_succs t src =
-    let s = t.out.(src) in
+  let index_succs b src =
+    let s = b.out.(src) in
     for i = 0 to s.len - 1 do
       let label, dst = s.arr.(i) in
       let key = (src, L.hash label, dst) in
-      let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
-      Hashtbl.replace t.dup key (label :: bucket)
+      let bucket = Option.value (Hashtbl.find_opt b.dup key) ~default:[] in
+      Hashtbl.replace b.dup key (label :: bucket)
     done
 
   let add_transition t ~src ~label ~dst =
     if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
       invalid_arg "Lts.add_transition";
-    let s = t.out.(src) in
-    let duplicate =
-      if s.len < scan_threshold then scan_dup s label dst
-      else begin
-        (* Crossing the threshold: index the transitions inserted while
-           scanning was still cheaper. *)
-        if s.len = scan_threshold then index_succs t src;
-        let key = (src, L.hash label, dst) in
-        let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
-        if List.exists (L.equal label) bucket then true
+    match t.repr with
+    | Boxed b ->
+      let s = b.out.(src) in
+      let duplicate =
+        if s.len < scan_threshold then scan_dup s label dst
         else begin
-          Hashtbl.replace t.dup key (label :: bucket);
-          false
+          (* Crossing the threshold: index the transitions inserted while
+             scanning was still cheaper. *)
+          if s.len = scan_threshold then index_succs b src;
+          let key = (src, L.hash label, dst) in
+          let bucket = Option.value (Hashtbl.find_opt b.dup key) ~default:[] in
+          if List.exists (L.equal label) bucket then true
+          else begin
+            Hashtbl.replace b.dup key (label :: bucket);
+            false
+          end
         end
+      in
+      if duplicate then false
+      else begin
+        push_succ s (label, dst);
+        t.ntrans <- t.ntrans + 1;
+        t.preds <- None;
+        true
       end
-    in
-    if duplicate then false
-    else begin
-      push_succ s (label, dst);
-      t.ntrans <- t.ntrans + 1;
-      t.preds <- None;
-      true
-    end
+    | Packed p ->
+      (* Interning makes equal labels share one id, so duplicate
+         detection is an integer scan over the decoded row plus the
+         overflow. *)
+      let lid = intern p label in
+      let e = (lid lsl 32) lor dst in
+      let in_row =
+        let hit = ref false in
+        iter_row p src (fun l d -> if l = lid && d = dst then hit := true);
+        !hit
+      in
+      let o =
+        match Hashtbl.find_opt p.ov src with
+        | Some o -> o
+        | None ->
+          let o = { oarr = [||]; olen = 0 } in
+          Hashtbl.add p.ov src o;
+          o
+      in
+      let in_ov =
+        let rec go i = i < o.olen && (o.oarr.(i) = e || go (i + 1)) in
+        go 0
+      in
+      if in_row || in_ov then false
+      else begin
+        if o.olen = Array.length o.oarr then begin
+          let cap = max 4 (2 * o.olen) in
+          let bigger = Array.make cap 0 in
+          Array.blit o.oarr 0 bigger 0 o.olen;
+          o.oarr <- bigger
+        end;
+        o.oarr.(o.olen) <- e;
+        o.olen <- o.olen + 1;
+        t.ntrans <- t.ntrans + 1;
+        t.preds <- None;
+        true
+      end
 
   let iter_transitions t f =
     for src = 0 to t.n - 1 do
-      let s = t.out.(src) in
-      for i = 0 to s.len - 1 do
-        let label, dst = s.arr.(i) in
-        f { src; label; dst }
-      done
+      iter_successors t src (fun label dst -> f { src; label; dst })
     done
 
   let transitions t =
@@ -204,36 +989,74 @@ module Make (S : STATE) (L : LABEL) = struct
       | None ->
         let p = Array.make (max t.n 1) [] in
         (* Reverse iteration so each list ends up in transition-iteration
-           order, matching the seed's semantics. *)
+           order, matching the seed's semantics: successors are
+           collected forward, then prepended last-first. *)
         for src = t.n - 1 downto 0 do
-          let s = t.out.(src) in
-          for i = s.len - 1 downto 0 do
-            let label, dst = s.arr.(i) in
-            p.(dst) <- (src, label) :: p.(dst)
-          done
+          let rev = ref [] in
+          iter_successors t src (fun label dst -> rev := (label, dst) :: !rev);
+          List.iter (fun (label, dst) -> p.(dst) <- (src, label) :: p.(dst)) !rev
         done;
         t.preds <- Some p;
         p
     in
     index.(id)
 
-  let rebuild_dup t =
-    Hashtbl.reset t.dup;
+  let rebuild_dup b t =
+    Hashtbl.reset b.dup;
     iter_transitions t (fun { src; label; dst } ->
         let key = (src, L.hash label, dst) in
-        let bucket = Option.value (Hashtbl.find_opt t.dup key) ~default:[] in
-        Hashtbl.replace t.dup key (label :: bucket))
+        let bucket = Option.value (Hashtbl.find_opt b.dup key) ~default:[] in
+        Hashtbl.replace b.dup key (label :: bucket))
 
   let map_labels t f =
-    for src = 0 to t.n - 1 do
-      let s = t.out.(src) in
-      for i = 0 to s.len - 1 do
-        let label, dst = s.arr.(i) in
-        s.arr.(i) <- (f { src; label; dst }, dst)
-      done
-    done;
-    t.preds <- None;
-    rebuild_dup t
+    (match t.repr with
+    | Boxed b ->
+      for src = 0 to t.n - 1 do
+        let s = b.out.(src) in
+        for i = 0 to s.len - 1 do
+          let label, dst = s.arr.(i) in
+          s.arr.(i) <- (f { src; label; dst }, dst)
+        done
+      done;
+      rebuild_dup b t
+    | Packed p ->
+      (* Mapped labels can intern to wider varints, so rows are
+         re-encoded into a fresh buffer rather than patched in place.
+         One pass, O(edge bytes). *)
+      let old_ebytes = p.ebytes and old_elen = p.elen in
+      p.ebytes <- Bytes.create (max 4096 old_elen);
+      p.elen <- 0;
+      for src = 0 to t.n - 1 do
+        let rs = P.U32.get p.row_start src in
+        if rs <> row_none then begin
+          p.rlen <- 0;
+          let cur = { P.b = old_ebytes; P.pos = rs } in
+          let deg = P.get_varint cur in
+          let prev = ref src in
+          for _ = 1 to deg do
+            let lid = P.get_varint cur in
+            let dst = !prev + P.unzigzag (P.get_varint cur) in
+            prev := dst;
+            let lid' =
+              intern p (f { src; label = p.lbl_data.(lid); dst })
+            in
+            push_edge p ((lid' lsl 32) lor dst)
+          done;
+          close_row p src
+        end;
+        match Hashtbl.find_opt p.ov src with
+        | None -> ()
+        | Some o ->
+          for i = 0 to o.olen - 1 do
+            let e = o.oarr.(i) in
+            let dst = e land 0xffff_ffff in
+            let lid = intern p (f { src; label = p.lbl_data.(e lsr 32); dst }) in
+            o.oarr.(i) <- (lid lsl 32) lor dst
+          done
+      done;
+      if Bytes.length p.ebytes > p.elen then
+        p.ebytes <- Bytes.sub p.ebytes 0 (max 1 p.elen));
+    t.preds <- None
 
   let reachable t =
     if t.n = 0 then []
@@ -282,14 +1105,13 @@ module Make (S : STATE) (L : LABEL) = struct
           match !stack with
           | [] -> ()
           | (s, i) :: rest ->
-            let su = t.out.(s) in
-            if i >= su.len then begin
+            if i >= out_degree t s then begin
               colour.(s) <- 2;
               stack := rest
             end
             else begin
               stack := (s, i + 1) :: rest;
-              let _, d = su.arr.(i) in
+              let d = nth_dst t s i in
               if colour.(d) = 1 then ok := false
               else if colour.(d) = 0 then begin
                 colour.(d) <- 1;
@@ -313,7 +1135,11 @@ module Make (S : STATE) (L : LABEL) = struct
     | None -> ()
     | Some c -> Mdp_obs.Cancel.check c
 
+  let boxed_exn t =
+    match t.repr with Boxed b -> b | Packed _ -> assert false
+
   let explore_sequential t ~max_states ~cancel ~step =
+    let b = boxed_exn t in
     (* Dedup hits/misses are batched in local refs and published once:
        a Metrics.add per transition would dominate small models. *)
     let hits = ref 0 and misses = ref 0 in
@@ -336,14 +1162,14 @@ module Make (S : STATE) (L : LABEL) = struct
         (fun (label, dst_data) ->
           let before = t.n in
           let dst = add_state t dst_data in
-          if t.n > max_states then raise (Too_many_states max_states);
+          if t.n > max_states then too_many t max_states;
           ignore (add_transition t ~src ~label ~dst : bool);
           if t.n > before then begin
             incr misses;
             Queue.push dst q
           end
           else incr hits)
-        (step t.data.(src))
+        (step b.data.(src))
     done
 
   (* Frontier-synchronised BFS: every state of the current frontier is
@@ -359,6 +1185,7 @@ module Make (S : STATE) (L : LABEL) = struct
      and small models (every frontier narrow) would otherwise run
      slower under [jobs > 1] than sequentially. *)
   let explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold =
+    let b = boxed_exn t in
     let hits = ref 0 and misses = ref 0 in
     let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
     let frontier = ref [ initial t ] in
@@ -383,7 +1210,7 @@ module Make (S : STATE) (L : LABEL) = struct
       let results = Array.make nf [] in
       let expand lo hi =
         for i = lo to hi - 1 do
-          results.(i) <- step t.data.(fr.(i))
+          results.(i) <- step b.data.(fr.(i))
         done
       in
       let njobs = max 1 (min jobs nf) in
@@ -402,7 +1229,7 @@ module Make (S : STATE) (L : LABEL) = struct
           (fun (label, dst_data) ->
             let before = t.n in
             let dst = add_state t dst_data in
-            if t.n > max_states then raise (Too_many_states max_states);
+            if t.n > max_states then too_many t max_states;
             ignore (add_transition t ~src ~label ~dst : bool);
             if t.n > before then begin
               incr misses;
@@ -414,21 +1241,291 @@ module Make (S : STATE) (L : LABEL) = struct
       frontier := List.rev !next
     done
 
+  (* Packed sequential BFS. Discovery order — hence state numbering and
+     transition order — is identical to [explore_sequential]: same
+     queue discipline, and word-equality dedup coincides with [S.equal]
+     (the packer contract). *)
+  let packed_explore_seq t p ~max_states ~cancel ~step =
+    let w = p.pk.pk_words in
+    let hits = ref 0 and misses = ref 0 in
+    let expanded = ref 0 in
+    let q = Queue.create () in
+    Queue.push (initial t) q;
+    let parent_buf = Array.make w 0 in
+    Fun.protect ~finally:(fun () ->
+        Mdp_obs.Metrics.add "lts/dedup_hits" !hits;
+        Mdp_obs.Metrics.add "lts/dedup_misses" !misses;
+        Mdp_obs.Metrics.incr "lts/seq_explores")
+    @@ fun () ->
+    while not (Queue.is_empty q) do
+      if !expanded land (cancel_poll_batch - 1) = 0 then poll_cancel cancel;
+      incr expanded;
+      let src = Queue.pop q in
+      decode_words p p.cur parent_buf src;
+      let src_depth = P.U8.get p.depths src in
+      let cfg = p.pk.pk_decode parent_buf 0 in
+      p.rlen <- 0;
+      List.iter
+        (fun (label, dst_data) ->
+          p.pk.pk_blit dst_data p.cand_buf 0;
+          let h = P.hash_words p.cand_buf w in
+          let found =
+            shard_find p p.shards.(shard_of h) (tag_of h) p.cand_buf p.cur
+              p.cmp_buf
+          in
+          let dst =
+            if found >= 0 then begin
+              incr hits;
+              found
+            end
+            else begin
+              let id =
+                packed_new_state t p ~parent:src ~parent_words:parent_buf
+                  ~parent_depth:src_depth p.cand_buf h
+              in
+              if t.n > max_states then too_many t max_states;
+              incr misses;
+              Queue.push id q;
+              id
+            end
+          in
+          let e = (intern p label lsl 32) lor dst in
+          if not (row_contains p e) then begin
+            push_edge p e;
+            t.ntrans <- t.ntrans + 1
+          end)
+        (step cfg);
+      close_row p src
+    done
+
+  (* Packed frontier-parallel BFS with sharded dedup. Three phases per
+     round, all deterministic:
+
+     1. expand (parallel): decode + [step] each frontier state, pack
+        and hash every successor candidate on the worker domains;
+     2. dedup (parallel over hash shards): each shard resolves its own
+        candidates in global candidate order against its table —
+        existing id, first-occurrence-in-round, or duplicate-of-k —
+        with no cross-shard communication and no table merge;
+     3. number (sequential): walk candidates in frontier order, assign
+        dense ids to first occurrences and append records/edges.
+
+     Because verdicts are per-shard and ids are assigned in the same
+     candidate order the sequential queue would discover them, the
+     numbering is byte-identical for every job count. *)
+  let packed_explore_par t p ~max_states ~cancel ~step ~jobs ~par_threshold =
+    let w = p.pk.pk_words in
+    let hits = ref 0 and misses = ref 0 in
+    let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
+    let frontier = ref [ initial t ] in
+    Fun.protect ~finally:(fun () ->
+        Mdp_obs.Metrics.add "lts/dedup_hits" !hits;
+        Mdp_obs.Metrics.add "lts/dedup_misses" !misses;
+        Mdp_obs.Metrics.add "lts/frontier_rounds" !rounds;
+        Mdp_obs.Metrics.add "lts/par_rounds" !par_rounds;
+        Mdp_obs.Metrics.add "lts/seq_fallback_rounds" !seq_rounds)
+    @@ fun () ->
+    while !frontier <> [] do
+      poll_cancel cancel;
+      let fr = Array.of_list !frontier in
+      let nf = Array.length fr in
+      incr rounds;
+      Mdp_obs.Metrics.observe "lts/frontier_width" nf;
+      let fwords = Array.make nf [||] in
+      let fdepth = Array.make nf 0 in
+      let cands : (L.t * int array * int) array array = Array.make nf [||] in
+      let expand lo hi =
+        let cur = P.cursor () in
+        let buf = Array.make w 0 in
+        for i = lo to hi - 1 do
+          decode_words p cur buf fr.(i);
+          fwords.(i) <- Array.copy buf;
+          fdepth.(i) <- P.U8.get p.depths fr.(i);
+          let cfg = p.pk.pk_decode fwords.(i) 0 in
+          cands.(i) <-
+            Array.of_list
+              (List.map
+                 (fun (label, d) ->
+                   let cw = Array.make w 0 in
+                   p.pk.pk_blit d cw 0;
+                   (label, cw, P.hash_words cw w))
+                 (step cfg))
+        done
+      in
+      let njobs = max 1 (min jobs nf) in
+      if njobs = 1 || nf < par_threshold then begin
+        incr seq_rounds;
+        expand 0 nf
+      end
+      else begin
+        incr par_rounds;
+        Mdp_prelude.Parallel.iter_chunks ~jobs:njobs nf expand
+      end;
+      (* Flatten candidates in frontier order; candidate index k is the
+         discovery order the sequential engine would use. *)
+      let cand_off = Array.make (nf + 1) 0 in
+      for i = 0 to nf - 1 do
+        cand_off.(i + 1) <- cand_off.(i) + Array.length cands.(i)
+      done;
+      let m = cand_off.(nf) in
+      let next = ref [] in
+      if m > 0 then begin
+        let dummy = ref None in
+        (try
+           Array.iter
+             (fun cs -> if Array.length cs > 0 then (dummy := Some cs.(0); raise_notrace Exit))
+             cands
+         with Exit -> ());
+        let cand_arr = Array.make m (Option.get !dummy) in
+        for i = 0 to nf - 1 do
+          Array.blit cands.(i) 0 cand_arr cand_off.(i) (Array.length cands.(i))
+        done;
+        (* Bucket candidate indices by shard (stable, so each shard sees
+           its candidates in k order). *)
+        let start = Array.make (nshards + 1) 0 in
+        for k = 0 to m - 1 do
+          let _, _, h = cand_arr.(k) in
+          let s = shard_of h in
+          start.(s + 1) <- start.(s + 1) + 1
+        done;
+        for s = 0 to nshards - 1 do
+          start.(s + 1) <- start.(s + 1) + start.(s)
+        done;
+        let fill = Array.copy start in
+        let order = Array.make m 0 in
+        for k = 0 to m - 1 do
+          let _, _, h = cand_arr.(k) in
+          let s = shard_of h in
+          order.(fill.(s)) <- k;
+          fill.(s) <- fill.(s) + 1
+        done;
+        (* Per-shard verdicts: >= 0 first occurrence index (k itself for
+           the first), -1-id for an already-known state. *)
+        let first_of = Array.make m 0 in
+        let resolve_shards lo hi =
+          let cur = P.cursor () in
+          let buf = Array.make w 0 in
+          for s = lo to hi - 1 do
+            let b = start.(s) and e = start.(s + 1) in
+            if e > b then begin
+              let tmp = Hashtbl.create (2 * (e - b)) in
+              for x = b to e - 1 do
+                let k = order.(x) in
+                let _, cw, h = cand_arr.(k) in
+                let id = shard_find p p.shards.(s) (tag_of h) cw cur buf in
+                if id >= 0 then first_of.(k) <- -1 - id
+                else begin
+                  let prev =
+                    Option.value (Hashtbl.find_opt tmp h) ~default:[]
+                  in
+                  match
+                    List.find_opt
+                      (fun k' ->
+                        let _, cw', _ = cand_arr.(k') in
+                        words_equal cw' cw w)
+                      prev
+                  with
+                  | Some k' -> first_of.(k) <- k'
+                  | None ->
+                    first_of.(k) <- k;
+                    Hashtbl.replace tmp h (k :: prev)
+                end
+              done
+            end
+          done
+        in
+        if njobs = 1 || m < par_threshold then resolve_shards 0 nshards
+        else Mdp_prelude.Parallel.iter_chunks ~jobs:njobs nshards resolve_shards;
+        (* Sequential numbering in candidate order. *)
+        let ids_of = Array.make m 0 in
+        for i = 0 to nf - 1 do
+          let src = fr.(i) in
+          p.rlen <- 0;
+          for k = cand_off.(i) to cand_off.(i + 1) - 1 do
+            let label, cw, h = cand_arr.(k) in
+            let v = first_of.(k) in
+            let dst =
+              if v < 0 then begin
+                incr hits;
+                -1 - v
+              end
+              else if v = k then begin
+                let id =
+                  packed_new_state t p ~parent:src ~parent_words:fwords.(i)
+                    ~parent_depth:fdepth.(i) cw h
+                in
+                if t.n > max_states then too_many t max_states;
+                incr misses;
+                next := id :: !next;
+                id
+              end
+              else begin
+                incr hits;
+                ids_of.(v)
+              end
+            in
+            ids_of.(k) <- dst;
+            let e = (intern p label lsl 32) lor dst in
+            if not (row_contains p e) then begin
+              push_edge p e;
+              t.ntrans <- t.ntrans + 1
+            end
+          done;
+          close_row p src
+        done
+      end
+      else
+        (* No successors anywhere: close empty rows for the frontier. *)
+        Array.iter
+          (fun src ->
+            p.rlen <- 0;
+            close_row p src)
+          fr;
+      frontier := List.rev !next
+    done
+
   let default_par_threshold = 512
 
   let explore ?(max_states = 200_000) ?(jobs = 1)
-      ?(par_threshold = default_par_threshold) ?cancel ~init ~step () =
+      ?(par_threshold = default_par_threshold) ?cancel ?packing ~init ~step ()
+      =
     Mdp_obs.Metrics.span "lts/explore" @@ fun () ->
-    let t = create () in
+    let t =
+      match packing with None -> create () | Some pk -> create_packed pk
+    in
     ignore (add_state t init : state_id);
-    if t.n > max_states then raise (Too_many_states max_states);
+    if t.n > max_states then too_many t max_states;
     (try
-       if jobs <= 1 then explore_sequential t ~max_states ~cancel ~step
-       else explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold
+       match t.repr with
+       | Boxed _ ->
+         if jobs <= 1 then explore_sequential t ~max_states ~cancel ~step
+         else explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold
+       | Packed p ->
+         if jobs <= 1 then packed_explore_seq t p ~max_states ~cancel ~step
+         else
+           packed_explore_par t p ~max_states ~cancel ~step ~jobs
+             ~par_threshold
      with Mdp_obs.Cancel.Cancelled _ as e ->
        Mdp_obs.Metrics.incr "lts/cancelled";
        raise e);
     Mdp_obs.Metrics.add "lts/states" t.n;
+    (match t.repr with
+    | Boxed _ -> ()
+    | Packed p ->
+      packed_compact p t.n;
+      if Mdp_obs.Metrics.enabled () then begin
+        let ms = packed_mem p t.n t.ntrans in
+        Mdp_obs.Metrics.add "lts/packed_state_bytes" ms.ms_state_bytes;
+        Mdp_obs.Metrics.add "lts/packed_edge_bytes" ms.ms_edge_bytes;
+        Mdp_obs.Metrics.add "lts/packed_index_bytes" ms.ms_index_bytes;
+        Mdp_obs.Metrics.add "lts/packed_dedup_bytes" ms.ms_dedup_bytes;
+        Mdp_obs.Metrics.add "lts/packed_total_bytes" ms.ms_total_bytes;
+        Mdp_obs.Metrics.add "lts/packed_full_states" ms.ms_full_states;
+        Mdp_obs.Metrics.add "lts/packed_delta_states" ms.ms_delta_states;
+        Array.iter
+          (fun sh -> Mdp_obs.Metrics.observe "lts/shard_occupancy" sh.count)
+          p.shards
+      end);
     t
 
   let path_to t pred =
@@ -468,7 +1565,8 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let always_globally t pred = List.for_all pred (reachable t)
 
-  let states_where t pred = List.filter pred (states t)
+  let states_where t pred =
+    List.rev (fold_states t (fun acc s -> if pred s then s :: acc else acc) [])
 
   let dag_fold t ~(combine : 'a list -> 'a) ~(sink : 'a) =
     (* Memoised fold over the reachable DAG from the initial state;
@@ -484,12 +1582,10 @@ module Make (S : STATE) (L : LABEL) = struct
         | None ->
           if on_stack.(s) then raise Cyclic;
           on_stack.(s) <- true;
-          let su = t.out.(s) in
+          let deg = out_degree t s in
           let v =
-            if su.len = 0 then sink
-            else
-              combine
-                (List.init su.len (fun i -> value (snd su.arr.(i))))
+            if deg = 0 then sink
+            else combine (List.init deg (fun i -> value (nth_dst t s i)))
           in
           on_stack.(s) <- false;
           memo.(s) <- Some v;
@@ -531,10 +1627,10 @@ module Make (S : STATE) (L : LABEL) = struct
       (* Per state: (label id, dst) pairs, printed once. *)
       let edges =
         Array.init t.n (fun s ->
-            let su = t.out.(s) in
-            Array.init su.len (fun i ->
-                let label, dst = su.arr.(i) in
-                (lid_of label, dst)))
+            let acc = ref [] in
+            iter_successors t s (fun label dst ->
+                acc := (lid_of label, dst) :: !acc);
+            Array.of_list (List.rev !acc))
       in
       let block = Array.make t.n 0 in
       let assign keyed =
@@ -611,8 +1707,7 @@ module Make (S : STATE) (L : LABEL) = struct
     let buf = Buffer.create 1024 in
     let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     addf "digraph %s {\n  rankdir=LR;\n" graph_name;
-    List.iter
-      (fun s ->
+    iter_states t (fun s ->
         let label =
           match state_label with
           | Some f -> f s
@@ -624,8 +1719,7 @@ module Make (S : STATE) (L : LABEL) = struct
           | None -> ""
         in
         let init_mark = if t.init = Some s then ", penwidth=2" else "" in
-        addf "  n%d [label=\"%s\"%s%s];\n" s (dot_escape label) style init_mark)
-      (states t);
+        addf "  n%d [label=\"%s\"%s%s];\n" s (dot_escape label) style init_mark);
     iter_transitions t (fun tr ->
         let style =
           match transition_style with

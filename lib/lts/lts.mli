@@ -3,16 +3,28 @@
     States are hash-consed: adding equal state data twice yields the same
     dense integer id, which is what makes fixed-point exploration of the
     privacy model terminate (paper §II-B generates the LTS as the set of
-    reachable privacy states). The state table doubles as an interning
-    table: the first config to reach a state is the canonical
-    representative every later candidate is compared against. Labels are
-    arbitrary and mutable in place (risk analysis annotates transition
-    labels after generation, paper §III).
+    reachable privacy states). Labels are arbitrary and mutable in place
+    (risk analysis annotates transition labels after generation, paper
+    §III).
 
-    Successor sets are stored as flat growable arrays with a hashed
-    duplicate index, so insertion and iteration are O(1) per transition;
+    Two storage backends share one API:
+
+    - {b boxed} (the default, and the only backend for hand-built LTSs):
+      every state is a materialised [S.t] in a hash-consing table, with
+      flat growable successor arrays — the engine of PR 2.
+    - {b packed} (chosen by passing [?packing] to {!explore}): a state is
+      a fixed number of 63-bit payload words, stored as a byte-granular
+      record in an append-only arena — delta-encoded against its
+      breadth-first parent when that is smaller than a full record — and
+      deduplicated through hash-partitioned shard tables. Labels are
+      interned; a transition is one int. At privacy-model shapes this
+      stores states at a few bytes each instead of a boxed config's
+      hundreds, which is what lets ten-million-state models sit in RAM.
+
     [explore] optionally expands breadth-first frontiers on multiple
-    OCaml 5 domains with a deterministic merge. *)
+    OCaml 5 domains with a deterministic merge; the resulting LTS — state
+    numbering included — is identical for every job count and for both
+    backends. *)
 
 module type STATE = sig
   type t
@@ -38,6 +50,53 @@ exception Too_many_states of int
     limit that was hit. Top-level (outside the functor) so every
     instantiation raises the same exception. *)
 
+type abort_stats = {
+  ab_limit : int;  (** the [max_states] that was exceeded *)
+  ab_states : int;  (** states stored when the guard fired *)
+  ab_transitions : int;
+  ab_bytes_per_state : float option;
+      (** observed bytes/state at abort; [None] for the boxed engine,
+          which has no byte-exact accounting *)
+}
+(** Context captured when {!Too_many_states} is raised, for error
+    reports that help operators size [max_states] against real memory. *)
+
+val last_abort_stats : unit -> abort_stats option
+(** Stats of the most recent {!Too_many_states} raised {e on this
+    domain} (domain-local so concurrent explorations on different serve
+    workers do not clobber each other). The raise and the catch of an
+    exception happen on the same domain, so reading this in a handler is
+    race-free. *)
+
+type mem_stats = {
+  ms_states : int;
+  ms_transitions : int;
+  ms_state_bytes : int;  (** state-record arena (full + delta records) *)
+  ms_edge_bytes : int;  (** flat (label id, dst) edge stream *)
+  ms_index_bytes : int;  (** record offsets, depths, row table *)
+  ms_dedup_bytes : int;  (** shard tables *)
+  ms_full_states : int;  (** states stored as full (zero-base) records *)
+  ms_delta_states : int;  (** states stored as deltas against their parent *)
+  ms_labels : int;  (** distinct interned labels *)
+  ms_total_bytes : int;
+  ms_bytes_per_state : float;
+}
+(** Byte accounting of a packed LTS, split by structure. Counts the
+    engine's own storage (arena, edges, index tables, shard tables), not
+    the OCaml heap at large. *)
+
+type 'a packer = {
+  pk_words : int;  (** words per encoded state — a model constant *)
+  pk_blit : 'a -> int array -> int -> unit;
+      (** write the state's [pk_words] words at the given offset *)
+  pk_decode : int array -> int -> 'a;
+      (** rebuild a state from [pk_words] words at the given offset; must
+          be safe to call from multiple domains concurrently *)
+}
+(** Fixed-width word codec for a state type. Contract: two states of the
+    same model are [S.equal] iff their encoded words are equal — the
+    packed engine dedups and hashes on words alone. *)
+
 module Make (S : STATE) (L : LABEL) : sig
   type t
 
@@ -47,25 +106,31 @@ module Make (S : STATE) (L : LABEL) : sig
   type transition = { src : state_id; label : L.t; dst : state_id }
 
   val create : unit -> t
+  (** An empty boxed LTS. *)
 
   (** {1 Construction} *)
 
   val add_state : t -> S.t -> state_id
   (** Hash-consing: returns the existing id when equal data was added
       before. The first state added becomes the initial state unless
-      {!set_initial} overrides it. *)
+      {!set_initial} overrides it. On a packed LTS the state is encoded
+      as a full record. *)
 
   val set_initial : t -> state_id -> unit
   val add_transition : t -> src:state_id -> label:L.t -> dst:state_id -> bool
   (** [false] when an identical transition (same endpoints, equal label)
-      already exists; the LTS is unchanged in that case. Duplicate
-      detection is a hash lookup, not an out-degree scan. *)
+      already exists; the LTS is unchanged in that case. On a packed LTS
+      whose rows were laid down by [explore], post-exploration additions
+      go to per-source overflow rows and iterate after the row's
+      transitions — matching the insertion order a boxed LTS would
+      have. *)
 
   val explore :
     ?max_states:int ->
     ?jobs:int ->
     ?par_threshold:int ->
     ?cancel:Mdp_obs.Cancel.t ->
+    ?packing:S.t packer ->
     init:S.t ->
     step:(S.t -> (L.t * S.t) list) ->
     unit ->
@@ -73,11 +138,22 @@ module Make (S : STATE) (L : LABEL) : sig
   (** Breadth-first fixed point: starting from [init], repeatedly expand
       unvisited states with [step].
 
+      [packing] selects the packed backend: states live as packed words
+      in an arena (delta-encoded against their BFS parent when smaller),
+      dedup runs through hash-partitioned shard tables, and [step]
+      receives freshly decoded states. The result is observationally
+      identical to the boxed run — same states, numbering, transition
+      order — at a fraction of the memory.
+
       With [jobs > 1], each breadth-first frontier is expanded in
-      parallel on that many OCaml domains and merged sequentially in
-      frontier order, which makes the result — state numbering included —
-      identical to the sequential run. [step] must then be safe to call
-      concurrently (pure up to freshly allocated results).
+      parallel on that many OCaml domains and merged in frontier order,
+      which makes the result — state numbering included — identical to
+      the sequential run. [step] must then be safe to call concurrently
+      (pure up to freshly allocated results). On the packed backend the
+      per-round dedup itself is parallel too — each hash shard resolves
+      its own candidates independently, with no global table merge —
+      followed by a sequential numbering pass in frontier order that
+      pins down the deterministic ids.
 
       Frontiers narrower than [par_threshold] (default 512) are
       expanded on the calling domain even when [jobs > 1]: below that
@@ -97,7 +173,9 @@ module Make (S : STATE) (L : LABEL) : sig
 
       @raise Mdp_obs.Cancel.Cancelled when [cancel] fires mid-run.
       @raise Too_many_states when [max_states] (default 200_000) is
-      exceeded — a guard against accidentally infinite models. *)
+      exceeded — a guard against accidentally infinite models. The
+      abort context (including observed bytes/state on the packed
+      backend) is readable via {!last_abort_stats}. *)
 
   (** {1 Observation} *)
 
@@ -106,9 +184,26 @@ module Make (S : STATE) (L : LABEL) : sig
 
   val num_states : t -> int
   val num_transitions : t -> int
+
   val state_data : t -> state_id -> S.t
+  (** On a packed LTS this decodes the state's record (walking its delta
+      chain); safe to call from multiple domains concurrently. Decoded
+      values are not cached — hold on to the result across repeated
+      use. *)
+
   val find_state : t -> S.t -> state_id option
+
   val states : t -> state_id list
+  (** All ids as a list — O(n) allocation; prefer {!iter_states} or
+      {!fold_states}. *)
+
+  val iter_states : t -> (state_id -> unit) -> unit
+  (** Iterate ids [0 .. num_states - 1] without allocating. Reads
+      [num_states] once: states appended during iteration (as the
+      pseudonym-risk pass does) are not visited — snapshot semantics. *)
+
+  val fold_states : t -> ('a -> state_id -> 'a) -> 'a -> 'a
+
   val successors : t -> state_id -> (L.t * state_id) list
   (** In insertion order. Allocates a fresh list; prefer
       {!iter_successors} on hot paths. *)
@@ -123,10 +218,15 @@ module Make (S : STATE) (L : LABEL) : sig
   val transitions : t -> transition list
   val iter_transitions : t -> (transition -> unit) -> unit
 
+  val mem_stats : t -> mem_stats option
+  (** Byte accounting of the packed representation; [None] on a boxed
+      LTS. *)
+
   (** {1 Label rewriting} *)
 
   val map_labels : t -> (transition -> L.t) -> unit
-  (** Replace every transition's label in place. *)
+  (** Replace every transition's label in place, visiting transitions in
+      {!iter_transitions} order. *)
 
   (** {1 Analysis} *)
 
@@ -171,7 +271,8 @@ module Make (S : STATE) (L : LABEL) : sig
 
   val quotient : t -> init_key:(state_id -> string) -> t * (state_id -> state_id)
   (** Quotient LTS by {!bisimulation_classes}; the function maps original
-      ids to quotient ids. State data of a class is its representative's. *)
+      ids to quotient ids. State data of a class is its representative's.
+      The quotient is always boxed, whatever the input backend. *)
 
   (** {1 Output} *)
 

@@ -112,6 +112,46 @@ let span name f =
     Fun.protect ~finally:(fun () -> record_span name t0 (Clock.now_ns () - t0)) f
   end
 
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                             *)
+
+(* Last-write-wins point-in-time values (process RSS, arena bytes).
+   Unlike counters these are set explicitly at sampling points — never
+   from hot paths and never implicitly inside [snapshot], which keeps
+   the determinism guarantee: two runs that sample at the same program
+   points produce the same snapshot, and runs that never call
+   [sample_memory] carry no machine-dependent values at all. *)
+let gauges_mu = Mutex.create ()
+let gauges : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge name v =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock gauges_mu;
+    Hashtbl.replace gauges name v;
+    Mutex.unlock gauges_mu
+  end
+
+let rss_bytes () =
+  (* /proc/self/statm: size resident shared ... in pages. *)
+  match
+    In_channel.with_open_text "/proc/self/statm" In_channel.input_line
+  with
+  | Some line -> (
+    match String.split_on_char ' ' line with
+    | _ :: resident :: _ ->
+      (try int_of_string resident * 4096 with _ -> 0)
+    | _ -> 0)
+  | None -> 0
+  | exception _ -> 0
+
+let sample_memory () =
+  if Atomic.get enabled_flag then begin
+    let st = Gc.quick_stat () in
+    set_gauge "mem/rss_bytes" (rss_bytes ());
+    set_gauge "mem/heap_bytes" (st.Gc.heap_words * 8);
+    set_gauge "mem/top_heap_bytes" (st.Gc.top_heap_words * 8)
+  end
+
 let reset () =
   Mutex.lock registry_mu;
   List.iter
@@ -120,7 +160,10 @@ let reset () =
       Hashtbl.reset s.hists;
       s.rev_spans <- [])
     !registry;
-  Mutex.unlock registry_mu
+  Mutex.unlock registry_mu;
+  Mutex.lock gauges_mu;
+  Hashtbl.reset gauges;
+  Mutex.unlock gauges_mu
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                          *)
@@ -143,6 +186,7 @@ type span_record = {
 type snapshot = {
   counters : (string * int) list;
   histograms : (string * histogram) list;
+  gauges : (string * int) list;
   spans : span_record list;
 }
 
@@ -221,7 +265,13 @@ let snapshot () =
            | 0 -> String.compare a.sp_name b.sp_name
            | c -> c)
   in
-  { counters; histograms; spans }
+  let gauges_l =
+    Mutex.lock gauges_mu;
+    let l = Hashtbl.fold (fun name v acc -> (name, v) :: acc) gauges [] in
+    Mutex.unlock gauges_mu;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) l
+  in
+  { counters; histograms; gauges = gauges_l; spans }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                          *)
@@ -233,6 +283,10 @@ let pp_summary ppf snap =
     List.iter
       (fun (name, v) -> fprintf ppf "  %-40s %d@." name v)
       snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    fprintf ppf "gauges:@.";
+    List.iter (fun (name, v) -> fprintf ppf "  %-40s %d@." name v) snap.gauges
   end;
   if snap.histograms <> [] then begin
     fprintf ppf "histograms:@.";
@@ -277,6 +331,11 @@ let to_prometheus snap =
       let m = "mdpriv_" ^ sanitize name ^ "_total" in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m v))
     snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let m = "mdpriv_" ^ sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %d\n" m m v))
+    snap.gauges;
   List.iter
     (fun (name, h) ->
       let m = "mdpriv_" ^ sanitize name in

@@ -40,6 +40,25 @@ val span : string -> (unit -> 'a) -> 'a
     a span plus a [name] latency observation.  The span is recorded
     even if [f] raises (the exception is re-raised). *)
 
+val set_gauge : string -> int -> unit
+(** Set a named gauge (last write wins).  Gauges are point-in-time
+    values — process RSS, arena bytes — set explicitly at sampling
+    points, never from hot loops and never implicitly by {!snapshot}:
+    a run that never sets a gauge carries no machine-dependent values,
+    which preserves the byte-identical-snapshot guarantee for the
+    deterministic analyses. *)
+
+val sample_memory : unit -> unit
+(** Set the process memory gauges: [mem/rss_bytes] (from
+    [/proc/self/statm]; 0 where unavailable), [mem/heap_bytes] and
+    [mem/top_heap_bytes] (from [Gc.quick_stat]).  Call at reporting
+    points — the serve metrics endpoint, benchmark epilogues — not in
+    loops. *)
+
+val rss_bytes : unit -> int
+(** Current resident set size in bytes ([/proc/self/statm]); 0 where
+    unavailable.  Works regardless of the enabled switch. *)
+
 (** {1 Snapshots} *)
 
 type histogram = {
@@ -60,6 +79,7 @@ type span_record = {
 type snapshot = {
   counters : (string * int) list;      (** sorted by name *)
   histograms : (string * histogram) list;  (** sorted by name *)
+  gauges : (string * int) list;        (** sorted by name; last-set values *)
   spans : span_record list;            (** sorted by start, then name *)
 }
 

@@ -169,6 +169,17 @@ let set_word t ~pos ~len bits =
       t.words.(w + 1) <- t.words.(w + 1) lor (bits lsr (bits_per_word - off))
   end
 
+let word_count t = Array.length t.words
+
+let blit_words t dst off =
+  let n = Array.length t.words in
+  Array.blit t.words 0 dst off n;
+  off + n
+
+let of_words ~length src off =
+  let n = max 1 (nwords length) in
+  { len = length; words = Array.sub src off n }
+
 let pp ppf t =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list

@@ -74,5 +74,25 @@ val set_word : t -> pos:int -> len:int -> int -> unit
     bit [i] of [w] is set ([i < len]); clears nothing. Inverse direction
     of {!extract} restricted to unions. *)
 
+(** {1 Raw word access}
+
+    The packed LTS engine stores states as bare payload words in a flat
+    arena; these three functions are the boundary between bitsets and
+    that representation. Words carry {!bits_per_word} payload bits each,
+    lowest index first. *)
+
+val word_count : t -> int
+(** Number of payload words backing the bitset (at least 1). *)
+
+val blit_words : t -> int array -> int -> int
+(** [blit_words t dst off] copies the payload words into [dst] starting
+    at [off]; returns the offset one past the last word written. *)
+
+val of_words : length:int -> int array -> int -> t
+(** [of_words ~length src off] rebuilds a bitset of capacity [length]
+    from the words at [src.(off ..)] — the inverse of {!blit_words} for
+    a bitset of that capacity. The words must respect the capacity (no
+    bits at or above [length]); words written by {!blit_words} do. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as e.g. [{1, 4, 7}]. *)

@@ -26,7 +26,10 @@ let default_config =
     breaker_threshold = 3;
     breaker_cooldown_ms = 5000;
     default_deadline_ms = None;
-    max_states = 200_000;
+    (* The packed LTS engine stores states at a few bytes each, so the
+       per-request guard can afford 10x the boxed-era default without
+       risking the process. *)
+    max_states = 2_000_000;
   }
 
 (* The compiled state of one model: everything downstream of the DSL
@@ -282,18 +285,36 @@ let run_analysis t ~cancel ~bkey ~akey (an : Protocol.analysis) source =
   | Mdp_lts.Lts.Too_many_states limit ->
     Breaker.failure t.breaker bkey;
     Metrics.incr "serve/state_limit";
+    (* Observed sizes at the abort, when the engine recorded them (the
+       raise and this handler run on the same worker domain, so the
+       domain-local stats are ours): with bytes/state in hand an
+       operator can work out what [--max-states] their memory actually
+       affords instead of guessing. *)
+    let observed =
+      match Mdp_lts.Lts.last_abort_stats () with
+      | Some st when st.Mdp_lts.Lts.ab_limit = limit ->
+        [
+          ("states", Json.int st.Mdp_lts.Lts.ab_states);
+          ("transitions", Json.int st.Mdp_lts.Lts.ab_transitions);
+        ]
+        @ (match st.Mdp_lts.Lts.ab_bytes_per_state with
+          | Some bps -> [ ("bytes_per_state", Json.Num bps) ]
+          | None -> [])
+      | _ -> []
+    in
     Error
       ( Protocol.State_limit,
         Json.Obj
-          [
-            ( "message",
-              Json.Str
-                (C.Analysis.failure_message
-                   (C.Analysis.State_limit
-                      { limit; hint = C.Analysis.state_limit_hint })) );
-            ("limit", Json.int limit);
-            ("hint", Json.Str C.Analysis.state_limit_hint);
-          ] )
+          ([
+             ( "message",
+               Json.Str
+                 (C.Analysis.failure_message
+                    (C.Analysis.State_limit
+                       { limit; hint = C.Analysis.state_limit_hint })) );
+             ("limit", Json.int limit);
+             ("hint", Json.Str C.Analysis.state_limit_hint);
+           ]
+          @ observed) )
   | Cancel.Cancelled reason ->
     (match reason with
     | Cancel.Deadline -> Breaker.failure t.breaker bkey
@@ -332,6 +353,9 @@ let handle t ?cancel ?admitted_ns (req : Protocol.request) =
   | Protocol.Ping -> respond Protocol.Ok_ ~body:(Json.Obj [ ("pong", Json.Bool true) ])
   | Protocol.Health -> respond Protocol.Ok_ ~body:(health_json t)
   | Protocol.Metrics ->
+    (* Refresh the memory gauges at the scrape point only — never from
+       analysis paths, whose snapshots must stay machine-independent. *)
+    Metrics.sample_memory ();
     respond Protocol.Ok_
       ~body:
         (Json.Obj
