@@ -1725,6 +1725,283 @@ let perf_pr7 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR7.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 8: the incremental what-if engine. One cold analysis, then the
+   §IV-A edit loop against it: a single Delete revocation recomputed
+   incrementally (LTS reused, plan repatched), and the batched
+   single-ACL sweep over every concrete grant. Emits machine-readable
+   BENCH_PR8.json and fails if any checked per-candidate incremental
+   result differs from its cold counterpart (rendered bytes on the
+   small model, structural report equality on the large one), if the
+   sweep is not >= 50x faster than the estimated N cold runs, or if
+   the median per-candidate sweep latency reaches 10 ms. *)
+
+let pr8_render (t : Core.Analysis.t) =
+  Core.Report.to_string t ^ "\n----\n"
+  ^ Format.asprintf "%a" Core.Analysis.pp_summary t
+
+let pr8_cases ~smoke =
+  (* (model, max_states, equivalence sample (0 = every candidate),
+     gate the >= 50x sweep speedup, compare rendered bytes).
+
+     The speedup gate only binds on the headline 11-14-8 case: on a
+     model whose cold run is milliseconds, the sweep's fixed
+     per-candidate classification cost cannot be 50x cheaper than the
+     cold run, and pretending otherwise would gate on noise.
+
+     The rendered-bytes flag picks the equivalence oracle. On the small
+     case every candidate's full render (JSON report + summary) is
+     compared byte-for-byte — same oracle as test/test_whatif.ml. On
+     11-14-8 the rendered JSON is ~2.6 GB per analysis (248k findings,
+     each with a witness path), minutes to build; comparing the
+     underlying report/gap/pseudonym values with structural equality
+     asserts the same identity without materialising gigabyte
+     strings. *)
+  if smoke then [ ("synthetic:6-8-5", 200_000, 12, false, true) ]
+  else
+    [
+      ("synthetic:6-8-5", 200_000, 0, false, true);
+      ("synthetic:11-14-8", 1_000_000, 5, true, false);
+    ]
+
+let perf_pr8 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr8] incremental what-if engine vs cold reruns (jobs=%d)"
+       jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
+  let module J = Mdp_prelude.Json in
+  let module W = Core.Whatif in
+  let ok = ref true in
+  (* The default likelihood weights sum to at most 0.08, below the
+     default 0.1 Medium threshold, so a Delete revocation can never move
+     a level bucket and every sweep score would be honestly zero. The
+     tuned matrix puts the maintenance-exposure band astride a boundary;
+     the cold comparison runs use the same matrix, so the byte-identity
+     gate is unaffected. *)
+  let matrix = Core.Risk_matrix.make ~likelihood_thresholds:(0.07, 0.5) () in
+  let profile =
+    Core.User_profile.make
+      ~sensitivities:[ (Mdp_dataflow.Field.of_name "Field0", 0.9) ]
+      ~agreed_services:[ "Service0" ] ()
+  in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "cold s"; "incr ms"; "cand"; "cand/s"; "p50 us";
+          "speedup"; "identical" ]
+  in
+  let json_cases =
+    List.map
+      (fun (model_name, max_states, sample, gate_speedup, compare_rendered) ->
+        let spec =
+          match Mdp_scenario.Synthetic.spec_of_string model_name with
+          | Some (Ok s) -> s
+          | _ -> failwith ("bad synthetic spec " ^ model_name)
+        in
+        let diagram, policy = Mdp_scenario.Synthetic.model spec in
+        let options = { Core.Generate.default_options with max_states } in
+        let cold_of (inputs : Core.Edit.inputs) =
+          match
+            Core.Analysis.run_checked ~options ~matrix
+              ?profile:inputs.Core.Edit.profile
+              ~bindings:inputs.Core.Edit.bindings ~jobs
+              inputs.Core.Edit.diagram inputs.Core.Edit.policy
+          with
+          | Ok t -> t
+          | Error f -> failwith (Core.Analysis.failure_message f)
+        in
+        let t0 = Mdp_obs.Clock.now_ns () in
+        let base =
+          cold_of
+            { Core.Edit.diagram; policy; profile = Some profile; bindings = [] }
+        in
+        let t_cold = Mdp_obs.Clock.elapsed_s t0 in
+        let b =
+          match W.prepare base with Ok b -> b | Error e -> failwith e
+        in
+        let candidates = W.acl_candidates b in
+        let n = List.length candidates in
+        (* Headline single-edit loop: the store-level Delete revocation
+           every synthetic model carries — plan repatch + re-evaluation
+           over the reused LTS, no re-exploration. *)
+        let delete_edit =
+          List.find
+            (function
+              | Core.Edit.Revoke { perms = [ Mdp_policy.Permission.Delete ]; _ }
+                ->
+                true
+              | _ -> false)
+            candidates
+        in
+        let t_incr =
+          time_median ~runs:(if smoke then 3 else 5) (fun () ->
+              Core.Analysis.run_incremental ~jobs ~previous:base
+                [ delete_edit ])
+        in
+        let t_sweep =
+          time_median ~runs:(if smoke then 2 else 3) (fun () ->
+              W.sweep ~jobs b candidates)
+        in
+        let ranked = W.sweep ~jobs b candidates in
+        let census =
+          List.fold_left
+            (fun acc ({ W.outcome; _ } : W.ranked) ->
+              let k = W.classification_to_string outcome.W.classification in
+              let cur =
+                Option.value (List.assoc_opt k acc) ~default:0
+              in
+              (k, cur + 1) :: List.remove_assoc k acc)
+            [] ranked
+        in
+        (* Per-candidate latency distribution of the sweep's own path
+           (classification + delta where computed, no ~exact). *)
+        let latencies =
+          List.sort Float.compare
+            (List.map
+               (fun e -> snd (Mdp_obs.Clock.time (fun () -> W.eval_edit b e)))
+               candidates)
+        in
+        let p50 = List.nth latencies (n / 2) in
+        let p95 = List.nth latencies (min (n - 1) (n * 95 / 100)) in
+        let speedup = float_of_int n *. t_cold /. t_sweep in
+        (* Equivalence gate: the incremental engine's result for a
+           candidate must match a cold run on the edited model — every
+           candidate on the small model compared on rendered bytes, an
+           evenly spaced sample on the large one compared structurally
+           (a cold run there costs seconds and its render, gigabytes). *)
+        let sampled =
+          if sample <= 0 || sample >= n then candidates
+          else
+            let step = n / sample in
+            List.filteri (fun i _ -> i mod step = 0) candidates
+            |> List.filteri (fun i _ -> i < sample)
+        in
+        let worst_of (t : Core.Analysis.t) =
+          match t.Core.Analysis.disclosure with
+          | Some r -> Core.Disclosure_risk.max_level r
+          | None -> Core.Level.None_
+        in
+        let outcome_by_edit =
+          List.map
+            (fun ({ W.outcome; _ } : W.ranked) ->
+              (Core.Edit.to_string outcome.W.edit, outcome))
+            ranked
+        in
+        let checked = List.length sampled in
+        let identical =
+          List.fold_left
+            (fun acc edit ->
+              let incr =
+                Core.Analysis.run_incremental ~jobs ~previous:base [ edit ]
+              in
+              let after_inputs =
+                match
+                  Core.Edit.apply_all (Core.Analysis.inputs_of base) [ edit ]
+                with
+                | Ok i -> i
+                | Error e -> failwith e
+              in
+              let cold = cold_of after_inputs in
+              let same =
+                if compare_rendered then pr8_render incr = pr8_render cold
+                else
+                  incr.Core.Analysis.disclosure = cold.Core.Analysis.disclosure
+                  && incr.Core.Analysis.consistency
+                     = cold.Core.Analysis.consistency
+                  && incr.Core.Analysis.pseudonym = cold.Core.Analysis.pseudonym
+              in
+              if not same then begin
+                Printf.printf
+                  "  %s: incremental report DIFFERS from cold for %s\n"
+                  model_name (Core.Edit.to_string edit);
+                ok := false
+              end;
+              (* The sweep's cheap path must agree with the ground truth
+                 it stands in for. *)
+              (match
+                 List.assoc_opt (Core.Edit.to_string edit) outcome_by_edit
+               with
+              | Some { W.worst_after = Some w; _ }
+                when not (Core.Level.equal w (worst_of cold)) ->
+                Printf.printf
+                  "  %s: sweep worst_after disagrees with cold for %s\n"
+                  model_name (Core.Edit.to_string edit);
+                ok := false
+              | _ -> ());
+              if same then acc + 1 else acc)
+            0 sampled
+        in
+        let all_identical = identical = checked in
+        let case_ok =
+          all_identical && ((not gate_speedup) || speedup >= 50.0) && p50 < 0.010
+        in
+        if not case_ok then begin
+          Printf.printf
+            "  %s: what-if contract FAILED (identical %d/%d, speedup %.0fx, \
+             p50 %.1f us)\n"
+            model_name identical checked speedup (1e6 *. p50);
+          ok := false
+        end;
+        Mdp_prelude.Texttable.add_row table
+          [
+            model_name;
+            Printf.sprintf "%.3f" t_cold;
+            Printf.sprintf "%.2f" (1e3 *. t_incr);
+            string_of_int n;
+            Printf.sprintf "%.0f" (float_of_int n /. t_sweep);
+            Printf.sprintf "%.1f" (1e6 *. p50);
+            Printf.sprintf "%.0fx" speedup;
+            Printf.sprintf "%d/%d" identical checked;
+          ];
+        J.Obj
+          [
+            ("model", J.Str model_name);
+            ("max_states", J.int max_states);
+            ("cold_seconds", J.Num t_cold);
+            ("incremental_delete_seconds", J.Num t_incr);
+            ("candidates", J.int n);
+            ( "classification_census",
+              J.Obj (List.map (fun (k, v) -> (k, J.int v)) census) );
+            ("sweep_seconds", J.Num t_sweep);
+            ("candidates_per_second", J.Num (float_of_int n /. t_sweep));
+            ("p50_candidate_seconds", J.Num p50);
+            ("p95_candidate_seconds", J.Num p95);
+            ( "est_cold_sweep_seconds",
+              J.Num (float_of_int n *. t_cold) );
+            ("speedup_vs_cold", J.Num speedup);
+            ("speedup_gated", J.Bool gate_speedup);
+            ( "equivalence",
+              J.Obj
+                [
+                  ("checked", J.int checked);
+                  ("identical", J.int identical);
+                  ("exhaustive", J.Bool (checked = n));
+                  ( "compared",
+                    J.Str (if compare_rendered then "rendered" else "structural")
+                  );
+                ] );
+            ("ok", J.Bool case_ok);
+          ])
+      (pr8_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr8-incremental-whatif");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR8.json\n";
+  !ok
+
 let () =
   (* Spans feed the per-section phase breakdowns in BENCH_*.json and
      the BENCH_SPANS.jsonl / BENCH_METRICS.prom artifacts. *)
@@ -1736,6 +2013,7 @@ let () =
   let pr4_only = List.mem "--pr4" argv in
   let pr6_only = List.mem "--pr6" argv in
   let pr7_only = List.mem "--pr7" argv in
+  let pr8_only = List.mem "--pr8" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -1744,15 +2022,21 @@ let () =
     in
     find argv
   in
-  if smoke && not (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only)
+  if
+    smoke
+    && not
+         (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only || pr8_only)
   then begin
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
     let pr4_ok = perf_pr4 ~jobs ~smoke () in
     let pr6_ok = perf_pr6 ~jobs ~smoke () in
     let pr7_ok = perf_pr7 ~jobs ~smoke () in
+    let pr8_ok = perf_pr8 ~jobs ~smoke () in
     write_observability_artifacts ();
-    exit (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok then 0 else 1)
+    exit
+      (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok then 0
+       else 1)
   end;
   if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
   if pr3_only then exit (if perf_pr3 ~jobs ~smoke () then 0 else 1);
@@ -1760,6 +2044,11 @@ let () =
   if pr6_only then exit (if perf_pr6 ~jobs ~smoke () then 0 else 1);
   if pr7_only then begin
     let ok = perf_pr7 ~jobs ~smoke () in
+    write_observability_artifacts ();
+    exit (if ok then 0 else 1)
+  end;
+  if pr8_only then begin
+    let ok = perf_pr8 ~jobs ~smoke () in
     write_observability_artifacts ();
     exit (if ok then 0 else 1)
   end;
@@ -1781,7 +2070,8 @@ let () =
   let pr4_ok = perf_pr4 ~jobs ~smoke:false () in
   let pr6_ok = perf_pr6 ~jobs ~smoke:false () in
   let pr7_ok = perf_pr7 ~jobs ~smoke:false () in
+  let pr8_ok = perf_pr8 ~jobs ~smoke:false () in
   perf ();
   write_observability_artifacts ();
   Printf.printf "\ndone.\n";
-  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok) then exit 1
+  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok) then exit 1

@@ -331,6 +331,271 @@ let risk_cmd =
       const run $ model_arg $ agree $ sens $ json $ max_states_arg
       $ metrics_term)
 
+(* ----- whatif / sweep ----- *)
+
+let collect_sensitivities specs =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+      match parse_sensitivity spec with
+      | Ok pair -> collect (pair :: acc) rest
+      | Error (`Msg e) -> Error e)
+  in
+  collect [] specs
+
+let profile_args =
+  let agree =
+    Arg.(
+      value & opt_all string []
+      & info [ "agree" ] ~docv:"SERVICE"
+          ~doc:"Service the user agreed to (repeatable).")
+  in
+  let sens =
+    Arg.(
+      value & opt_all string []
+      & info [ "sensitivity" ] ~docv:"FIELD=V"
+          ~doc:"Field sensitivity in [0,1] (repeatable), e.g. Diagnosis=0.9.")
+  in
+  (agree, sens)
+
+let pp_invalidation ppf (inv : Core.Edit.invalidation) =
+  let flags =
+    [
+      ("lts", inv.Core.Edit.inv_lts);
+      ("plan", inv.Core.Edit.inv_plan);
+      ("risk", inv.Core.Edit.inv_risk);
+      ("classes", inv.Core.Edit.inv_classes);
+      ("pseudonym", inv.Core.Edit.inv_pseudonym);
+      ("consistency", inv.Core.Edit.inv_consistency);
+    ]
+  in
+  match List.filter_map (fun (n, b) -> if b then Some n else None) flags with
+  | [] -> Format.pp_print_string ppf "nothing"
+  | l -> Format.pp_print_string ppf (String.concat ", " l)
+
+let worst_of (t : Core.Analysis.t) =
+  match t.Core.Analysis.disclosure with
+  | Some r -> Core.Disclosure_risk.max_level r
+  | None -> Core.Level.None_
+
+let whatif_cmd =
+  let run path agreed sens_specs edit_specs diff json jobs max_states metrics =
+    with_metrics metrics @@ fun () ->
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      match (collect_sensitivities sens_specs, Core.Edit.parse_all edit_specs) with
+      | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok sensitivities, Ok edits -> (
+        let profile =
+          Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+        in
+        let options = { Core.Generate.default_options with max_states } in
+        match
+          Core.Analysis.run_checked ~options ~profile ~jobs diagram policy
+        with
+        | Error failure ->
+          prerr_endline (Core.Analysis.failure_message failure);
+          exits_with_error
+        | Ok base -> (
+          let inputs = Core.Analysis.inputs_of base in
+          match Core.Edit.apply_all inputs edits with
+          | Error e ->
+            prerr_endline ("edit does not apply: " ^ e);
+            exits_with_error
+          | Ok after_inputs -> (
+            let inv =
+              Core.Edit.classify ~options ~before:inputs ~after:after_inputs
+            in
+            match Core.Analysis.run_incremental ~jobs ~previous:base edits with
+            | exception Mdp_lts.Lts.Too_many_states limit ->
+              prerr_endline
+                (Core.Analysis.failure_message
+                   (Core.Analysis.State_limit
+                      { limit; hint = Core.Analysis.state_limit_hint }));
+              exits_with_error
+            | after ->
+              (* With --json, stdout carries the report alone; the edit
+                 trail goes to stderr so the JSON stays parseable. *)
+              let meta =
+                if json then Format.err_formatter else Format.std_formatter
+              in
+              List.iter
+                (fun e -> Format.fprintf meta "edit: %a@." Core.Edit.pp e)
+                edits;
+              Format.fprintf meta "invalidated: %a  (%s)@." pp_invalidation inv
+                (if inv.Core.Edit.inv_lts then "full re-exploration"
+                 else "LTS reused");
+              Format.fprintf meta "worst risk: %a -> %a@." Core.Level.pp
+                (worst_of base) Core.Level.pp (worst_of after);
+              (if diff then
+                 match
+                   ( base.Core.Analysis.disclosure,
+                     after.Core.Analysis.disclosure )
+                 with
+                 | Some before, Some after ->
+                   Format.fprintf meta "%a@." Core.Risk_diff.pp
+                     (Core.Risk_diff.diff ~before ~after)
+                 | _ -> ());
+              Mdp_obs.Metrics.span "phase/render" (fun () ->
+                  if json then print_endline (Core.Report.to_string after)
+                  else Format.printf "%a@." Core.Analysis.pp_summary after);
+              0))))
+  in
+  let agree, sens = profile_args in
+  let edit_specs =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "edit"; "e" ] ~docv:"EDIT"
+          ~doc:
+            "Model edit, applied in order (repeatable): \
+             $(b,grant:SUBJ:PERMS:STORE[:FIELDS]), \
+             $(b,revoke:SUBJ:PERMS:STORE[:FIELDS]), \
+             $(b,flow+:SERVICE:ORDER:SRC>DST:FIELDS[:PURPOSE]), \
+             $(b,flow-:SERVICE:ORDER), $(b,sensitivity:FIELD=V), \
+             $(b,agree:+SERVICE), $(b,agree:-SERVICE).")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Print the per-signature risk diff (removed / added / \
+             re-levelled findings) between the baseline and the edited \
+             model.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the post-edit report as JSON on stdout (the edit trail \
+             moves to stderr).")
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Apply model edits and recompute the risk report incrementally \
+          (§IV-A edit loop)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the baseline analysis once, classifies the edits' \
+              invalidation impact, and recomputes only what they \
+              invalidate. The result is byte-identical to a cold run on \
+              the edited model; edits the classifier proves \
+              LTS-preserving skip re-exploration entirely.";
+         ])
+    Term.(
+      const run $ model_arg $ agree $ sens $ edit_specs $ diff $ json
+      $ jobs_arg $ max_states_arg $ metrics_term)
+
+let sweep_cmd =
+  let run path agreed sens_specs exact top jobs max_states metrics =
+    with_metrics metrics @@ fun () ->
+    match load_model path with
+    | Error (`Msg e) ->
+      prerr_endline e;
+      exits_with_error
+    | Ok { diagram; policy; _ } -> (
+      match collect_sensitivities sens_specs with
+      | Error e ->
+        prerr_endline e;
+        exits_with_error
+      | Ok sensitivities -> (
+        let profile =
+          Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
+        in
+        let options = { Core.Generate.default_options with max_states } in
+        match
+          Core.Analysis.run_checked ~options ~profile ~jobs diagram policy
+        with
+        | Error failure ->
+          prerr_endline (Core.Analysis.failure_message failure);
+          exits_with_error
+        | Ok base -> (
+          match Core.Whatif.prepare base with
+          | Error e ->
+            prerr_endline e;
+            exits_with_error
+          | Ok b ->
+            let candidates = Core.Whatif.acl_candidates b in
+            let ranked = Core.Whatif.sweep ~jobs ~exact b candidates in
+            Format.printf
+              "sweep: %d single-ACL candidates over %d finding signatures \
+               (%d sites), worst before %a@."
+              (List.length candidates)
+              (Core.Whatif.num_signatures b)
+              (Core.Whatif.num_sites b) Core.Level.pp
+              (Core.Whatif.worst_before b);
+            let shown =
+              if top > 0 then List.filteri (fun i _ -> i < top) ranked
+              else ranked
+            in
+            List.iter
+              (fun { Core.Whatif.outcome; score } ->
+                let score_s =
+                  (* min_int marks a candidate that was classified but not
+                     computed (replay/full-rerun without --exact). *)
+                  if score = min_int then "   ?" else Printf.sprintf "%+4d" score
+                in
+                let worst_s =
+                  match outcome.Core.Whatif.worst_after with
+                  | Some l -> Core.Level.to_string l
+                  | None -> "-"
+                in
+                Format.printf "  %s  %-10s  worst %-6s  %a@." score_s
+                  (Core.Whatif.classification_to_string
+                     outcome.Core.Whatif.classification)
+                  worst_s Core.Edit.pp outcome.Core.Whatif.edit)
+              shown;
+            let omitted = List.length ranked - List.length shown in
+            if omitted > 0 then
+              Format.printf "  ... %d more (raise --top)@." omitted;
+            0)))
+  in
+  let agree, sens = profile_args in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Compute replay/full-rerun candidates too, via the full \
+             incremental engine (slower; results stay byte-identical to \
+             cold runs).")
+  in
+  let top =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show only the N best-ranked candidates (0 = all).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Rank every single-ACL removal by risk reduction, sharing one \
+          compiled analysis."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the candidate set from the policy's concrete grants \
+              (one revocation per Read/Write tuple, one whole-store \
+              revocation per Delete holder), evaluates each as a delta \
+              against the shared compiled risk plan, and ranks by the \
+              summed level-rank improvement. Positive scores reduce \
+              risk; candidates needing re-exploration are listed but \
+              only computed under $(b,--exact).";
+         ])
+    Term.(
+      const run $ model_arg $ agree $ sens $ exact $ top $ jobs_arg
+      $ max_states_arg $ metrics_term)
+
 (* ----- simulate ----- *)
 
 let parse_snooper s =
@@ -1217,6 +1482,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ validate_cmd; dot_cmd; lts_cmd; risk_cmd; simulate_cmd; anon_cmd;
-            check_cmd; population_cmd; monitor_cmd; transfers_cmd;
-            transparency_cmd; serve_cmd; chaos_cmd ]))
+          [ validate_cmd; dot_cmd; lts_cmd; risk_cmd; whatif_cmd; sweep_cmd;
+            simulate_cmd; anon_cmd; check_cmd; population_cmd; monitor_cmd;
+            transfers_cmd; transparency_cmd; serve_cmd; chaos_cmd ]))

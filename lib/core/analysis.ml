@@ -13,6 +13,7 @@ type t = {
   consistency : Consistency.gap list;
   disclosure : Disclosure_risk.report option;
   pseudonym : Pseudonym_risk.risk_transition list;
+  plan : Risk_plan.t option;
 }
 
 let run_params ?jobs ?cancel params diagram policy =
@@ -23,24 +24,27 @@ let run_params ?jobs ?cancel params diagram policy =
   in
   Mdp_obs.Metrics.span "phase/analyse" @@ fun () ->
   let consistency = Consistency.check universe in
-  let disclosure =
+  let plan =
     (* Compiled plan path: bit-identical to Disclosure_risk.analyse
        (test_population checks the equality), one witness BFS instead of
        one per finding. Compiled before the pseudonym pass, which adds
-       transitions and would invalidate the plan. *)
+       transitions and would invalidate the plan. Kept on the result so
+       [run_incremental] can reuse it. *)
     Option.map
-      (fun profile ->
-        let plan =
-          Risk_plan.compile ~matrix:params.matrix ~model:params.model universe
-            lts
-        in
-        Risk_plan.analyse plan profile)
+      (fun _ ->
+        Risk_plan.compile ~matrix:params.matrix ~model:params.model universe
+          lts)
       params.profile
+  in
+  let disclosure =
+    match (plan, params.profile) with
+    | Some plan, Some profile -> Some (Risk_plan.analyse plan profile)
+    | _ -> None
   in
   let pseudonym =
     List.concat_map (Pseudonym_risk.analyse universe lts) params.bindings
   in
-  { params; universe; lts; consistency; disclosure; pseudonym }
+  { params; universe; lts; consistency; disclosure; pseudonym; plan }
 
 let run ?(options = Generate.default_options) ?(matrix = Risk_matrix.default)
     ?(model = Disclosure_risk.default_likelihood) ?profile ?(bindings = [])
@@ -49,6 +53,91 @@ let run ?(options = Generate.default_options) ?(matrix = Risk_matrix.default)
 
 let rerun_with_policy t policy =
   run_params t.params (Universe.diagram t.universe) policy
+
+(* ----- incremental re-analysis ----- *)
+
+let inputs_of t =
+  {
+    Edit.diagram = Universe.diagram t.universe;
+    policy = Universe.policy t.universe;
+    profile = t.params.profile;
+    bindings = t.params.bindings;
+  }
+
+let run_incremental ?jobs ~previous edits =
+  Mdp_obs.Metrics.span "phase/whatif" @@ fun () ->
+  let before = inputs_of previous in
+  let after =
+    match Edit.apply_all before edits with
+    | Ok a -> a
+    | Error msg -> invalid_arg ("Analysis.run_incremental: " ^ msg)
+  in
+  let inv = Edit.classify ~options:previous.params.options ~before ~after in
+  let params =
+    {
+      previous.params with
+      profile = after.Edit.profile;
+      bindings = after.Edit.bindings;
+    }
+  in
+  if inv.Edit.inv_lts then begin
+    Mdp_obs.Metrics.incr "whatif/invalidated_lts";
+    Mdp_obs.Metrics.incr "whatif/invalidated_plan";
+    Mdp_obs.Metrics.incr "whatif/invalidated_classes";
+    run_params ?jobs params after.Edit.diagram after.Edit.policy
+  end
+  else begin
+    Mdp_obs.Metrics.incr "whatif/incremental_hits";
+    if inv.Edit.inv_plan then Mdp_obs.Metrics.incr "whatif/invalidated_plan";
+    if inv.Edit.inv_classes then
+      Mdp_obs.Metrics.incr "whatif/invalidated_classes";
+    let policy_changed = before.Edit.policy != after.Edit.policy in
+    let universe =
+      if policy_changed then
+        Universe.with_policy previous.universe after.Edit.policy
+      else previous.universe
+    in
+    let lts = previous.lts in
+    let consistency =
+      if inv.Edit.inv_consistency then Consistency.check universe
+      else previous.consistency
+    in
+    (* The disclosure re-evaluation must precede a pseudonym re-run:
+       that pass appends transitions (cold runs analyse first too). *)
+    let plan, disclosure =
+      match params.profile with
+      | None -> (None, None)
+      | Some profile ->
+        let plan =
+          match previous.plan with
+          | None ->
+            (* Previous run had no profile, so no pass ever grew the
+               LTS (edits cannot introduce a profile) — a fresh compile
+               over the reused LTS equals the cold one. *)
+            Risk_plan.compile ~matrix:params.matrix ~model:params.model
+              universe lts
+          | Some plan ->
+            if inv.Edit.inv_plan then
+              Risk_plan.repatch_maintenance plan universe
+            else if policy_changed then Risk_plan.with_universe plan universe
+            else plan
+        in
+        let disclosure =
+          if inv.Edit.inv_risk || previous.disclosure = None then
+            Some (Risk_plan.analyse ~grown:true plan profile)
+          else previous.disclosure
+        in
+        (Some plan, disclosure)
+    in
+    let pseudonym =
+      if inv.Edit.inv_pseudonym then
+        List.concat_map
+          (Pseudonym_risk.analyse universe lts)
+          after.Edit.bindings
+      else previous.pseudonym
+    in
+    { params; universe; lts; consistency; disclosure; pseudonym; plan }
+  end
 
 (* ----- structured failures ----- *)
 

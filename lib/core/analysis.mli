@@ -19,6 +19,9 @@ type t = {
   disclosure : Disclosure_risk.report option;
       (** [None] when no profile was supplied. *)
   pseudonym : Pseudonym_risk.risk_transition list;
+  plan : Risk_plan.t option;
+      (** The compiled risk plan behind [disclosure], kept so
+          {!run_incremental} and the what-if sweep can reuse it. *)
 }
 
 val run :
@@ -36,6 +39,31 @@ val run :
 val rerun_with_policy : t -> Mdp_policy.Policy.t -> t
 (** The §IV-A design loop: same model, profile, bindings and parameters;
     edited policy; everything regenerated. *)
+
+val run_incremental : ?jobs:int -> previous:t -> Edit.t list -> t
+(** The same loop, recomputing only what the edits invalidate. The
+    result is byte-identical to [run] on the edited inputs (enforced by
+    test/test_whatif.ml and the PR 8 bench gate): [Edit.classify]
+    bounds the damage, and surviving artifacts — LTS, compiled plan
+    (possibly with maintenance flags repatched), disclosure report,
+    pseudonym transitions, consistency gaps — are threaded through
+    unchanged. Falls back to a full [run] when the reachable transition
+    structure may have changed.
+
+    Counters (under [Mdp_obs]): [whatif/incremental_hits] when the LTS
+    is reused, [whatif/invalidated_{lts,plan,classes}] for recomputed
+    artifacts, all under a [phase/whatif] span.
+
+    Like every analysis, this may re-annotate the shared LTS's labels
+    in place and, when bindings change, append pseudonym transitions to
+    it — [previous]'s {e report} stays valid, but re-[analyse]-ing its
+    plan afterwards follows the usual grown-LTS rules.
+
+    @raise Invalid_argument when an edit does not apply (unknown
+    service, invalid policy, sensitivity out of range, ...). *)
+
+val inputs_of : t -> Edit.inputs
+(** The run's model inputs as an editable value. *)
 
 (** {1 Structured failure}
 

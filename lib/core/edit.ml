@@ -1,0 +1,502 @@
+open Mdp_dataflow
+open Mdp_policy
+
+(* Typed model edits (the §IV-A design loop's vocabulary) and the
+   invalidation analysis behind [Analysis.run_incremental]: given what
+   an edit concretely changed, decide which artifacts of the previous
+   run — LTS, compiled risk plan, per-profile evaluation, population
+   classes, pseudonym pass, consistency gaps — must be recomputed and
+   which can be reused byte-for-byte. *)
+
+type t =
+  | Grant of Acl.entry
+  | Revoke of {
+      subject : Acl.subject;
+      store : string;
+      fields : Field.t list option;
+      perms : Permission.t list;
+    }
+  | Add_flow of { service : string; flow : Flow.t }
+  | Remove_flow of { service : string; order : int }
+  | Set_sensitivity of Field.t * float
+  | Set_agreement of { service : string; agreed : bool }
+  | Set_bindings of Pseudonym_risk.binding list
+
+type inputs = {
+  diagram : Diagram.t;
+  policy : Policy.t;
+  profile : User_profile.t option;
+  bindings : Pseudonym_risk.binding list;
+}
+
+(* ----- application ----- *)
+
+let replace_service diagram id f =
+  match Diagram.find_service diagram id with
+  | None -> Error (Printf.sprintf "unknown service %s" id)
+  | Some svc -> (
+    match f svc with
+    | Error _ as e -> e
+    | Ok flows -> (
+      match
+        (* [Service.make]/[Diagram.make] re-validate the edited model the
+           same way the original was validated. *)
+        try
+          let svc' = Service.make ~id ~flows in
+          let services =
+            List.map
+              (fun (s : Service.t) -> if s.id = id then svc' else s)
+              diagram.Diagram.services
+          in
+          Diagram.make ~actors:diagram.Diagram.actors
+            ~datastores:diagram.Diagram.datastores ~services
+        with Invalid_argument msg -> Error [ msg ]
+      with
+      | Ok d -> Ok d
+      | Error msgs -> Error (String.concat "; " msgs)))
+
+let apply inputs edit =
+  match edit with
+  | Grant entry -> (
+    let policy = Policy.grant inputs.policy entry in
+    match Policy.validate policy inputs.diagram with
+    | Ok () -> Ok { inputs with policy }
+    | Error msgs -> Error (String.concat "; " msgs))
+  | Revoke { subject; store; fields; perms } -> (
+    let policy =
+      Policy.revoke inputs.policy ~subject ~store ?fields perms
+    in
+    match Policy.validate policy inputs.diagram with
+    | Ok () -> Ok { inputs with policy }
+    | Error msgs -> Error (String.concat "; " msgs))
+  | Add_flow { service; flow } -> (
+    match
+      replace_service inputs.diagram service (fun svc ->
+          Ok (svc.Service.flows @ [ flow ]))
+    with
+    | Ok diagram -> Ok { inputs with diagram }
+    | Error _ as e -> e)
+  | Remove_flow { service; order } -> (
+    match
+      replace_service inputs.diagram service (fun svc ->
+          if List.exists (fun (f : Flow.t) -> f.order = order) svc.flows
+          then
+            Ok
+              (List.filter
+                 (fun (f : Flow.t) -> f.order <> order)
+                 svc.flows)
+          else
+            Error
+              (Printf.sprintf "service %s has no flow with order %d"
+                 service order))
+    with
+    | Ok diagram -> Ok { inputs with diagram }
+    | Error _ as e -> e)
+  | Set_sensitivity (field, v) -> (
+    match inputs.profile with
+    | None -> Error "no user profile to edit"
+    | Some profile -> (
+      let sens = User_profile.sensitivities profile in
+      let sens =
+        if List.exists (fun (f, _) -> Field.equal f field) sens then
+          List.map
+            (fun (f, s) -> if Field.equal f field then (f, v) else (f, s))
+            sens
+        else sens @ [ (field, v) ]
+      in
+      try
+        let profile =
+          User_profile.make ~sensitivities:sens
+            ~agreed_services:(User_profile.agreed_services profile)
+            ()
+        in
+        Ok { inputs with profile = Some profile }
+      with Invalid_argument msg -> Error msg))
+  | Set_agreement { service; agreed } -> (
+    match inputs.profile with
+    | None -> Error "no user profile to edit"
+    | Some profile ->
+      let services = User_profile.agreed_services profile in
+      let already = List.mem service services in
+      if already = agreed then Ok inputs (* vacuous *)
+      else
+        let services =
+          if agreed then services @ [ service ]
+          else List.filter (fun s -> s <> service) services
+        in
+        let profile =
+          User_profile.make
+            ~sensitivities:(User_profile.sensitivities profile)
+            ~agreed_services:services ()
+        in
+        Ok { inputs with profile = Some profile })
+  | Set_bindings bindings -> Ok { inputs with bindings }
+
+let apply_all inputs edits =
+  List.fold_left
+    (fun acc edit ->
+      match acc with Error _ as e -> e | Ok i -> apply i edit)
+    (Ok inputs) edits
+
+(* ----- invalidation analysis ----- *)
+
+type invalidation = {
+  inv_lts : bool;
+  inv_plan : bool;
+  inv_risk : bool;
+  inv_classes : bool;
+  inv_pseudonym : bool;
+  inv_consistency : bool;
+}
+
+let nothing =
+  {
+    inv_lts = false;
+    inv_plan = false;
+    inv_risk = false;
+    inv_classes = false;
+    inv_pseudonym = false;
+    inv_consistency = false;
+  }
+
+let everything =
+  {
+    inv_lts = true;
+    inv_plan = true;
+    inv_risk = true;
+    inv_classes = true;
+    inv_pseudonym = true;
+    inv_consistency = true;
+  }
+
+(* Fields that can ever reach [store]'s contents: the created (stored)
+   fields of the active create/anon flows into it, filtered by the
+   writers' Write permission when enforcement is on. Exploration reads —
+   from-flow, potential, granular — all fetch from store contents, so a
+   Read grant on a field outside this set is invisible to the LTS. *)
+let writable_fields ~(options : Generate.options) diagram policy store =
+  let active (svc : Service.t) =
+    match options.services with
+    | None -> true
+    | Some ids -> List.mem svc.id ids
+  in
+  List.concat_map
+    (fun ((svc : Service.t), (flow : Flow.t)) ->
+      if not (active svc) then []
+      else
+        match (Diagram.classify diagram flow, flow.dst) with
+        | (Flow.Create | Flow.Anon), Flow.Store s when s = store ->
+          let actor = Flow.node_name flow.src in
+          let created =
+            match Diagram.classify diagram flow with
+            | Flow.Anon -> List.map Field.anon_of flow.fields
+            | _ -> flow.fields
+          in
+          if options.enforce_policy then
+            List.filter
+              (fun f ->
+                Policy.allows policy ~diagram ~actor Permission.Write
+                  ~store f)
+              created
+          else created
+        | _ -> [])
+    (Diagram.all_flows diagram)
+
+(* Store-level deleter sets — the only §III-A consumer of Delete
+   permissions when potential deletes are off. *)
+let deleter_sets diagram policy =
+  List.map
+    (fun (ds : Datastore.t) ->
+      let fields = Diagram.all_fields diagram in
+      List.filter_map
+        (fun (a : Actor.t) ->
+          if
+            List.exists
+              (fun f ->
+                Policy.allows policy ~diagram ~actor:a.id
+                  Permission.Delete ~store:ds.id f)
+              fields
+          then Some a.id
+          else None)
+        diagram.Diagram.actors)
+    diagram.Diagram.datastores
+
+let profile_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    User_profile.agreed_services a = User_profile.agreed_services b
+    && List.length (User_profile.sensitivities a)
+       = List.length (User_profile.sensitivities b)
+    && List.for_all2
+         (fun (fa, sa) (fb, sb) -> Field.equal fa fb && sa = sb)
+         (User_profile.sensitivities a)
+         (User_profile.sensitivities b)
+  | _ -> false
+
+let classify ~(options : Generate.options) ~before ~after =
+  if before.diagram != after.diagram then everything
+  else begin
+    let removed, added =
+      if before.policy == after.policy then ([], [])
+      else Policy.diff ~before:before.policy ~after:after.policy
+          before.diagram
+    in
+    let tuples = removed @ added in
+    let bindings_changed = before.bindings != after.bindings in
+    (* The pseudonym pass reads Read permissions ([readable_anywhere]);
+       any concrete policy change under active bindings forces a full
+       re-run, and the pass grows the LTS — so the LTS itself cannot be
+       reused either. Likewise, changing a non-empty binding set: the
+       previous pass already grew the LTS and appends cannot be undone. *)
+    if
+      (tuples <> [] && after.bindings <> [])
+      || (bindings_changed && before.bindings <> [])
+    then everything
+    else begin
+      let writable = Hashtbl.create 4 in
+      let writable_in policy store f =
+        let key = (store, options.enforce_policy, policy == after.policy) in
+        let fields =
+          match Hashtbl.find_opt writable key with
+          | Some fs -> fs
+          | None ->
+            let fs =
+              writable_fields ~options before.diagram policy store
+            in
+            Hashtbl.add writable key fs;
+            fs
+        in
+        List.exists (Field.equal f) fields
+      in
+      let lts_preserving (t : Policy.grant_tuple) =
+        match t.perm with
+        | Permission.Delete -> not options.potential_deletes
+        | Permission.Write ->
+          (not options.enforce_policy)
+          || not
+               (List.exists
+                  (fun ((svc : Service.t), (flow : Flow.t)) ->
+                    (match options.services with
+                    | None -> true
+                    | Some ids -> List.mem svc.id ids)
+                    &&
+                    match (Diagram.classify before.diagram flow, flow.dst)
+                    with
+                    | (Flow.Create | Flow.Anon), Flow.Store s ->
+                      s = t.store
+                      && Flow.node_name flow.src = t.actor
+                      && List.exists (Field.equal t.field)
+                           (match
+                              Diagram.classify before.diagram flow
+                            with
+                           | Flow.Anon ->
+                             List.map Field.anon_of flow.fields
+                           | _ -> flow.fields)
+                    | _ -> false)
+                  (Diagram.all_flows before.diagram))
+        | Permission.Read ->
+          (* Sound for both removals and additions: the field can reach
+             the store's contents under neither policy. *)
+          (not (writable_in before.policy t.store t.field))
+          && not (writable_in after.policy t.store t.field)
+      in
+      if not (List.for_all lts_preserving tuples) then everything
+      else begin
+        let has perm =
+          List.exists
+            (fun (t : Policy.grant_tuple) -> Permission.equal t.perm perm)
+            tuples
+        in
+        let deleters_changed =
+          has Permission.Delete
+          && deleter_sets before.diagram before.policy
+             <> deleter_sets before.diagram after.policy
+        in
+        let profile_changed =
+          not (profile_equal before.profile after.profile)
+        in
+        {
+          inv_lts = false;
+          inv_plan = deleters_changed;
+          inv_risk = deleters_changed || profile_changed;
+          inv_classes = false;
+          inv_pseudonym = bindings_changed;
+          (* Gaps query only Read and Write over flow fields. *)
+          inv_consistency = has Permission.Read || has Permission.Write;
+        }
+      end
+    end
+  end
+
+(* ----- parsing and printing (CLI --edit specs, serve requests) ----- *)
+
+let pp_node_spec ppf = function
+  | Flow.User -> Format.pp_print_string ppf "user"
+  | Flow.Actor a -> Format.fprintf ppf "actor.%s" a
+  | Flow.Store s -> Format.fprintf ppf "store.%s" s
+
+let pp ppf = function
+  | Grant { effect_ = Acl.Allow; subject; store; selector; perms } ->
+    Format.fprintf ppf "grant:%s:%s:%s%s"
+      (match subject with
+      | Acl.Actor_subject a -> a
+      | Acl.Role_subject r -> "role." ^ r)
+      (String.concat "," (List.map Permission.to_string perms))
+      store
+      (match selector with
+      | Acl.All_fields -> ""
+      | Acl.Fields fs ->
+        ":" ^ String.concat "," (List.map Field.name fs))
+  | Grant _ -> Format.pp_print_string ppf "grant:<deny-entry>"
+  | Revoke { subject; store; fields; perms } ->
+    Format.fprintf ppf "revoke:%s:%s:%s%s"
+      (match subject with
+      | Acl.Actor_subject a -> a
+      | Acl.Role_subject r -> "role." ^ r)
+      (String.concat "," (List.map Permission.to_string perms))
+      store
+      (match fields with
+      | None -> ""
+      | Some fs -> ":" ^ String.concat "," (List.map Field.name fs))
+  | Add_flow { service; flow } ->
+    Format.fprintf ppf "flow+:%s:%d:%a>%a:%s:%s" service flow.Flow.order
+      pp_node_spec flow.src pp_node_spec flow.dst
+      (String.concat "," (List.map Field.name flow.fields))
+      flow.purpose
+  | Remove_flow { service; order } ->
+    Format.fprintf ppf "flow-:%s:%d" service order
+  | Set_sensitivity (f, v) ->
+    Format.fprintf ppf "sensitivity:%s=%.17g" (Field.name f) v
+  | Set_agreement { service; agreed } ->
+    Format.fprintf ppf "agree:%c%s" (if agreed then '+' else '-') service
+  | Set_bindings bs ->
+    Format.fprintf ppf "bindings:<%d binding(s)>" (List.length bs)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let parse_subject s =
+  match String.index_opt s '.' with
+  | Some i when String.sub s 0 i = "role" ->
+    Acl.Role_subject (String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> Acl.Actor_subject s
+
+let parse_perms s =
+  let parts = String.split_on_char ',' s in
+  let perms = List.filter_map Permission.of_string parts in
+  if List.length perms = List.length parts && perms <> [] then Some perms
+  else None
+
+let parse_fields s =
+  List.map Field.make (String.split_on_char ',' s)
+
+let parse_node = function
+  | "user" -> Ok Flow.User
+  | s -> (
+    match String.index_opt s '.' with
+    | Some i when String.sub s 0 i = "actor" ->
+      Ok (Flow.Actor (String.sub s (i + 1) (String.length s - i - 1)))
+    | Some i when String.sub s 0 i = "store" ->
+      Ok (Flow.Store (String.sub s (i + 1) (String.length s - i - 1)))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "bad node %S (expected user, actor.NAME or store.NAME)" s))
+
+let parse spec =
+  let err () =
+    Error
+      (Printf.sprintf
+         "bad edit %S (expected grant:SUBJ:PERMS:STORE[:FIELDS], \
+          revoke:SUBJ:PERMS:STORE[:FIELDS], flow-:SERVICE:ORDER, \
+          flow+:SERVICE:ORDER:SRC>DST:FIELDS[:PURPOSE], \
+          sensitivity:FIELD=V or agree:{+,-}SERVICE)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "grant"; subj; perms; store ] | [ "grant"; subj; perms; store; "" ]
+    -> (
+    match parse_perms perms with
+    | Some perms ->
+      Ok (Grant (Acl.allow (parse_subject subj) ~store perms))
+    | None -> err ())
+  | [ "grant"; subj; perms; store; fields ] -> (
+    match parse_perms perms with
+    | Some perms ->
+      Ok
+        (Grant
+           (Acl.allow (parse_subject subj) ~store
+              ~fields:(parse_fields fields) perms))
+    | None -> err ())
+  | [ "revoke"; subj; perms; store ] -> (
+    match parse_perms perms with
+    | Some perms ->
+      Ok
+        (Revoke
+           { subject = parse_subject subj; store; fields = None; perms })
+    | None -> err ())
+  | [ "revoke"; subj; perms; store; fields ] -> (
+    match parse_perms perms with
+    | Some perms ->
+      Ok
+        (Revoke
+           {
+             subject = parse_subject subj;
+             store;
+             fields = Some (parse_fields fields);
+             perms;
+           })
+    | None -> err ())
+  | [ "flow-"; service; order ] -> (
+    match int_of_string_opt order with
+    | Some order -> Ok (Remove_flow { service; order })
+    | None -> err ())
+  | "flow+" :: service :: order :: endpoints :: fields :: rest -> (
+    let purpose = match rest with [ p ] -> p | _ -> "whatif" in
+    match (int_of_string_opt order, String.index_opt endpoints '>') with
+    | Some order, Some i -> (
+      let src = String.sub endpoints 0 i in
+      let dst =
+        String.sub endpoints (i + 1) (String.length endpoints - i - 1)
+      in
+      match (parse_node src, parse_node dst) with
+      | Ok src, Ok dst -> (
+        try
+          Ok
+            (Add_flow
+               {
+                 service;
+                 flow =
+                   Flow.make ~order ~src ~dst
+                     ~fields:(parse_fields fields) ~purpose;
+               })
+        with Invalid_argument msg -> Error msg)
+      | Error e, _ | _, Error e -> Error e)
+    | _ -> err ())
+  | [ "sensitivity"; assign ] -> (
+    match String.index_opt assign '=' with
+    | Some i -> (
+      let f = String.sub assign 0 i in
+      let v = String.sub assign (i + 1) (String.length assign - i - 1) in
+      match float_of_string_opt v with
+      | Some v when v >= 0.0 && v <= 1.0 ->
+        Ok (Set_sensitivity (Field.make f, v))
+      | _ -> err ())
+    | None -> err ())
+  | [ "agree"; svc ] when String.length svc > 1 -> (
+    let service = String.sub svc 1 (String.length svc - 1) in
+    match svc.[0] with
+    | '+' -> Ok (Set_agreement { service; agreed = true })
+    | '-' -> Ok (Set_agreement { service; agreed = false })
+    | _ -> err ())
+  | _ -> err ()
+
+let parse_all specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match parse s with
+      | Ok e -> go (e :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] specs

@@ -43,6 +43,11 @@ type likelihood_plan = {
           services owning a [store -> actor] read flow. The term fires
           iff at least one of them is not agreed ([None] for from-flow
           reads, where the scenario is folded into [lk_accidental]). *)
+  lk_actor : int;
+  lk_store : int;
+      (** Dense indices of the reading actor and the store, kept so
+          {!repatch_maintenance} can re-derive [lk_maintenance] against
+          an edited policy without touching labels. *)
 }
 
 type entry = {
@@ -82,6 +87,41 @@ type t = {
 
 let slots t = t.slots
 let matrix t = t.matrix
+let model t = t.model
+let num_entries t = Array.length t.entries
+let in_sync t = Plts.num_transitions t.lts = Array.length t.entries
+
+let with_universe t u = { t with u }
+
+(* Recompute the maintenance-exposure flags against [u]'s deleter sets.
+   Everything else in the plan depends only on the diagram, the LTS and
+   the reader sets, none of which a delete-permission edit can change
+   (deleters feed exploration only under [potential_deletes]) — so the
+   repatched plan is exactly what [compile u lts] would produce, at the
+   cost of one entry walk instead of a label pass. Entries whose flag is
+   unchanged are shared, not copied. *)
+let repatch_maintenance t u =
+  let nstores = Universe.nstores u in
+  let nactors = Universe.nactors u in
+  let deletes = Array.make (nstores * nactors) false in
+  for s = 0 to nstores - 1 do
+    List.iter
+      (fun a -> deletes.((s * nactors) + a) <- true)
+      (Universe.deleters u ~store:s)
+  done;
+  let entries =
+    Array.map
+      (fun e ->
+        match e.e_likelihood with
+        | Some lk ->
+          let flag = deletes.((lk.lk_store * nactors) + lk.lk_actor) in
+          if flag = lk.lk_maintenance then e
+          else
+            { e with e_likelihood = Some { lk with lk_maintenance = flag } }
+        | None -> e)
+      t.entries
+  in
+  { t with u; entries }
 
 let compile ?(matrix = Risk_matrix.default)
     ?(model = Disclosure_risk.default_likelihood) u lts =
@@ -170,7 +210,14 @@ let compile ?(matrix = Risk_matrix.default)
                (Hashtbl.find_opt rogue_candidates (store_id, a.actor))
                ~default:no_candidates)
       in
-      Some { lk_accidental; lk_maintenance; lk_rogue }
+      Some
+        {
+          lk_accidental;
+          lk_maintenance;
+          lk_rogue;
+          lk_actor = actor_i;
+          lk_store = store;
+        }
     | _ -> None
   in
   let n = Plts.num_transitions lts in
@@ -292,30 +339,30 @@ let eval_impact view = function
         else acc)
       0.0 fields
 
+let accidental_term model view = function
+  | Acc_potential -> model.Disclosure_risk.accidental_access
+  | Acc_agreed i ->
+    if Bitset.get view.agreed i then 0.0
+    else model.Disclosure_risk.rogue_service
+  | Acc_by_name service ->
+    if User_profile.agrees_to view.vp_profile service then 0.0
+    else model.Disclosure_risk.rogue_service
+
+let rogue_term model view = function
+  | None -> 0.0
+  | Some candidates ->
+    if Bitset.subset candidates view.agreed then 0.0
+    else model.Disclosure_risk.rogue_service
+
 let eval_likelihood model view = function
   | None -> 0.0
   | Some lk ->
-    let accidental =
-      match lk.lk_accidental with
-      | Acc_potential -> model.Disclosure_risk.accidental_access
-      | Acc_agreed i ->
-        if Bitset.get view.agreed i then 0.0
-        else model.Disclosure_risk.rogue_service
-      | Acc_by_name service ->
-        if User_profile.agrees_to view.vp_profile service then 0.0
-        else model.Disclosure_risk.rogue_service
-    in
+    let accidental = accidental_term model view lk.lk_accidental in
     let maintenance =
       if lk.lk_maintenance then model.Disclosure_risk.maintenance_exposure
       else 0.0
     in
-    let rogue =
-      match lk.lk_rogue with
-      | None -> 0.0
-      | Some candidates ->
-        if Bitset.subset candidates view.agreed then 0.0
-        else model.Disclosure_risk.rogue_service
-    in
+    let rogue = rogue_term model view lk.lk_rogue in
     (* Shared combination point: float-identical to the naive path. *)
     Disclosure_risk.combine_scenarios model ~accidental ~maintenance ~rogue
 
@@ -347,6 +394,77 @@ let summary t profile =
       end)
     t.findable;
   { worst = !worst; slot_levels }
+
+(* ----- what-if delta substrate ----- *)
+
+type site = {
+  site_entry : int;
+  site_slot : int;
+  site_fields : string list;
+  site_impact : float;
+  site_accidental : float;
+  site_maintenance : bool;
+  site_rogue : float;
+}
+
+let finding_sites t profile =
+  let view = view t profile in
+  let n = Array.length t.entries in
+  (* Compiled actions share field lists across transitions, so the
+     distinct name lists are few — intern the sorted copies instead of
+     allocating one per findable entry. *)
+  let interned : (string list, string list) Hashtbl.t = Hashtbl.create 64 in
+  let intern names =
+    match Hashtbl.find_opt interned names with
+    | Some sorted -> sorted
+    | None ->
+      let sorted = List.sort String.compare names in
+      Hashtbl.add interned names sorted;
+      sorted
+  in
+  let sites = ref [] in
+  let k = ref 0 in
+  Plts.iter_transitions t.lts (fun { label; _ } ->
+      let i = !k in
+      incr k;
+      if i < n then begin
+        let e = t.entries.(i) in
+        if e.e_findable then begin
+          let lk = Option.get e.e_likelihood in
+          sites :=
+            {
+              site_entry = i;
+              site_slot = e.e_slot;
+              site_fields =
+                intern (List.map Field.name label.Action.fields);
+              site_impact = eval_impact view e.e_impact;
+              site_accidental = accidental_term t.model view lk.lk_accidental;
+              site_maintenance = lk.lk_maintenance;
+              site_rogue = rogue_term t.model view lk.lk_rogue;
+            }
+            :: !sites
+        end
+      end);
+  Array.of_list (List.rev !sites)
+
+let site_level t s ~maintenance =
+  if s.site_impact > 0.0 then begin
+    let m =
+      if maintenance then t.model.Disclosure_risk.maintenance_exposure
+      else 0.0
+    in
+    let likelihood =
+      Disclosure_risk.combine_scenarios t.model
+        ~accidental:s.site_accidental ~maintenance:m ~rogue:s.site_rogue
+    in
+    if likelihood > 0.0 then begin
+      let il = Risk_matrix.impact_level t.matrix s.site_impact in
+      let ll = Risk_matrix.likelihood_level t.matrix likelihood in
+      Risk_matrix.level t.matrix ~impact:il ~likelihood:ll
+    end
+    else Level.None_
+  end
+  else Level.None_
 
 (* ----- full report (bit-compatible with Disclosure_risk.analyse) ----- *)
 
@@ -392,11 +510,18 @@ let witness_of labels tree src =
     unwind [] src
   end
 
-let analyse t profile =
-  if Plts.num_transitions t.lts <> Array.length t.entries then
-    invalid_arg "Risk_plan.analyse: LTS changed since compile";
-  let view = view t profile in
+let analyse ?(grown = false) t profile =
+  let nt = Plts.num_transitions t.lts in
   let n = Array.length t.entries in
+  if (if grown then nt < n else nt <> n) then
+    invalid_arg "Risk_plan.analyse: LTS changed since compile";
+  (* A grown LTS only ever gains [Pseudonym_risk]'s inferred-read
+     transitions, which the report skips (not findable, not annotated) —
+     but the witness tree cannot be rebuilt over the appended edges, so
+     it must have been cached by an in-sync [analyse] first. *)
+  if grown && nt > n && t.witness_tree = None then
+    invalid_arg "Risk_plan.analyse: no cached witness tree for grown LTS";
+  let view = view t profile in
   let imp = Array.make n 0.0 in
   let lik = Array.make n 0.0 in
   Array.iteri
@@ -405,21 +530,31 @@ let analyse t profile =
       lik.(k) <- eval_likelihood t.model view e.e_likelihood)
     t.entries;
   (* Annotate read labels in place, exactly like the naive pass;
-     map_labels visits transitions in the same order entries were
-     compiled. Inferred (§III-B) labels keep their Value_risk. *)
+     map_labels visits non-inferred transitions in the same order
+     entries were compiled. Appended Inferred (§III-B) labels live
+     inside their source state's successor bucket — mid-sweep, not at
+     the end — so they are recognised by provenance (only the pseudonym
+     pass creates Inferred actions, always after compile) rather than by
+     index, and pass through without consuming an entry slot. *)
   let labels = Array.make (max n 1) None in
   let counter = ref 0 in
   Plts.map_labels t.lts (fun { label; _ } ->
-      let k = !counter in
-      incr counter;
-      let label' =
-        if t.entries.(k).e_annotate then
-          Action.with_risk label
-            (Risk_matrix.assess t.matrix ~impact:imp.(k) ~likelihood:lik.(k))
-        else label
-      in
-      labels.(k) <- Some label';
-      label');
+      if grown && label.Action.provenance = Action.Inferred then label
+      else begin
+        let k = !counter in
+        incr counter;
+        let label' =
+          if t.entries.(k).e_annotate then
+            Action.with_risk label
+              (Risk_matrix.assess t.matrix ~impact:imp.(k)
+                 ~likelihood:lik.(k))
+          else label
+        in
+        labels.(k) <- Some label';
+        label'
+      end);
+  if !counter <> n then
+    invalid_arg "Risk_plan.analyse: grown LTS has non-inferred new transitions";
   let labels = Array.map (fun l -> Option.get l) labels in
   let tree = force_witness_tree t in
   let findings = ref [] in

@@ -40,6 +40,26 @@ val slots : t -> (string * string option) array
     order. *)
 
 val matrix : t -> Risk_matrix.t
+val model : t -> Disclosure_risk.likelihood_model
+
+val num_entries : t -> int
+(** Number of transitions the plan was compiled over. *)
+
+val in_sync : t -> bool
+(** The LTS still has exactly the compiled transition set (no
+    [Pseudonym_risk] pass has appended to it). *)
+
+val with_universe : t -> Universe.t -> t
+(** Rebind the plan to an edited universe {e known} to leave every
+    compiled entry valid (the incremental engine's LTS-preserving,
+    report-preserving policy edits). Shares all compiled arrays. *)
+
+val repatch_maintenance : t -> Universe.t -> t
+(** Rebind to a universe whose policy differs only in Delete
+    permissions (with potential deletes off): recomputes the
+    maintenance-exposure flag of every read entry from the new deleter
+    sets and shares everything else. The result equals a fresh
+    [compile u lts] at the cost of one entry walk. *)
 
 type summary = {
   worst : Level.t;  (** [Disclosure_risk.max_level] of the report. *)
@@ -54,12 +74,49 @@ val summary : t -> User_profile.t -> summary
     rewriting). Safe to call concurrently from several domains on the
     same plan. *)
 
-val analyse : t -> User_profile.t -> Disclosure_risk.report
+val analyse : ?grown:bool -> t -> User_profile.t -> Disclosure_risk.report
 (** Drop-in replacement for [Disclosure_risk.analyse ~matrix ~model u
     lts profile]: annotates read labels in place and returns the
     identical report. Witnesses come from a BFS tree built once per
     plan instead of one search per finding. Not domain-safe (it
     mutates labels and the cached tree).
 
+    [~grown:true] additionally accepts an LTS that has {e gained}
+    transitions since {!compile} — only a [Pseudonym_risk] pass appends
+    to an LTS, and its inferred-read transitions are neither findable
+    nor annotated, so the report over the compiled prefix is identical
+    to one produced before the pass. The witness tree must already be
+    cached by an earlier in-sync [analyse] (the incremental engine's
+    profile-edit path guarantees this).
+
     @raise Invalid_argument when transitions were added since
-    {!compile}. *)
+    {!compile} (default mode), removed (any mode), or [~grown:true]
+    finds no cached witness tree. *)
+
+(** {2 What-if delta substrate}
+
+    One record per findable entry with the §III-A evaluation broken
+    into its scenario terms, so a what-if sweep can re-level just the
+    entries an edit touches without re-running {!analyse}. *)
+
+type site = {
+  site_entry : int;  (** Entry index (transition order). *)
+  site_slot : int;  (** Index into {!slots}. *)
+  site_fields : string list;
+      (** Sorted field names of the read label — the [Risk_diff]
+          signature key. Interned: equal lists are shared. *)
+  site_impact : float;  (** Resolved impact for the given profile. *)
+  site_accidental : float;  (** Resolved accidental-access term. *)
+  site_maintenance : bool;  (** Maintenance-exposure flag. *)
+  site_rogue : float;  (** Resolved rogue-service term. *)
+}
+
+val finding_sites : t -> User_profile.t -> site array
+(** All findable entries in transition order, evaluated for [profile].
+    One label pass; safe on a grown LTS (appended transitions are not
+    findable). *)
+
+val site_level : t -> site -> maintenance:bool -> Level.t
+(** Re-level one site with its maintenance flag overridden —
+    float-identical to what {!analyse} computes for that entry when the
+    plan's flag has that value. *)

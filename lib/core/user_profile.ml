@@ -21,6 +21,7 @@ let make ?(sensitivities = []) ~agreed_services () =
 let of_category = function `Low -> 0.2 | `Medium -> 0.55 | `High -> 0.9
 
 let agreed_services t = t.agreed_services
+let sensitivities t = t.sensitivities
 let agrees_to t svc = List.mem svc t.agreed_services
 
 let sensitivity t f =

@@ -28,6 +28,10 @@ val of_category : [ `Low | `Medium | `High ] -> float
 (** Representative σ for a questionnaire category: 0.2 / 0.55 / 0.9. *)
 
 val agreed_services : t -> string list
+
+val sensitivities : t -> (Field.t * float) list
+(** The explicit (field, σ) pairs, in declaration order. *)
+
 val agrees_to : t -> string -> bool
 val sensitivity : t -> Field.t -> float
 (** σ(d). *)

@@ -1,0 +1,74 @@
+(** Interactive what-if sweeps: the batched form of the §IV-A edit
+    loop.
+
+    {!prepare} digests a profile-bearing {!Analysis.t} once — every
+    findable entry's scenario terms ({!Risk_plan.finding_sites}),
+    interned finding signatures, per-(actor, store) slot indices — and
+    {!eval_edit} then answers "what does this edit do to the report?"
+    as a delta against that substrate:
+
+    - edits the classifier proves report-preserving come back
+      [Unchanged] with an empty {!Risk_diff.t};
+    - Delete-permission edits (maintenance-exposure flips) and σ edits
+      re-level only the affected signatures' sites ([Delta]) — this is
+      the interactive (<10 ms) path;
+    - profile edits that touch agreement, or policy edits needing a
+      full re-evaluation over the reused LTS, are [Replay];
+    - edits that may change the reachable transition structure are
+      [Full_rerun].
+
+    [Replay]/[Full_rerun] candidates are not computed unless [~exact]
+    routes them through {!Analysis.run_incremental} (byte-identical to
+    a cold run, seconds on large models). *)
+
+type classification = Unchanged | Delta | Replay | Full_rerun
+
+val classification_to_string : classification -> string
+
+type outcome = {
+  edit : Edit.t;
+  classification : classification;
+  diff : Risk_diff.t option;
+      (** [None] when the candidate was classified but not computed
+          ([Replay]/[Full_rerun] without [~exact]). *)
+  worst_after : Level.t option;  (** Same availability as [diff]. *)
+}
+
+type base
+
+val prepare : Analysis.t -> (base, string) result
+(** One pass over the plan's findable entries (a [whatif/prepare]
+    span). Fails when the analysis has no profile (and hence no
+    disclosure report to delta against). *)
+
+val worst_before : base -> Level.t
+val num_signatures : base -> int
+val num_sites : base -> int
+
+val acl_candidates : base -> Edit.t list
+(** The "try all single-ACL removals" candidate set: one single-tuple
+    [Revoke] per concrete Read/Write grant of the base policy, plus one
+    whole-store Delete [Revoke] per (actor, store) holding any Delete —
+    maintenance exposure is store-level, so per-field Delete
+    revocations are provably no-ops. *)
+
+val eval_edit :
+  ?exact:bool -> base -> Edit.t -> (outcome, string) result
+(** Evaluate one candidate. Errors are application failures (unknown
+    store, ...); classification never fails. Increments
+    [whatif/incremental_hits] or [whatif/invalidated_lts] per
+    candidate. The delta path is read-only on the base; [~exact] is
+    not (it re-annotates the shared LTS labels) and must not run
+    concurrently. *)
+
+val improvement_score : Risk_diff.t -> int
+(** Σ (rank before − rank after) over removed/added/changed
+    signatures: positive = risk reduced. *)
+
+type ranked = { outcome : outcome; score : int }
+
+val sweep : ?jobs:int -> ?exact:bool -> base -> Edit.t list -> ranked list
+(** Evaluate every candidate and rank by descending {!improvement_score}
+    (uncomputed candidates last, ties in candidate order), under a
+    [phase/whatif] span. [~jobs] fans the (read-only) delta evaluations
+    over a domain pool; forced sequential when [~exact]. *)

@@ -140,8 +140,19 @@ let model spec =
           (Acl.Actor_subject (actor_name (Prng.int rng spec.nactors)))
           ~store:(store_name i) [ Permission.Read ])
   in
+  (* Maintenance Delete grants (§III-A): one random deleter per store,
+     drawn after every other draw so the diagram and the grants above
+     keep their shape across seeds. With potential deletes off these
+     never touch the LTS — only the maintenance-exposure term — which
+     makes them the incremental sweep's interactive candidates. *)
+  let maintenance =
+    List.init spec.nstores (fun i ->
+        Acl.allow
+          (Acl.Actor_subject (actor_name (Prng.int rng spec.nactors)))
+          ~store:(store_name i) [ Permission.Delete ])
+  in
   let diagram = Diagram.make_exn ~actors ~datastores ~services in
-  (diagram, Mdp_policy.Policy.make (required_entries @ gratuitous))
+  (diagram, Mdp_policy.Policy.make (required_entries @ gratuitous @ maintenance))
 
 let profile spec diagram =
   let rng = Prng.create ~seed:(spec.seed + 1) in

@@ -24,8 +24,10 @@ val model : spec -> Mdp_dataflow.Diagram.t * Mdp_policy.Policy.t
     interleaves creates and reads over random stores and field subsets,
     and the policy grants each actor read/write on the stores its flows
     touch, plus one gratuitous read grant per store to a random actor
-    (so potential-read transitions exist). Field counts are clamped so
-    every flow carries at least one field. *)
+    (so potential-read transitions exist) and one store-level Delete
+    grant per store to a random actor (maintenance exposure, the
+    incremental what-if sweep's fast-path candidates). Field counts are
+    clamped so every flow carries at least one field. *)
 
 val profile : spec -> Mdp_dataflow.Diagram.t -> Mdp_core.User_profile.t
 (** Agrees to the first half of the services; a random third of the

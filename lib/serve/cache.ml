@@ -20,6 +20,7 @@ type 'v t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable stale_hits : int;
   mutable evictions : int;
   mu : Mutex.t;
 }
@@ -37,6 +38,7 @@ let create ?(stale_cap = 0) ~name ~cap () =
     tick = 0;
     hits = 0;
     misses = 0;
+    stale_hits = 0;
     evictions = 0;
     mu = Mutex.create ();
   }
@@ -129,12 +131,29 @@ let put t key value =
       done;
       maybe_compact t)
 
+(* A second-chance answer is not a plain hit: live answers count as
+   [hits] (and refresh recency, same as [find]), stale-store answers as
+   [stale_hits] — conflating them would make the hit ratio look healthy
+   exactly when the cache is thrashing and degrading to stale serves. *)
 let find_stale t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl key with
-      | Some e -> Some e.value
-      | None ->
-        Option.map (fun e -> e.value) (Hashtbl.find_opt t.stale_tbl key))
+      | Some e ->
+        t.hits <- t.hits + 1;
+        Metrics.incr (t.name ^ "/hits");
+        touch t t.order e key;
+        maybe_compact t;
+        Some e.value
+      | None -> (
+        match Hashtbl.find_opt t.stale_tbl key with
+        | Some e ->
+          t.stale_hits <- t.stale_hits + 1;
+          Metrics.incr (t.name ^ "/stale_hits");
+          Some e.value
+        | None ->
+          t.misses <- t.misses + 1;
+          Metrics.incr (t.name ^ "/misses");
+          None))
 
 let remove t key =
   locked t (fun () ->
@@ -146,6 +165,7 @@ type stats = {
   cap : int;
   hits : int;
   misses : int;
+  stale_hits : int;
   evictions : int;
   stale_len : int;
 }
@@ -157,6 +177,7 @@ let stats t =
         cap = t.cap;
         hits = t.hits;
         misses = t.misses;
+        stale_hits = t.stale_hits;
         evictions = t.evictions;
         stale_len = Hashtbl.length t.stale_tbl;
       })
@@ -169,6 +190,7 @@ let stats_json t =
       ("cap", Mdp_prelude.Json.int s.cap);
       ("hits", Mdp_prelude.Json.int s.hits);
       ("misses", Mdp_prelude.Json.int s.misses);
+      ("stale_hits", Mdp_prelude.Json.int s.stale_hits);
       ("evictions", Mdp_prelude.Json.int s.evictions);
       ("stale_len", Mdp_prelude.Json.int s.stale_len);
     ]

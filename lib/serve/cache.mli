@@ -37,7 +37,10 @@ val put : 'v t -> string -> 'v -> unit
 val find_stale : 'v t -> string -> 'v option
 (** Look for a previously-evicted value. Never consulted on the fast
     path — only when degrading under overload. Checks live entries
-    first, so a [Some] is best-effort "the freshest we ever had". *)
+    first, so a [Some] is best-effort "the freshest we ever had". A
+    live answer counts (and refreshes recency) as a plain hit; a
+    stale-store answer counts as a {e stale hit}, kept separate in
+    {!stats} so degraded serving never inflates the real hit ratio. *)
 
 val remove : 'v t -> string -> unit
 (** Drop a key from live and stale stores (used when an artifact is
@@ -48,6 +51,7 @@ type stats = {
   cap : int;
   hits : int;
   misses : int;
+  stale_hits : int;  (** Served from the stale store by {!find_stale}. *)
   evictions : int;
   stale_len : int;
 }

@@ -40,6 +40,9 @@ type artifact = {
   universe : C.Universe.t;
   lts : C.Plts.t;
   consistency : C.Consistency.gap list;
+  options : C.Generate.options;
+      (** Exactly what the LTS was generated with — the what-if
+          classifier needs them to bound an edit's damage. *)
   lock : Mutex.t;
   mutable plan : C.Risk_plan.t option;
 }
@@ -96,7 +99,7 @@ let resolve_model (m : Protocol.model_ref) =
       | text -> Ok (Digest.to_hex (Digest.string ("file\x00" ^ text)), Dsl text)
       | exception Sys_error msg -> Error msg))
 
-let kind_essence = function
+let rec kind_essence = function
   | Protocol.Lts_stats -> "lts"
   | Protocol.Risk p ->
     let agreed = List.sort String.compare p.agreed in
@@ -107,6 +110,20 @@ let kind_essence = function
     "risk|" ^ String.concat "," agreed ^ "|" ^ String.concat "," sens
   | Protocol.Population p ->
     Printf.sprintf "population|%d|%d|%.17g" p.psize p.pseed p.pagree
+  | Protocol.Whatif w ->
+    (* Edit-delta keys: canonicalise parseable edit specs so equivalent
+       spellings ("read,write" vs "write,read") share a cache entry;
+       unparseable specs key on their raw text (the request will be
+       rejected downstream anyway, uncached). *)
+    let edits =
+      List.map
+        (fun s ->
+          match C.Edit.parse s with Ok e -> C.Edit.to_string e | Error _ -> s)
+        w.wedits
+    in
+    Printf.sprintf "whatif|%s|%s|diff=%b"
+      (kind_essence (Protocol.Risk w.wprofile))
+      (String.concat ";" edits) w.wdiff
 
 let artifact_key model_key max_states =
   Printf.sprintf "%s#ms=%d" model_key max_states
@@ -139,6 +156,61 @@ let risk_body (a : artifact) (report : C.Disclosure_risk.report) =
       ("exposures", Json.List (List.map C.Report.finding report.exposures));
       ("consistency_gaps", Json.int (List.length a.consistency));
     ]
+
+let signature_json (s : C.Risk_diff.signature) =
+  Json.Obj
+    [
+      ("actor", Json.Str s.actor);
+      ("store", match s.store with Some st -> Json.Str st | None -> Json.Null);
+      ("kind", Json.Str (Format.asprintf "%a" C.Action.pp_kind s.kind));
+      ("fields", Json.List (List.map (fun f -> Json.Str f) s.fields));
+    ]
+
+let change_json (c : C.Risk_diff.change) =
+  Json.Obj
+    [
+      ("signature", signature_json c.signature);
+      ("before", level c.before);
+      ("after", level c.after);
+    ]
+
+let diff_json (d : C.Risk_diff.t) =
+  Json.Obj
+    [
+      ("removed", Json.List (List.map change_json d.removed));
+      ("added", Json.List (List.map change_json d.added));
+      ("changed", Json.List (List.map change_json d.changed));
+      ("unchanged", Json.int d.unchanged);
+      ("improved", Json.Bool (C.Risk_diff.improved d));
+    ]
+
+let whatif_body ~diff ~(inv : C.Edit.invalidation) ~before ~after_t =
+  let after =
+    match after_t.C.Analysis.disclosure with
+    | Some r -> r
+    | None -> assert false (* whatif always runs with a profile *)
+  in
+  Json.Obj
+    ([
+       ("worst_before", level (C.Disclosure_risk.max_level before));
+       ("worst_after", level (C.Disclosure_risk.max_level after));
+       ("findings_after", Json.int (List.length after.findings));
+       ("incremental", Json.Bool (not inv.C.Edit.inv_lts));
+       ( "invalidated",
+         Json.Obj
+           [
+             ("lts", Json.Bool inv.C.Edit.inv_lts);
+             ("plan", Json.Bool inv.C.Edit.inv_plan);
+             ("risk", Json.Bool inv.C.Edit.inv_risk);
+             ("classes", Json.Bool inv.C.Edit.inv_classes);
+             ("pseudonym", Json.Bool inv.C.Edit.inv_pseudonym);
+             ("consistency", Json.Bool inv.C.Edit.inv_consistency);
+           ] );
+     ]
+    @
+    if diff then
+      [ ("diff", diff_json (C.Risk_diff.diff ~before ~after)) ]
+    else [])
 
 let population_body (agg : C.Population.aggregate) =
   Json.Obj
@@ -195,6 +267,7 @@ let compile_artifact t ~cancel ~max_states source =
     universe;
     lts;
     consistency = C.Consistency.check universe;
+    options;
     lock = Mutex.create ();
     plan = None;
   }
@@ -256,6 +329,51 @@ let evaluate t ~akey ~cancel (a : artifact) (kind : Protocol.kind) =
         population_body
           (C.Population.analyse_compiled ~jobs:t.config.jobs ?cancel ~plan
              ~classes:cls a.universe a.lts []))
+  | Protocol.Whatif w ->
+    let profile = profile_of w.wprofile in
+    let edits =
+      match C.Edit.parse_all w.wedits with
+      | Ok es -> es
+      | Error msg -> refuse_error ("bad edit: " ^ msg)
+    in
+    with_artifact_lock a (fun () ->
+        Metrics.span "serve/whatif" @@ fun () ->
+        let plan = plan_of a in
+        (* The in-sync analyse both yields the baseline report and
+           caches the plan's witness tree, which the incremental
+           re-evaluation over the (possibly reused) LTS depends on. *)
+        let before = C.Risk_plan.analyse plan profile in
+        let base =
+          {
+            C.Analysis.params =
+              {
+                options = a.options;
+                matrix = C.Risk_matrix.default;
+                model = C.Disclosure_risk.default_likelihood;
+                profile = Some profile;
+                bindings = [];
+              };
+            universe = a.universe;
+            lts = a.lts;
+            consistency = a.consistency;
+            disclosure = Some before;
+            pseudonym = [];
+            plan = Some plan;
+          }
+        in
+        let inputs = C.Analysis.inputs_of base in
+        let after_inputs =
+          match C.Edit.apply_all inputs edits with
+          | Ok i -> i
+          | Error msg -> refuse_error ("edit does not apply: " ^ msg)
+        in
+        let inv =
+          C.Edit.classify ~options:a.options ~before:inputs ~after:after_inputs
+        in
+        let after_t =
+          C.Analysis.run_incremental ~jobs:t.config.jobs ~previous:base edits
+        in
+        whatif_body ~diff:w.wdiff ~inv ~before ~after_t)
 
 (* Breaker accounting: only evidence that the model itself is too
    expensive (state-limit trips, blown deadlines) counts as a failure.

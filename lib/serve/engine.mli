@@ -22,6 +22,14 @@
     lock serialising plan use; [Risk_plan.summary]-based population
     sweeps still fan out over [jobs] domains {e inside} the lock.
 
+    [whatif] requests run {!Mdp_core.Analysis.run_incremental} against
+    the cached artifact under that same lock: edits the classifier
+    proves LTS-preserving reuse the artifact's LTS and compiled plan
+    (re-evaluation only), and result keys canonicalise the edit specs
+    so equivalent edit spellings share a cache entry. A full fallback
+    (LTS-invalidating edit) explores a fresh LTS without touching the
+    cached artifact; it honours the state guard but not [cancel].
+
     Failures are structured, never escaping exceptions: state-limit
     trips and deadline expiries also feed the per-model-hash circuit
     {!Breaker}, so a model that keeps blowing its budget fast-fails

@@ -7,10 +7,17 @@ type profile_spec = {
 
 type pop_spec = { psize : int; pseed : int; pagree : float }
 
+type whatif_spec = {
+  wprofile : profile_spec;
+  wedits : string list;
+  wdiff : bool;
+}
+
 type kind =
   | Lts_stats
   | Risk of profile_spec
   | Population of pop_spec
+  | Whatif of whatif_spec
 
 type model_ref = Named of string | Inline of string
 
@@ -126,6 +133,21 @@ let parse_request line =
         else if pagree < 0.0 || pagree > 1.0 then
           fail "\"agree_probability\" must be within [0,1]"
         else analysis (Population { psize; pseed; pagree })
+      | "whatif" -> (
+        match Json.member "edits" j with
+        | Some (Json.List (_ :: _ as l))
+          when List.for_all
+                 (fun e -> Json.to_str_opt e <> None)
+                 l ->
+          analysis
+            (Whatif
+               {
+                 wprofile = profile_of j;
+                 wedits = List.filter_map Json.to_str_opt l;
+                 wdiff =
+                   Option.value (bool_member "diff" j) ~default:false;
+               })
+        | _ -> fail "\"whatif\" needs a non-empty string list \"edits\"")
       | "cancel" -> (
         match str_member "target" j with
         | Some target -> Ok { req_id = id; cmd = Cancel_request target }

@@ -15,9 +15,10 @@
      "agree":["Service0"],"sensitivity":{"Field0":0.9},
      "deadline_ms":2000,"max_states":100000,"allow_stale":false}
     v}
-    [cmd] is one of ["lts"], ["risk"], ["population"] (analysis
-    requests), ["cancel"] (with ["target"]: the id of an in-flight
-    request), ["ping"], ["health"], ["metrics"], ["shutdown"]. Models
+    [cmd] is one of ["lts"], ["risk"], ["population"], ["whatif"]
+    (analysis requests), ["cancel"] (with ["target"]: the id of an
+    in-flight request), ["ping"], ["health"], ["metrics"],
+    ["shutdown"]. Models
     are named by path, by ["synthetic:NA-NF-FPS[@SEED]"] spec, or
     supplied inline as DSL text under ["model_text"]. *)
 
@@ -32,10 +33,22 @@ type profile_spec = {
 
 type pop_spec = { psize : int; pseed : int; pagree : float }
 
+type whatif_spec = {
+  wprofile : profile_spec;  (** Same fields as a ["risk"] request. *)
+  wedits : string list;  (** [Mdp_core.Edit] concrete specs, in order. *)
+  wdiff : bool;  (** Include the per-signature {!Mdp_core.Risk_diff}. *)
+}
+
 type kind =
   | Lts_stats  (** Generate and summarise the LTS. *)
   | Risk of profile_spec  (** §III-A disclosure analysis, full report. *)
   | Population of pop_spec  (** Aggregate over a simulated population. *)
+  | Whatif of whatif_spec
+      (** §IV-A edit loop: apply edits, recompute incrementally against
+          the cached artifact, report before/after (and optionally the
+          risk diff). Parsed from
+          [{"cmd":"whatif","edits":["revoke:Admin:delete:EHR"],
+          "diff":true, ...}] with the profile fields of ["risk"]. *)
 
 type model_ref =
   | Named of string  (** File path or [synthetic:...] spec. *)

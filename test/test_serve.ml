@@ -88,6 +88,29 @@ let test_parse_errors_keep_id () =
   | Error (None, _) -> ()
   | _ -> Alcotest.fail "broken JSON must fail"
 
+let test_parse_whatif () =
+  let line =
+    {|{"id":"w1","cmd":"whatif","model":"synthetic:4-6-3","agree":["Service0"],|}
+    ^ {|"sensitivity":{"Field0":0.4},"edits":["revoke:Actor0:delete:Store0"],|}
+    ^ {|"diff":true}|}
+  in
+  (match S.Protocol.parse_request line with
+  | Ok { req_id = Some "w1"; cmd = S.Protocol.Analyse a } -> (
+    match a.kind with
+    | S.Protocol.Whatif w ->
+      check bool_ "edits" true (w.wedits = [ "revoke:Actor0:delete:Store0" ]);
+      check bool_ "diff" true w.wdiff;
+      check bool_ "profile agree" true (w.wprofile.agreed = [ "Service0" ])
+    | _ -> Alcotest.fail "expected whatif kind")
+  | _ -> Alcotest.fail "whatif request did not parse");
+  match
+    S.Protocol.parse_request
+      {|{"id":"w2","cmd":"whatif","model":"synthetic:4-6-3","edits":[]}|}
+  with
+  | Error (Some "w2", msg) ->
+    check bool_ "empty edits rejected" true (contains msg "edits")
+  | _ -> Alcotest.fail "empty edits must be rejected"
+
 let test_response_roundtrip () =
   let r =
     S.Protocol.response ~id:(Some "q1") ~cached:true ~elapsed_ms:12.5
@@ -122,7 +145,16 @@ let test_cache_lru_eviction () =
   let s = S.Cache.stats c in
   check int_ "len" 2 s.S.Cache.len;
   check int_ "evictions" 1 s.S.Cache.evictions;
-  check int_ "stale len" 1 s.S.Cache.stale_len
+  check int_ "stale len" 1 s.S.Cache.stale_len;
+  (* Second-chance answers are accounted separately from plain hits:
+     the "b" stale serve above must not inflate the hit count. *)
+  check int_ "stale hit counted" 1 s.S.Cache.stale_hits;
+  let hits_before = s.S.Cache.hits in
+  check bool_ "live find_stale answers" true (S.Cache.find_stale c "a" = Some 1);
+  let s' = S.Cache.stats c in
+  check int_ "live find_stale is a plain hit" (hits_before + 1) s'.S.Cache.hits;
+  check int_ "no extra stale hit" 1 s'.S.Cache.stale_hits;
+  check bool_ "unknown key is a miss" true (S.Cache.find_stale c "zz" = None)
 
 let test_cache_bounded_under_churn () =
   let c = S.Cache.create ~name:"t/churn" ~cap:4 ~stale_cap:3 () in
@@ -384,6 +416,60 @@ let test_engine_stale_degradation () =
       (body_string resp)
   | None -> Alcotest.fail "evicted result must be servable as stale"
 
+let whatif_kind ?(diff = false) edits =
+  S.Protocol.Whatif
+    {
+      wprofile = { agreed = [ "Service0" ]; sensitivities = [ ("Field0", 0.4) ] };
+      wedits = edits;
+      wdiff = diff;
+    }
+
+let test_engine_whatif () =
+  let e = S.Engine.create () in
+  (* Profile-only edit: the incremental path must reuse the cached
+     artifact, and the resulting report must agree with a direct risk
+     request under the edited profile. *)
+  let resp =
+    S.Engine.handle e
+      (analyse ~kind:(whatif_kind ~diff:true [ "sensitivity:Field0=0.9" ]) "w1")
+  in
+  check bool_ "whatif ok" true (resp.status = S.Protocol.Ok_);
+  check bool_ "profile edit is incremental" true
+    (Json.member "incremental" resp.body = Some (Json.Bool true));
+  check bool_ "diff present when requested" true
+    (Json.member "diff" resp.body <> None);
+  let risk_direct = S.Engine.handle e (analyse ~kind:risk_kind "w2") in
+  let findings_after =
+    Option.bind (Json.member "findings_after" resp.body) Json.to_int_opt
+  in
+  let direct_count =
+    match Json.member "findings" risk_direct.body with
+    | Some (Json.List l) -> Some (List.length l)
+    | _ -> None
+  in
+  check bool_ "whatif agrees with a direct risk query" true
+    (findings_after <> None && findings_after = direct_count);
+  (* Warm repeat: served from the result cache. *)
+  let warm =
+    S.Engine.handle e
+      (analyse ~kind:(whatif_kind ~diff:true [ "sensitivity:Field0=0.9" ]) "w3")
+  in
+  check bool_ "warm whatif cached" true warm.cached;
+  check string_ "warm whatif byte-identical" (body_string resp)
+    (body_string warm);
+  (* A flow edit may change the reachable structure: full fallback. *)
+  let full =
+    S.Engine.handle e (analyse ~kind:(whatif_kind [ "flow-:Service0:1" ]) "w4")
+  in
+  check bool_ "flow edit ok" true (full.status = S.Protocol.Ok_);
+  check bool_ "flow edit is a full rerun" true
+    (Json.member "incremental" full.body = Some (Json.Bool false));
+  (* Unparseable and inapplicable edits are structured errors. *)
+  let bad =
+    S.Engine.handle e (analyse ~kind:(whatif_kind [ "revoke:Actor0:fly:X" ]) "w5")
+  in
+  check bool_ "bad edit is an error" true (bad.status = S.Protocol.Error_)
+
 let test_engine_malformed_model () =
   let e = S.Engine.create () in
   let bad = S.Engine.handle e (analyse ~model:"synthetic:nope" "m1") in
@@ -497,6 +583,7 @@ let () =
           Alcotest.test_case "request parsing" `Quick test_parse_request;
           Alcotest.test_case "errors keep the id" `Quick
             test_parse_errors_keep_id;
+          Alcotest.test_case "whatif request parsing" `Quick test_parse_whatif;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
         ] );
       ( "cache",
@@ -536,6 +623,8 @@ let () =
             test_engine_state_limit_and_breaker;
           Alcotest.test_case "stale degradation" `Quick
             test_engine_stale_degradation;
+          Alcotest.test_case "whatif incremental + fallback" `Quick
+            test_engine_whatif;
           Alcotest.test_case "malformed models" `Quick
             test_engine_malformed_model;
         ] );
