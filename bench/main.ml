@@ -2002,7 +2002,504 @@ let perf_pr8 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR8.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 9: external-memory exploration. An unspilled packed run fixes the
+   resident peak; the same model is then re-explored under a
+   [--mem-budget] well below that peak, so sealed arena chunks and
+   sealed dedup generations must go to disk for the run to complete.
+   Gates: the spilled run finishes with resident bytes within the
+   budget, actually used both disk tiers, reproduces the unspilled
+   numbering byte-for-byte at every job count, and costs at most 2.5x
+   the unspilled wall time. The CI workflow additionally runs this
+   section under a [ulimit -v] below the boxed engine's footprint, so
+   completion itself proves the bound is disk, not RAM. Emits
+   BENCH_PR9.json. *)
+
+type pr9_case = {
+  c9_name : string;
+  c9_dims : int * int * int;  (* actors, fields, flows/service *)
+  c9_services : int;
+  c9_max_states : int;
+  c9_budget_pct : int;  (* --mem-budget as a % of the unspilled peak *)
+  c9_det_jobs : int list;  (* job counts for the determinism matrix *)
+  c9_gate : bool;  (* apply the residency + overhead gates *)
+  c9_cap_kb : int;
+      (* [ulimit -v] for the disk-bounded A/B in child processes: the
+         budgeted packed run must complete under this address-space
+         cap, the boxed engine must not. 0 skips the A/B. *)
+}
+
+let pr9_cases ~smoke =
+  if smoke then
+    [
+      (* Same model as the pr7 smoke case: ~40 MB packed peak, of which
+         ~29 MB (edges + successor index) is unevictable. A 75% budget
+         sits just above that floor, so completing within it requires
+         evicting essentially every sealed chunk and dedup table. *)
+      {
+        c9_name = "synthetic:12-14-7";
+        c9_dims = (12, 14, 7);
+        c9_services = 2;
+        c9_max_states = 1_000_000;
+        c9_budget_pct = 75;
+        c9_det_jobs = [ 1; 4 ];
+        c9_gate = true;
+        (* 560 MiB: probed ~65 MiB above what the budgeted jobs=1 run
+           needs end to end and ~100 MiB below where the boxed engine
+           first survives. *)
+        c9_cap_kb = 573_440;
+      };
+    ]
+  else
+    [
+      {
+        c9_name = "synthetic:11-14-8";
+        c9_dims = (11, 14, 8);
+        c9_services = 2;
+        c9_max_states = 400_000;
+        c9_budget_pct = 75;
+        c9_det_jobs = [ 1; 4 ];
+        c9_gate = true;
+        c9_cap_kb = 393_216;  (* 384 MiB, between ~348 (spilled) and ~420 (boxed) *)
+      };
+      (* The headroom case: millions of states with most of the arena
+         and dedup structure on disk. Ungated and uncapped — the point
+         is that it completes at all under a fraction of its in-RAM
+         peak, and a boxed counterpart would take minutes to die. *)
+      {
+        c9_name = "synthetic:8-14-8x3";
+        c9_dims = (8, 14, 8);
+        c9_services = 3;
+        c9_max_states = 25_000_000;
+        c9_budget_pct = 75;
+        c9_det_jobs = [ 4 ];
+        c9_gate = false;
+        c9_cap_kb = 0;
+      };
+    ]
+
+(* A deterministic fingerprint of the whole LTS — state payloads in id
+   order plus every transition — so child processes can prove their
+   numbering against the parent's with one integer. *)
+let pr9_digest lts =
+  let h = ref 0 in
+  for i = 0 to Core.Plts.num_states lts - 1 do
+    h := (!h * 1000003) lxor Core.Config.hash (Core.Plts.state_data lts i);
+    List.iter
+      (fun (label, dst) -> h := (!h * 31) lxor (Hashtbl.hash label lxor dst))
+      (Core.Plts.successors lts i)
+  done;
+  !h land max_int
+
+let pr9_spec (na, nf, fps) services =
+  {
+    Synthetic.seed = 42;
+    nactors = na;
+    nfields = nf;
+    nstores = 2;
+    nservices = services;
+    flows_per_service = fps;
+  }
+
+(* One exploration in a child process (dispatched on [--pr9-child]
+   before anything else in main): explores the given synthetic model
+   with the requested engine and prints one machine-readable line.
+   The parent launches it under `ulimit -v`, so completing at all is
+   the property being tested. *)
+let pr9_child args =
+  match args with
+  | [ mode; budget; max_states; na; nf; fps; services; jobs ] ->
+    let i = int_of_string in
+    let spec = pr9_spec (i na, i nf, i fps) (i services) in
+    let diagram, policy = Synthetic.model spec in
+    let u = Core.Universe.make diagram policy in
+    let options =
+      {
+        Core.Generate.default_options with
+        max_states = i max_states;
+        packed = mode <> "boxed";
+        mem_budget = (if mode = "spilled" then Some (i budget) else None);
+      }
+    in
+    let t0 = Mdp_obs.Clock.now_ns () in
+    let lts = Core.Generate.run ~options ~jobs:(i jobs) u in
+    let secs = Mdp_obs.Clock.elapsed_s t0 in
+    let digest = pr9_digest lts in
+    let resident, spill, chunks, tables, faults =
+      match (Core.Plts.mem_stats lts, Core.Plts.spill_stats lts) with
+      | Some ms, Some sp ->
+        ( ms.Mdp_lts.Lts.ms_resident_bytes,
+          sp.Mdp_lts.Lts.sp_bytes,
+          sp.Mdp_lts.Lts.sp_chunks,
+          sp.Mdp_lts.Lts.sp_tables,
+          sp.Mdp_lts.Lts.sp_faults )
+      | Some ms, None -> (ms.Mdp_lts.Lts.ms_resident_bytes, 0, 0, 0, 0)
+      | None, _ -> (0, 0, 0, 0, 0)
+    in
+    Core.Plts.drop_spill lts;
+    Printf.printf "PR9CHILD states=%d trans=%d digest=%d secs=%f resident=%d spill=%d chunks=%d tables=%d faults=%d\n"
+      (Core.Plts.num_states lts)
+      (Core.Plts.num_transitions lts)
+      digest secs resident spill chunks tables faults;
+    exit 0
+  | _ ->
+    prerr_endline "bad --pr9-child arguments";
+    exit 2
+
+(* Launch one child exploration under an address-space cap. Returns the
+   exit status and the parsed stats line, if the child produced one.
+   [quiet] drops the child's stderr — used for the boxed run, whose
+   fatal out-of-memory cry is this gate's success condition. *)
+let pr9_run_child ?(quiet = false) ~cap_kb ~mode ~budget c ~jobs () =
+  let na, nf, fps = c.c9_dims in
+  let cmd =
+    Printf.sprintf
+      "ulimit -v %d 2>/dev/null; exec %s --pr9-child %s %d %d %d %d %d %d %d%s"
+      cap_kb
+      (Filename.quote Sys.executable_name)
+      mode budget c.c9_max_states na nf fps c.c9_services jobs
+      (if quiet then " 2>/dev/null" else "")
+  in
+  let ic = Unix.open_process_in cmd in
+  let line = ref None in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.length l >= 9 && String.sub l 0 9 = "PR9CHILD " then
+         line := Some l
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, !line)
+
+let pr9_field line key =
+  (* "PR9CHILD k=v k=v ..." *)
+  let prefix = key ^ "=" in
+  let toks = String.split_on_char ' ' line in
+  List.find_map
+    (fun t ->
+      if String.length t > String.length prefix
+         && String.sub t 0 (String.length prefix) = prefix
+      then
+        int_of_string_opt
+          (String.sub t (String.length prefix)
+             (String.length t - String.length prefix))
+      else None)
+    toks
+
+let perf_pr9 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr9] external-memory spill vs in-RAM packed (jobs=%d)"
+       jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
+  let module J = Mdp_prelude.Json in
+  let module MS = Mdp_lts.Lts in
+  let ok = ref true in
+  let same_lts a b =
+    Core.Plts.num_states a = Core.Plts.num_states b
+    && Core.Plts.num_transitions a = Core.Plts.num_transitions b
+    &&
+    let n = Core.Plts.num_states a in
+    let rec go i =
+      i >= n
+      || Core.Config.equal (Core.Plts.state_data a i) (Core.Plts.state_data b i)
+         && go (i + 1)
+    in
+    go 0
+  in
+  let mb bytes = float_of_int bytes /. 1048576.0 in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "states"; "peak MB"; "budget MB"; "resident MB";
+          "spill MB"; "chunks"; "tables"; "faults"; "overhead"; "det" ]
+  in
+  let json_cases =
+    List.map
+      (fun c ->
+        let na, nf, fps = c.c9_dims in
+        let spec =
+          {
+            Synthetic.seed = 42;
+            nactors = na;
+            nfields = nf;
+            nstores = 2;
+            nservices = c.c9_services;
+            flows_per_service = fps;
+          }
+        in
+        let diagram, policy = Synthetic.model spec in
+        let u = Core.Universe.make diagram policy in
+        let popts =
+          { Core.Generate.default_options with max_states = c.c9_max_states }
+        in
+        (* Unspilled reference: fixes the numbering, the timing base
+           and the resident peak the budget is derived from. *)
+        let t0 = Mdp_obs.Clock.now_ns () in
+        let base = Core.Generate.run ~options:popts u in
+        let t_base = Mdp_obs.Clock.elapsed_s t0 in
+        let states = Core.Plts.num_states base in
+        let ntrans = Core.Plts.num_transitions base in
+        let peak = (Option.get (Core.Plts.mem_stats base)).MS.ms_total_bytes in
+        let base_digest = pr9_digest base in
+        if Core.Plts.spill_stats base <> None then begin
+          Printf.printf "  %s: BASELINE SPILLED (no budget was set)\n"
+            c.c9_name;
+          ok := false
+        end;
+        let budget = peak * c.c9_budget_pct / 100 in
+        let sopts = { popts with mem_budget = Some budget } in
+        (* Determinism matrix: every job count under the budget must
+           reproduce the unspilled numbering byte-for-byte. The jobs=1
+           run is kept for stats and timing. *)
+        let t_spill = ref 0.0 in
+        let kept = ref None in
+        let det =
+          List.for_all
+            (fun j ->
+              let t0 = Mdp_obs.Clock.now_ns () in
+              let l = Core.Generate.run ~options:sopts ~jobs:j u in
+              let t = Mdp_obs.Clock.elapsed_s t0 in
+              let same = same_lts base l in
+              if not same then
+                Printf.printf
+                  "  %s: NUMBERING DIVERGES under budget at jobs=%d\n"
+                  c.c9_name j;
+              if j = 1 then begin
+                t_spill := t;
+                kept := Some l
+              end
+              else Core.Plts.drop_spill l;
+              same)
+            c.c9_det_jobs
+        in
+        if not det then ok := false;
+        let slts = Option.get !kept in
+        let sms = Option.get (Core.Plts.mem_stats slts) in
+        (* Both disk tiers must actually have carried weight: sealed
+           arena chunks and sealed dedup generations on disk, and reads
+           served back off them. *)
+        let spill_ok, sp =
+          match Core.Plts.spill_stats slts with
+          | None ->
+            Printf.printf "  %s: SPILL GATE FAILED (budget %d never spilled)\n"
+              c.c9_name budget;
+            (false, None)
+          | Some sp ->
+            let tiers =
+              sp.MS.sp_bytes > 0 && sp.MS.sp_chunks > 0 && sp.MS.sp_tables > 0
+              && sp.MS.sp_faults > 0
+            in
+            if not tiers then
+              Printf.printf
+                "  %s: SPILL GATE FAILED (chunks=%d tables=%d faults=%d)\n"
+                c.c9_name sp.MS.sp_chunks sp.MS.sp_tables sp.MS.sp_faults;
+            (tiers, Some sp)
+        in
+        if not spill_ok then ok := false;
+        (* Residency: the run must end within its budget. Only the
+           edges and the successor index are pinned by design, and the
+           budgets here sit above that floor. *)
+        let resident_ok =
+          (not c.c9_gate) || sms.MS.ms_resident_bytes <= budget
+        in
+        if not resident_ok then begin
+          Printf.printf
+            "  %s: RESIDENCY GATE FAILED (resident %d > budget %d)\n"
+            c.c9_name sms.MS.ms_resident_bytes budget;
+          ok := false
+        end;
+        let overhead = !t_spill /. t_base in
+        let overhead_ok = (not c.c9_gate) || overhead <= 2.5 in
+        if not overhead_ok then begin
+          Printf.printf
+            "  %s: OVERHEAD GATE FAILED (spilled %.2fx unspilled, max 2.5x)\n"
+            c.c9_name overhead;
+          ok := false
+        end;
+        (* Decode back through the disk tier before dropping it: spot
+           states across the id range must still round-trip. *)
+        let reread_ok =
+          let step = max 1 (states / 64) in
+          let rec go i =
+            i >= states
+            || Core.Config.equal
+                 (Core.Plts.state_data base i)
+                 (Core.Plts.state_data slts i)
+               && go (i + step)
+          in
+          go 0
+        in
+        if not reread_ok then begin
+          Printf.printf "  %s: REREAD GATE FAILED (decode diverges)\n"
+            c.c9_name;
+          ok := false
+        end;
+        (* Disk-bounded A/B in child processes under the same
+           `ulimit -v`: the budgeted packed engine must complete (its
+           evicted working set lives on disk), the boxed engine must
+           die (the cap sits below its in-RAM footprint). Children are
+           the same binary re-invoked in a one-exploration mode, so the
+           cap covers exactly one engine run each. *)
+        let cap_ok, cap_json =
+          if (not c.c9_gate) || c.c9_cap_kb = 0 then (true, [])
+          else begin
+            let tmp = Filename.get_temp_dir_name () in
+            let spill_dirs () =
+              List.filter
+                (fun n ->
+                  String.length n >= 12 && String.sub n 0 12 = "mdpriv-spill")
+                (Array.to_list (Sys.readdir tmp))
+            in
+            let seen_before = spill_dirs () in
+            let st_sp, line_sp =
+              pr9_run_child ~cap_kb:c.c9_cap_kb ~mode:"spilled" ~budget c
+                ~jobs:1 ()
+            in
+            let sp_done = st_sp = Unix.WEXITED 0 in
+            let sp_match =
+              Option.bind line_sp (fun l -> pr9_field l "digest")
+              = Some base_digest
+            in
+            if not sp_done then
+              Printf.printf
+                "  %s: CAP GATE FAILED (budgeted run died under %d kB cap)\n"
+                c.c9_name c.c9_cap_kb
+            else if not sp_match then
+              Printf.printf
+                "  %s: CAP GATE FAILED (capped run's digest diverges)\n"
+                c.c9_name;
+            let st_bx, _ =
+              pr9_run_child ~quiet:true ~cap_kb:c.c9_cap_kb ~mode:"boxed"
+                ~budget c ~jobs:1 ()
+            in
+            let bx_died = st_bx <> Unix.WEXITED 0 in
+            if not bx_died then
+              Printf.printf
+                "  %s: CAP GATE FAILED (boxed engine completed under %d kB \
+                 cap — cap is not below its footprint)\n"
+                c.c9_name c.c9_cap_kb;
+            (* Children tear their spill directories down via the exit
+               sweep even when a gate fails; anything left behind is a
+               teardown bug. *)
+            let leftovers =
+              List.filter
+                (fun d -> not (List.mem d seen_before))
+                (spill_dirs ())
+            in
+            if leftovers <> [] then
+              Printf.printf "  %s: CAP GATE FAILED (leftover spill dirs: %s)\n"
+                c.c9_name
+                (String.concat ", " leftovers);
+            Printf.printf
+              "  cap %d kB: budgeted packed %s, boxed %s\n"
+              c.c9_cap_kb
+              (if sp_done && sp_match then "completed (digest ok)"
+               else "FAILED")
+              (if bx_died then "died (as required)" else "COMPLETED");
+            ( sp_done && sp_match && bx_died && leftovers = [],
+              [
+                ("cap_kb", J.int c.c9_cap_kb);
+                ("cap_spilled_completed", J.Bool sp_done);
+                ("cap_digest_ok", J.Bool sp_match);
+                ("cap_boxed_died", J.Bool bx_died);
+                ("cap_teardown_ok", J.Bool (leftovers = []));
+              ] )
+          end
+        in
+        if not cap_ok then ok := false;
+        let floor = sms.MS.ms_edge_bytes + sms.MS.ms_index_bytes in
+        let chunks, tables, faults, spill_bytes =
+          match sp with
+          | None -> (0, 0, 0, 0)
+          | Some sp ->
+            (sp.MS.sp_chunks, sp.MS.sp_tables, sp.MS.sp_faults, sp.MS.sp_bytes)
+        in
+        Core.Plts.drop_spill slts;
+        Mdp_prelude.Texttable.add_row table
+          [
+            c.c9_name;
+            string_of_int states;
+            Printf.sprintf "%.1f" (mb peak);
+            Printf.sprintf "%.1f" (mb budget);
+            Printf.sprintf "%.1f" (mb sms.MS.ms_resident_bytes);
+            Printf.sprintf "%.1f" (mb spill_bytes);
+            string_of_int chunks;
+            string_of_int tables;
+            string_of_int faults;
+            Printf.sprintf "%.2fx" overhead;
+            string_of_bool det;
+          ];
+        J.Obj
+          ([
+            ("name", J.Str c.c9_name);
+            ("states", J.int states);
+            ("transitions", J.int ntrans);
+            ("peak_bytes", J.int peak);
+            ("budget_pct", J.int c.c9_budget_pct);
+            ("budget_bytes", J.int budget);
+            ("unevictable_floor_bytes", J.int floor);
+            ("seconds_unspilled", J.Num t_base);
+            ("seconds_spilled", J.Num !t_spill);
+            ("overhead", J.Num overhead);
+            ( "spill",
+              J.Obj
+                [
+                  ("bytes", J.int spill_bytes);
+                  ("chunks", J.int chunks);
+                  ("tables", J.int tables);
+                  ("faults", J.int faults);
+                  ("resident_bytes", J.int sms.MS.ms_resident_bytes);
+                  ("total_bytes", J.int sms.MS.ms_total_bytes);
+                ] );
+            ( "determinism",
+              J.Obj
+                [
+                  ("jobs", J.List (List.map J.int c.c9_det_jobs));
+                  ("ok", J.Bool det);
+                ] );
+            ("gated", J.Bool c.c9_gate);
+            ("spill_ok", J.Bool spill_ok);
+            ("resident_ok", J.Bool resident_ok);
+            ("overhead_ok", J.Bool overhead_ok);
+            ("reread_ok", J.Bool reread_ok);
+          ]
+          @ cap_json))
+      (pr9_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  (* Every kept LTS was dropped above; sweep anyway so a gate failure
+     in this section can never leave run directories behind for the
+     exit path to clean up late. *)
+  Mdp_lts.Spill.remove_all ();
+  Mdp_obs.Metrics.sample_memory ();
+  let snap = Mdp_obs.Metrics.snapshot () in
+  let gauge name =
+    Option.value ~default:0 (List.assoc_opt name snap.Mdp_obs.Metrics.gauges)
+  in
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr9-external-memory");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("rss_bytes", J.int (gauge "mem/rss_bytes"));
+        ("phase_spans", span_totals_json ~since:section_t0 ());
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR9.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR9.json\n";
+  !ok
+
 let () =
+  (* Child mode first: one exploration, one stats line, exit. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--pr9-child" :: rest -> pr9_child rest
+  | _ -> ());
   (* Spans feed the per-section phase breakdowns in BENCH_*.json and
      the BENCH_SPANS.jsonl / BENCH_METRICS.prom artifacts. *)
   Mdp_obs.Metrics.set_enabled true;
@@ -2014,6 +2511,7 @@ let () =
   let pr6_only = List.mem "--pr6" argv in
   let pr7_only = List.mem "--pr7" argv in
   let pr8_only = List.mem "--pr8" argv in
+  let pr9_only = List.mem "--pr9" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -2025,7 +2523,8 @@ let () =
   if
     smoke
     && not
-         (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only || pr8_only)
+         (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only || pr8_only
+        || pr9_only)
   then begin
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
@@ -2033,9 +2532,11 @@ let () =
     let pr6_ok = perf_pr6 ~jobs ~smoke () in
     let pr7_ok = perf_pr7 ~jobs ~smoke () in
     let pr8_ok = perf_pr8 ~jobs ~smoke () in
+    let pr9_ok = perf_pr9 ~jobs ~smoke () in
     write_observability_artifacts ();
     exit
-      (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok then 0
+      (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok
+       then 0
        else 1)
   end;
   if pr2_only then exit (if perf_pr2 ~jobs ~smoke () then 0 else 1);
@@ -2049,6 +2550,11 @@ let () =
   end;
   if pr8_only then begin
     let ok = perf_pr8 ~jobs ~smoke () in
+    write_observability_artifacts ();
+    exit (if ok then 0 else 1)
+  end;
+  if pr9_only then begin
+    let ok = perf_pr9 ~jobs ~smoke () in
     write_observability_artifacts ();
     exit (if ok then 0 else 1)
   end;
@@ -2071,7 +2577,9 @@ let () =
   let pr6_ok = perf_pr6 ~jobs ~smoke:false () in
   let pr7_ok = perf_pr7 ~jobs ~smoke:false () in
   let pr8_ok = perf_pr8 ~jobs ~smoke:false () in
+  let pr9_ok = perf_pr9 ~jobs ~smoke:false () in
   perf ();
   write_observability_artifacts ();
   Printf.printf "\ndone.\n";
-  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok) then exit 1
+  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok)
+  then exit 1

@@ -141,6 +141,42 @@ let max_states_arg =
     & opt int Core.Generate.default_options.Core.Generate.max_states
     & info [ "max-states" ] ~docv:"N" ~doc)
 
+(* Byte sizes with binary suffixes: "48M", "2G", or plain bytes. *)
+let parse_size s =
+  let err () =
+    Error (`Msg (Printf.sprintf "invalid size %S (use e.g. 64M, 2G, 500000)" s))
+  in
+  let n = String.length s in
+  if n = 0 then err ()
+  else
+    let mul, digits =
+      match Char.uppercase_ascii s.[n - 1] with
+      | 'K' -> (1024, String.sub s 0 (n - 1))
+      | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some v when v > 0 -> Ok (v * mul)
+    | Some _ | None -> err ()
+
+let size_conv =
+  Arg.conv (parse_size, fun ppf v -> Format.fprintf ppf "%d" v)
+
+let mem_budget_arg =
+  let doc =
+    "Resident-byte budget for the packed LTS engine (suffixes K/M/G; \
+     plain numbers are bytes). Above it, sealed arena chunks and dedup \
+     tables spill to append-only files in a temporary directory and \
+     exploration completes bounded by disk instead of RAM — with \
+     byte-identical state numbering for every budget and $(b,--jobs). \
+     Unset: never spill."
+  in
+  Arg.(
+    value
+    & opt (some size_conv) None
+    & info [ "mem-budget" ] ~docv:"BYTES" ~doc)
+
 let exits_with_error = 1
 
 (* Generate, turning the state-guard exception into the structured
@@ -234,7 +270,8 @@ let dot_cmd =
 (* ----- lts ----- *)
 
 let lts_cmd =
-  let run path flow_only granular services jobs max_states metrics =
+  let run path flow_only granular services jobs max_states mem_budget metrics
+      =
     with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
@@ -251,6 +288,7 @@ let lts_cmd =
           base with
           Core.Generate.granular_reads = granular;
           max_states;
+          mem_budget;
           services = (match services with [] -> None | l -> Some l);
         }
       in
@@ -269,7 +307,7 @@ let lts_cmd =
     (Cmd.info "lts" ~doc:"Generate the privacy LTS and print its statistics.")
     Term.(
       const run $ model_arg $ flow_only_flag $ granular_flag $ services_arg
-      $ jobs_arg $ max_states_arg $ metrics_term)
+      $ jobs_arg $ max_states_arg $ mem_budget_arg $ metrics_term)
 
 (* ----- risk ----- *)
 
@@ -282,7 +320,7 @@ let parse_sensitivity s =
   | _ -> Error (`Msg (Printf.sprintf "expected Field=0.9, got %S" s))
 
 let risk_cmd =
-  let run path agreed sens_specs json max_states metrics =
+  let run path agreed sens_specs json max_states mem_budget metrics =
     with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
@@ -304,7 +342,9 @@ let risk_cmd =
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let options = { Core.Generate.default_options with max_states } in
+        let options =
+          { Core.Generate.default_options with max_states; mem_budget }
+        in
         run_analysis ~options ~profile diagram policy (fun analysis ->
             Mdp_obs.Metrics.span "phase/render" (fun () ->
                 if json then print_endline (Core.Report.to_string analysis)
@@ -329,7 +369,7 @@ let risk_cmd =
     (Cmd.info "risk" ~doc:"Run §III-A disclosure-risk analysis for a user profile.")
     Term.(
       const run $ model_arg $ agree $ sens $ json $ max_states_arg
-      $ metrics_term)
+      $ mem_budget_arg $ metrics_term)
 
 (* ----- whatif / sweep ----- *)
 
@@ -379,7 +419,8 @@ let worst_of (t : Core.Analysis.t) =
   | None -> Core.Level.None_
 
 let whatif_cmd =
-  let run path agreed sens_specs edit_specs diff json jobs max_states metrics =
+  let run path agreed sens_specs edit_specs diff json jobs max_states
+      mem_budget metrics =
     with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
@@ -394,7 +435,9 @@ let whatif_cmd =
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let options = { Core.Generate.default_options with max_states } in
+        let options =
+          { Core.Generate.default_options with max_states; mem_budget }
+        in
         match
           Core.Analysis.run_checked ~options ~profile ~jobs diagram policy
         with
@@ -493,10 +536,11 @@ let whatif_cmd =
          ])
     Term.(
       const run $ model_arg $ agree $ sens $ edit_specs $ diff $ json
-      $ jobs_arg $ max_states_arg $ metrics_term)
+      $ jobs_arg $ max_states_arg $ mem_budget_arg $ metrics_term)
 
 let sweep_cmd =
-  let run path agreed sens_specs exact top jobs max_states metrics =
+  let run path agreed sens_specs exact top jobs max_states mem_budget metrics
+      =
     with_metrics metrics @@ fun () ->
     match load_model path with
     | Error (`Msg e) ->
@@ -511,7 +555,9 @@ let sweep_cmd =
         let profile =
           Core.User_profile.make ~sensitivities ~agreed_services:agreed ()
         in
-        let options = { Core.Generate.default_options with max_states } in
+        let options =
+          { Core.Generate.default_options with max_states; mem_budget }
+        in
         match
           Core.Analysis.run_checked ~options ~profile ~jobs diagram policy
         with
@@ -594,7 +640,7 @@ let sweep_cmd =
          ])
     Term.(
       const run $ model_arg $ agree $ sens $ exact $ top $ jobs_arg
-      $ max_states_arg $ metrics_term)
+      $ max_states_arg $ mem_budget_arg $ metrics_term)
 
 (* ----- simulate ----- *)
 
@@ -1059,8 +1105,8 @@ let transparency_cmd =
 (* ----- serve ----- *)
 
 let serve_cmd =
-  let run workers queue_cap jobs cache_cap deadline_ms max_states soak seed
-      fault_rate metrics =
+  let run workers queue_cap jobs cache_cap deadline_ms max_states mem_budget
+      soak seed fault_rate metrics =
     with_metrics metrics @@ fun () ->
     match soak with
     | Some requests ->
@@ -1089,6 +1135,7 @@ let serve_cmd =
           stale_cap = max 1 (cache_cap / 2);
           default_deadline_ms = deadline_ms;
           max_states;
+          mem_budget;
         }
       in
       let engine = Mdp_serve.Engine.create ~config () in
@@ -1163,7 +1210,8 @@ let serve_cmd =
           stdin, responses on stdout. See docs/SERVE.md for the protocol.")
     Term.(
       const run $ workers $ queue_cap $ jobs_arg $ cache_cap $ deadline
-      $ serve_max_states $ soak $ seed $ fault_rate $ metrics_term)
+      $ serve_max_states $ mem_budget_arg $ soak $ seed $ fault_rate
+      $ metrics_term)
 
 (* ----- chaos ----- *)
 

@@ -12,6 +12,8 @@ type options = {
   services : string list option;
   max_states : int;
   packed : bool;
+  mem_budget : int option;
+  spill_dir : string option;
 }
 
 let default_options =
@@ -24,6 +26,8 @@ let default_options =
     services = None;
     max_states = 100_000;
     packed = true;
+    mem_budget = None;
+    spill_dir = None;
   }
 
 let flow_only =
@@ -503,5 +507,15 @@ let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
         }
     else None
   in
+  (* Per-store reachability cones, accumulated as the LTS is built: the
+     class of a transition is the index of the store its action touches
+     (potential reads, deletes and store-directed flows all carry one).
+     Store-less actions class as -1 and are not coned. *)
+  let label_class (a : Action.t) =
+    match a.Action.store with
+    | Some s -> Universe.store_index u s
+    | None -> -1
+  in
   Plts.explore ~max_states:options.max_states ~jobs ?par_threshold ?cancel
-    ?packing ~init ~step ()
+    ?packing ?mem_budget:options.mem_budget ?spill_dir:options.spill_dir
+    ~label_class ~init ~step ()

@@ -55,6 +55,16 @@ type options = {
           {!Mdp_lts.Lts}) instead of materialised configs. On (the
           default) a state costs a few bytes instead of hundreds; the
           resulting LTS is observationally identical. *)
+  mem_budget : int option;
+      (** Resident-byte budget for the packed engine: above it, sealed
+          arena chunks and dedup tables spill to disk and the
+          exploration completes bounded by disk rather than RAM, with
+          byte-identical state numbering (see
+          {!Mdp_lts.Lts.S.explore}). [None] (the default) never
+          spills. Ignored by the boxed engine. *)
+  spill_dir : string option;
+      (** Parent directory for the spill run directory; [None] = the
+          system temp directory. *)
 }
 
 val default_options : options

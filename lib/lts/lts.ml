@@ -27,6 +27,12 @@ type abort_stats = {
   ab_transitions : int;
   ab_bytes_per_state : float option;
       (* [None] for the boxed engine, which has no byte-exact accounting *)
+  ab_resident_bytes : int option;
+      (* packed engine bytes still in RAM at abort *)
+  ab_spill_bytes : int;  (* bytes evicted to disk at abort; 0 unspilled *)
+  ab_mem_budget : int option;
+      (* the effective resident budget, so operators can tell a
+         RAM-capped abort from a disk-capped one *)
 }
 
 let abort_stats_key : abort_stats option ref Domain.DLS.key =
@@ -43,12 +49,29 @@ type mem_stats = {
   ms_state_bytes : int;  (** state-record arena (full + delta records) *)
   ms_edge_bytes : int;  (** flat (label id, dst) edge stream *)
   ms_index_bytes : int;  (** record offsets, depths, row table *)
-  ms_dedup_bytes : int;  (** shard tables *)
+  ms_dedup_bytes : int;  (** shard tables (RAM + spilled generations) *)
   ms_full_states : int;
   ms_delta_states : int;
   ms_labels : int;  (** distinct interned labels *)
-  ms_total_bytes : int;
+  ms_total_bytes : int;  (** engine storage, resident + spilled *)
   ms_bytes_per_state : float;
+  ms_resident_bytes : int;  (** total minus what was evicted to disk *)
+  ms_spill_bytes : int;
+  ms_spill_chunks : int;  (** arena chunks evicted *)
+  ms_spill_tables : int;  (** dedup-shard generations written *)
+  ms_spill_faults : int;  (** reads served back from disk *)
+  ms_mem_budget : int option;
+}
+
+(* Spill occupancy of a packed LTS, for teardown checks and operator
+   reports. *)
+type spill_stats = {
+  sp_dir : string;
+  sp_bytes : int;
+  sp_chunks : int;
+  sp_tables : int;
+  sp_faults : int;
+  sp_budget : int;
 }
 
 (* A state codec for the packed engine: every reachable state of one
@@ -142,10 +165,31 @@ module Make (S : STATE) (L : LABEL) = struct
         (* sealed entries, 5-byte stride: u32 LE (id + 1) then one tag
            byte; empty until [seal_shard] *)
     mutable ccap : int;  (* sealed capacity in entries; 0 = not sealed *)
-    mutable count : int;
+    mutable count : int;  (* total entries, young + sealed + spilled *)
+    mutable young : int;  (* entries in [tbl] (not yet sealed/spilled) *)
+    mutable gens : (int * int) list;
+        (* spilled generations, newest first: (file offset, capacity) of
+           a sealed 5-byte table in the shard spill file. LSM-style:
+           under budget pressure the young table seals to a new
+           generation and inserts restart in a fresh young table.
+           Membership is the union over young + sealed + generations —
+           a state lives in exactly one — so probing order cannot
+           change any dedup verdict, which is what keeps numbering
+           byte-identical for every budget. *)
   }
 
   type ov = { mutable oarr : int array; mutable olen : int }
+
+  (* Live spill run of one packed LTS: two append-only files (evicted
+     arena chunks; sealed dedup generations) under a private directory. *)
+  type spill_state = {
+    ss_spill : Spill.t;
+    ss_arena : Spill.file;
+    ss_shards : Spill.file;
+    mutable ss_bytes : int;
+    mutable ss_chunks : int;
+    mutable ss_tables : int;
+  }
 
   type packed = {
     pk : S.t packer;
@@ -175,9 +219,27 @@ module Make (S : STATE) (L : LABEL) = struct
     cur : P.cursor;
     cand_buf : int array;
     cmp_buf : int array;
+    (* spill tier: [budget] is the resident-byte ceiling; the run
+       directory is created lazily on first eviction *)
+    budget : int option;
+    spill_dir : string option;
+    mutable spill : spill_state option;
   }
 
   type repr = Boxed of boxed | Packed of packed
+
+  (* Per-store reachability cone summaries (the region-granular
+     invalidation down-payment): per label class — in generated models,
+     the datastore index an action touches — how many states have an
+     outgoing transition in that class and how many transitions carry
+     it. Arrays are class-indexed and grown on demand; [cn_last]
+     de-duplicates the per-state count without any per-state
+     allocation (source ids arrive in nondecreasing order). *)
+  type cones = {
+    mutable cn_states : int array;
+    mutable cn_trans : int array;
+    mutable cn_last : int array;
+  }
 
   type t = {
     repr : repr;
@@ -187,6 +249,7 @@ module Make (S : STATE) (L : LABEL) = struct
     mutable preds : (state_id * L.t) list array option;
         (* Reverse index, built lazily by [predecessors]; dropped on any
            mutation. *)
+    mutable cones : cones option;
   }
 
   let create () =
@@ -198,6 +261,7 @@ module Make (S : STATE) (L : LABEL) = struct
       ntrans = 0;
       init = None;
       preds = None;
+      cones = None;
     }
 
   let nshards = 64
@@ -216,7 +280,7 @@ module Make (S : STATE) (L : LABEL) = struct
 
   let packed_stamps = Atomic.make 1
 
-  let create_packed pk =
+  let create_packed ?mem_budget ?spill_dir pk =
     if pk.pk_words > 63 then
       invalid_arg "Lts: packed states are limited to 63 words";
     {
@@ -230,7 +294,14 @@ module Make (S : STATE) (L : LABEL) = struct
             depths = P.U8.create ();
             shards =
               Array.init nshards (fun _ ->
-                  { tbl = Array.make 64 0; ctbl = Bytes.empty; ccap = 0; count = 0 });
+                  {
+                    tbl = Array.make 64 0;
+                    ctbl = Bytes.empty;
+                    ccap = 0;
+                    count = 0;
+                    young = 0;
+                    gens = [];
+                  });
             full_states = 0;
             delta_states = 0;
             lbl_ids = Ltbl.create 64;
@@ -246,11 +317,15 @@ module Make (S : STATE) (L : LABEL) = struct
             cur = P.cursor ();
             cand_buf = Array.make pk.pk_words 0;
             cmp_buf = Array.make pk.pk_words 0;
+            budget = mem_budget;
+            spill_dir;
+            spill = None;
           };
       n = 0;
       ntrans = 0;
       init = None;
       preds = None;
+      cones = None;
     }
 
   (* ----- packed primitives ----- *)
@@ -388,8 +463,11 @@ module Make (S : STATE) (L : LABEL) = struct
      bytes/state on a 14M-state case) — so probing is modulo; sealed
      probes only serve post-exploration lookups, where division cost
      is irrelevant. *)
-  let seal_shard sh =
-    let cap = max 16 ((sh.count * 20 / 17) + 1) in
+  (* Rebuild the young int entries into a compact 5-byte table at 0.85
+     load. Shared by the in-RAM seal and the spill path — both produce
+     the same byte layout, probed by the same [cslot]/[ctag8]. *)
+  let young_ctbl sh =
+    let cap = max 16 ((sh.young * 20 / 17) + 1) in
     let ctbl = Bytes.make (5 * cap) '\000' in
     Array.iter
       (fun e ->
@@ -404,9 +482,28 @@ module Make (S : STATE) (L : LABEL) = struct
           Bytes.unsafe_set ctbl ((5 * !i) + 4) (Char.unsafe_chr (ctag8 tag))
         end)
       sh.tbl;
+    (ctbl, cap)
+
+  let seal_shard sh =
+    let ctbl, cap = young_ctbl sh in
     sh.ctbl <- ctbl;
     sh.ccap <- cap;
-    sh.tbl <- [||]
+    sh.tbl <- [||];
+    sh.young <- 0
+
+  (* Seal the young table into a new on-disk generation and restart
+     young inserts from scratch. Entries keep their ids and tags, so
+     later probes find exactly what they would have found in RAM. *)
+  let spill_shard ss sh =
+    if sh.young > 0 then begin
+      let ctbl, cap = young_ctbl sh in
+      let off = Spill.append ss.ss_shards ctbl ~pos:0 ~len:(5 * cap) in
+      sh.gens <- (off, cap) :: sh.gens;
+      ss.ss_bytes <- ss.ss_bytes + (5 * cap);
+      ss.ss_tables <- ss.ss_tables + 1
+    end;
+    sh.tbl <- [||];
+    sh.young <- 0
 
   let cshard_find p sh tag words cur buf =
     let cap = sh.ccap in
@@ -433,15 +530,47 @@ module Make (S : STATE) (L : LABEL) = struct
      with Exit -> ());
     !res
 
+  (* Probe the spilled generations, newest first, through the mapped
+     view: same 5-byte entries, same modulo probe as [cshard_find]. *)
+  let gshard_find p sh tag words cur buf =
+    let sf = (Option.get p.spill).ss_shards in
+    let t8 = ctag8 tag in
+    let rec go = function
+      | [] -> -1
+      | (goff, cap) :: rest ->
+        let i = ref (cslot tag cap) in
+        let res = ref (-1) in
+        (try
+           let e = ref (Spill.entry5 sf ~off:(goff + (5 * !i))) in
+           while !e land 0xffff_ffff <> 0 do
+             if !e lsr 32 = t8 then begin
+               let id = (!e land 0xffff_ffff) - 1 in
+               decode_words p cur buf id;
+               if words_equal words buf p.pk.pk_words then begin
+                 res := id;
+                 raise_notrace Exit
+               end
+             end;
+             incr i;
+             if !i = cap then i := 0;
+             e := Spill.entry5 sf ~off:(goff + (5 * !i))
+           done
+         with Exit -> ());
+        if !res >= 0 then !res else go rest
+    in
+    go sh.gens
+
   (* Find the id whose words equal [words], or -1. Probes by tag;
      decodes (into [buf]) only on tag match, so a probe is normally a
-     handful of int compares. *)
+     handful of int compares. A state lives in exactly one of the young
+     table, the sealed table and the spilled generations, so probe
+     order is irrelevant to the verdict — young first is just the warm
+     path. *)
   let shard_find p sh tag words cur buf =
-    if sh.ccap > 0 then cshard_find p sh tag words cur buf
-    else begin
+    let res = ref (-1) in
+    if sh.young > 0 then begin
       let mask = Array.length sh.tbl - 1 in
       let i = ref (tag land mask) in
-      let res = ref (-1) in
       (try
          while sh.tbl.(!i) <> 0 do
            let e = sh.tbl.(!i) in
@@ -455,9 +584,11 @@ module Make (S : STATE) (L : LABEL) = struct
            end;
            i := (!i + 1) land mask
          done
-       with Exit -> ());
-      !res
-    end
+       with Exit -> ())
+    end;
+    if !res < 0 && sh.ccap > 0 then res := cshard_find p sh tag words cur buf;
+    if !res < 0 && sh.gens <> [] then res := gshard_find p sh tag words cur buf;
+    !res
 
   (* Growing a sealed shard cannot re-derive slots from the stored tag
      byte, so it rehashes by decoding each entry's state. Only the rare
@@ -484,7 +615,8 @@ module Make (S : STATE) (L : LABEL) = struct
     sh.ctbl <- ctbl;
     sh.ccap <- cap
 
-  (* Insert a known-absent id. *)
+  (* Insert a known-absent id. Always goes to the young table when the
+     shard is unsealed — spilled generations are immutable. *)
   let shard_insert p sh tag id =
     if sh.ccap > 0 then begin
       if 20 * (sh.count + 1) > 17 * sh.ccap then cshard_grow p sh;
@@ -499,14 +631,16 @@ module Make (S : STATE) (L : LABEL) = struct
       sh.count <- sh.count + 1
     end
     else begin
-      if 2 * (sh.count + 1) > Array.length sh.tbl then shard_grow sh;
+      if Array.length sh.tbl = 0 then sh.tbl <- Array.make 64 0
+      else if 2 * (sh.young + 1) > Array.length sh.tbl then shard_grow sh;
       let mask = Array.length sh.tbl - 1 in
       let i = ref (tag land mask) in
       while sh.tbl.(!i) <> 0 do
         i := (!i + 1) land mask
       done;
       sh.tbl.(!i) <- (tag lsl 32) lor (id + 1);
-      sh.count <- sh.count + 1
+      sh.count <- sh.count + 1;
+      sh.young <- sh.young + 1
     end
 
   (* Append the record for [words]: delta against [parent] when the
@@ -566,6 +700,84 @@ module Make (S : STATE) (L : LABEL) = struct
     in
     (P.Arena.append p.arena b len, depth)
 
+  (* Engine bytes currently in RAM: resident arena chunks, the edge
+     buffer, the index tables and the dedup tables. Recomputed per
+     budget check — a 64-shard fold is noise against the work between
+     checks. *)
+  let packed_resident p =
+    P.Arena.resident_bytes p.arena
+    + Bytes.length p.ebytes
+    + P.U32.bytes p.offs + P.U32.bytes p.row_start + P.U8.bytes p.depths
+    + Array.fold_left
+        (fun a sh -> a + (8 * Array.length sh.tbl) + Bytes.length sh.ctbl)
+        0 p.shards
+
+  let ensure_spill p =
+    match p.spill with
+    | Some ss -> ss
+    | None ->
+      let sp = Spill.create ?dir:p.spill_dir () in
+      let ss =
+        {
+          ss_spill = sp;
+          ss_arena = Spill.file sp "arena.spill";
+          ss_shards = Spill.file sp "shards.spill";
+          ss_bytes = 0;
+          ss_chunks = 0;
+          ss_tables = 0;
+        }
+      in
+      p.spill <- Some ss;
+      (* The run dies with its LTS: when a cached artifact is evicted
+         and collected, the finaliser (idempotent against the abort
+         paths and the at_exit sweep) reclaims the directory. *)
+      Gc.finalise (fun (_ : packed) -> Spill.remove sp) p;
+      ss
+
+  (* Don't seal shards below this many young entries: tiny generations
+     would pile up and slow every probe for marginal RAM. *)
+  let min_spill_young = 4096
+
+  (* Enforce the resident budget: evict sealed arena chunks first
+     (strictly oldest-first — that keeps the file offset of chunk i at
+     i * chunk_size, and BFS-recent chunks, which delta decodes hit
+     hardest, in RAM), then seal the largest young dedup tables to
+     disk generations. Stops when nothing evictable remains: the edge
+     buffer, index tables and open chunk are the unevictable floor. *)
+  let spill_down p =
+    match p.budget with
+    | None -> ()
+    | Some budget ->
+      if packed_resident p > budget
+         && (P.Arena.evictable p.arena > 0
+             || Array.exists (fun sh -> sh.young >= min_spill_young) p.shards)
+      then
+        Mdp_obs.Metrics.span "phase/spill" @@ fun () ->
+        let ss = ensure_spill p in
+        while packed_resident p > budget && P.Arena.evictable p.arena > 0 do
+          P.Arena.evict_chunk p.arena ss.ss_arena;
+          ss.ss_chunks <- ss.ss_chunks + 1;
+          ss.ss_bytes <- ss.ss_bytes + P.Arena.chunk_size
+        done;
+        let continue = ref true in
+        while !continue && packed_resident p > budget do
+          let best = ref (-1) and bestn = ref (min_spill_young - 1) in
+          Array.iteri
+            (fun i sh ->
+              if sh.young > !bestn then begin
+                best := i;
+                bestn := sh.young
+              end)
+            p.shards;
+          if !best < 0 then continue := false
+          else spill_shard ss p.shards.(!best)
+        done
+
+  (* How many new states between two budget checks: growth between
+     checks is bounded by a few hundred records plus one table
+     doubling, all far below any sane budget's slack. *)
+  let spill_check_batch = 512
+
   let packed_new_state t p ~parent ~parent_words ~parent_depth words h =
     let id = t.n in
     let off, depth = encode_record p ~parent ~parent_words ~parent_depth words in
@@ -574,6 +786,7 @@ module Make (S : STATE) (L : LABEL) = struct
     P.U32.set p.row_start id row_none;
     shard_insert p p.shards.(shard_of h) (tag_of h) id;
     t.n <- id + 1;
+    if t.n land (spill_check_batch - 1) = 0 then spill_down p;
     t.preds <- None;
     if t.init = None then t.init <- Some id;
     id
@@ -588,7 +801,17 @@ module Make (S : STATE) (L : LABEL) = struct
     P.U32.trim p.offs n;
     P.U32.trim p.row_start n;
     P.U8.trim p.depths n;
-    Array.iter seal_shard p.shards;
+    (match p.spill with
+    | None -> Array.iter seal_shard p.shards
+    | Some ss ->
+      (* A spilled exploration seals every remaining young table to
+         disk instead of to RAM — the retained footprint is what the
+         serve cache holds, and post-exploration dedup probes are
+         rare. *)
+      Array.iter (fun sh -> spill_shard ss sh) p.shards);
+    (* Re-enforce the budget on the sealed result: trims may not be
+       enough when the run finished mid-growth. *)
+    spill_down p;
     drop_dcache ()
 
   let intern p label =
@@ -684,11 +907,21 @@ module Make (S : STATE) (L : LABEL) = struct
     let index_bytes =
       P.U32.bytes p.offs + P.U32.bytes p.row_start + P.U8.bytes p.depths
     in
+    let spill_bytes, spill_chunks, spill_tables, spill_faults =
+      match p.spill with
+      | None -> (0, 0, 0, 0)
+      | Some ss ->
+        (ss.ss_bytes, ss.ss_chunks, ss.ss_tables, Spill.faults ss.ss_spill)
+    in
+    (* spilled generations are dedup storage; evicted chunks are state
+       storage already counted by [Arena.bytes] *)
+    let gen_bytes = spill_bytes - (spill_chunks * P.Arena.chunk_size) in
     let dedup_bytes =
-      Array.fold_left
-        (fun a sh ->
-          a + (8 * Array.length sh.tbl) + Bytes.length sh.ctbl)
-        0 p.shards
+      gen_bytes
+      + Array.fold_left
+          (fun a sh ->
+            a + (8 * Array.length sh.tbl) + Bytes.length sh.ctbl)
+          0 p.shards
     in
     let total = state_bytes + edge_bytes + index_bytes + dedup_bytes in
     {
@@ -703,12 +936,86 @@ module Make (S : STATE) (L : LABEL) = struct
       ms_labels = p.nlabels;
       ms_total_bytes = total;
       ms_bytes_per_state = float_of_int total /. float_of_int (max 1 n);
+      ms_resident_bytes = total - spill_bytes;
+      ms_spill_bytes = spill_bytes;
+      ms_spill_chunks = spill_chunks;
+      ms_spill_tables = spill_tables;
+      ms_spill_faults = spill_faults;
+      ms_mem_budget = p.budget;
     }
 
   let mem_stats t =
     match t.repr with
     | Boxed _ -> None
     | Packed p -> Some (packed_mem p t.n t.ntrans)
+
+  let spill_stats t =
+    match t.repr with
+    | Boxed _ -> None
+    | Packed p -> (
+      match p.spill with
+      | None -> None
+      | Some ss ->
+        Some
+          {
+            sp_dir = Spill.dir ss.ss_spill;
+            sp_bytes = ss.ss_bytes;
+            sp_chunks = ss.ss_chunks;
+            sp_tables = ss.ss_tables;
+            sp_faults = Spill.faults ss.ss_spill;
+            sp_budget = Option.value p.budget ~default:0;
+          })
+
+  (* Release the disk tier early (tests, explicit teardown). Decoding a
+     state whose chain touches a spilled chunk afterwards fails, so
+     only call this when the LTS is done with. *)
+  let drop_spill t =
+    match t.repr with
+    | Packed { spill = Some ss; _ } -> Spill.remove ss.ss_spill
+    | _ -> ()
+
+  (* ----- store cones ----- *)
+
+  let new_cones () = { cn_states = [||]; cn_trans = [||]; cn_last = [||] }
+
+  let cone_ensure c cls =
+    if cls >= Array.length c.cn_states then begin
+      let cap = max (cls + 1) (max 4 (2 * Array.length c.cn_states)) in
+      let grow a fill =
+        let b = Array.make cap fill in
+        Array.blit a 0 b 0 (Array.length a);
+        b
+      in
+      c.cn_states <- grow c.cn_states 0;
+      c.cn_trans <- grow c.cn_trans 0;
+      c.cn_last <- grow c.cn_last (-1)
+    end
+
+  (* Record one added transition out of [src] in class [cls] (< 0 =
+     unclassified, not recorded). Sources arrive in nondecreasing order
+     during exploration, so [cn_last] dedups the per-state count with
+     one compare. *)
+  let cone_touch t cls src =
+    if cls >= 0 then
+      match t.cones with
+      | None -> ()
+      | Some c ->
+        cone_ensure c cls;
+        c.cn_trans.(cls) <- c.cn_trans.(cls) + 1;
+        if c.cn_last.(cls) <> src then begin
+          c.cn_last.(cls) <- src;
+          c.cn_states.(cls) <- c.cn_states.(cls) + 1
+        end
+
+  let store_cone_stats t =
+    match t.cones with
+    | None -> None
+    | Some c ->
+      (* Trim the geometric growth slack: report up to the highest
+         class actually touched. *)
+      let len = ref 0 in
+      Array.iteri (fun i last -> if last >= 0 then len := i + 1) c.cn_last;
+      Some (Array.init !len (fun i -> (c.cn_states.(i), c.cn_trans.(i))))
 
   (* ----- construction ----- *)
 
@@ -806,10 +1113,15 @@ module Make (S : STATE) (L : LABEL) = struct
      report (the boxed engine has no byte-exact accounting, so
      bytes/state is [None] there). *)
   let too_many t limit =
-    let bps =
+    let bps, resident, spill_bytes, budget =
       match t.repr with
-      | Boxed _ -> None
-      | Packed p -> Some (packed_mem p t.n t.ntrans).ms_bytes_per_state
+      | Boxed _ -> (None, None, 0, None)
+      | Packed p ->
+        let ms = packed_mem p t.n t.ntrans in
+        ( Some ms.ms_bytes_per_state,
+          Some ms.ms_resident_bytes,
+          ms.ms_spill_bytes,
+          p.budget )
     in
     record_abort
       {
@@ -817,6 +1129,9 @@ module Make (S : STATE) (L : LABEL) = struct
         ab_states = t.n;
         ab_transitions = t.ntrans;
         ab_bytes_per_state = bps;
+        ab_resident_bytes = resident;
+        ab_spill_bytes = spill_bytes;
+        ab_mem_budget = budget;
       };
     raise (Too_many_states limit)
 
@@ -1138,7 +1453,7 @@ module Make (S : STATE) (L : LABEL) = struct
   let boxed_exn t =
     match t.repr with Boxed b -> b | Packed _ -> assert false
 
-  let explore_sequential t ~max_states ~cancel ~step =
+  let explore_sequential t ~max_states ~cancel ~cone ~step =
     let b = boxed_exn t in
     (* Dedup hits/misses are batched in local refs and published once:
        a Metrics.add per transition would dominate small models. *)
@@ -1163,7 +1478,10 @@ module Make (S : STATE) (L : LABEL) = struct
           let before = t.n in
           let dst = add_state t dst_data in
           if t.n > max_states then too_many t max_states;
-          ignore (add_transition t ~src ~label ~dst : bool);
+          let added = add_transition t ~src ~label ~dst in
+          (match cone with
+          | None -> ()
+          | Some classify -> if added then cone_touch t (classify label) src);
           if t.n > before then begin
             incr misses;
             Queue.push dst q
@@ -1184,7 +1502,7 @@ module Make (S : STATE) (L : LABEL) = struct
      calling domain: spawn/join costs dwarf the expansion work there,
      and small models (every frontier narrow) would otherwise run
      slower under [jobs > 1] than sequentially. *)
-  let explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold =
+  let explore_parallel t ~max_states ~cancel ~cone ~step ~jobs ~par_threshold =
     let b = boxed_exn t in
     let hits = ref 0 and misses = ref 0 in
     let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
@@ -1230,7 +1548,10 @@ module Make (S : STATE) (L : LABEL) = struct
             let before = t.n in
             let dst = add_state t dst_data in
             if t.n > max_states then too_many t max_states;
-            ignore (add_transition t ~src ~label ~dst : bool);
+            let added = add_transition t ~src ~label ~dst in
+            (match cone with
+            | None -> ()
+            | Some classify -> if added then cone_touch t (classify label) src);
             if t.n > before then begin
               incr misses;
               next := dst :: !next
@@ -1241,11 +1562,38 @@ module Make (S : STATE) (L : LABEL) = struct
       frontier := List.rev !next
     done
 
+  (* Per-exploration cache of label id -> cone class: the classifier
+     runs once per interned label instead of once per transition.
+     Stored as class + 2 so 0 reads as "not yet classified" (classes
+     start at -1 = no store). Without a classifier this is a constant
+     [min_int], which [cone_touch] drops on its sign check. *)
+  let lid_classifier cone =
+    match cone with
+    | None -> fun _ _ -> min_int
+    | Some classify ->
+      let cache = ref [||] in
+      fun lid label ->
+        let n = Array.length !cache in
+        if lid >= n then begin
+          let cap = max (lid + 1) (max 16 (2 * n)) in
+          let bigger = Array.make cap 0 in
+          Array.blit !cache 0 bigger 0 n;
+          cache := bigger
+        end;
+        let v = !cache.(lid) in
+        if v <> 0 then v - 2
+        else begin
+          let c = classify label in
+          !cache.(lid) <- c + 2;
+          c
+        end
+
   (* Packed sequential BFS. Discovery order — hence state numbering and
      transition order — is identical to [explore_sequential]: same
      queue discipline, and word-equality dedup coincides with [S.equal]
      (the packer contract). *)
-  let packed_explore_seq t p ~max_states ~cancel ~step =
+  let packed_explore_seq t p ~max_states ~cancel ~cone ~step =
+    let class_of = lid_classifier cone in
     let w = p.pk.pk_words in
     let hits = ref 0 and misses = ref 0 in
     let expanded = ref 0 in
@@ -1258,7 +1606,13 @@ module Make (S : STATE) (L : LABEL) = struct
         Mdp_obs.Metrics.incr "lts/seq_explores")
     @@ fun () ->
     while not (Queue.is_empty q) do
-      if !expanded land (cancel_poll_batch - 1) = 0 then poll_cancel cancel;
+      if !expanded land (cancel_poll_batch - 1) = 0 then begin
+        poll_cancel cancel;
+        (* Spill on the expansion batch too: edge rows and dedup tables
+           grow even through rounds that discover few states, so the
+           per-new-state check alone could lag the budget. *)
+        spill_down p
+      end;
       incr expanded;
       let src = Queue.pop q in
       decode_words p p.cur parent_buf src;
@@ -1289,10 +1643,12 @@ module Make (S : STATE) (L : LABEL) = struct
               id
             end
           in
-          let e = (intern p label lsl 32) lor dst in
+          let lid = intern p label in
+          let e = (lid lsl 32) lor dst in
           if not (row_contains p e) then begin
             push_edge p e;
-            t.ntrans <- t.ntrans + 1
+            t.ntrans <- t.ntrans + 1;
+            cone_touch t (class_of lid label) src
           end)
         (step cfg);
       close_row p src
@@ -1313,7 +1669,9 @@ module Make (S : STATE) (L : LABEL) = struct
      Because verdicts are per-shard and ids are assigned in the same
      candidate order the sequential queue would discover them, the
      numbering is byte-identical for every job count. *)
-  let packed_explore_par t p ~max_states ~cancel ~step ~jobs ~par_threshold =
+  let packed_explore_par t p ~max_states ~cancel ~cone ~step ~jobs
+      ~par_threshold =
+    let class_of = lid_classifier cone in
     let w = p.pk.pk_words in
     let hits = ref 0 and misses = ref 0 in
     let rounds = ref 0 and par_rounds = ref 0 and seq_rounds = ref 0 in
@@ -1465,10 +1823,12 @@ module Make (S : STATE) (L : LABEL) = struct
               end
             in
             ids_of.(k) <- dst;
-            let e = (intern p label lsl 32) lor dst in
+            let lid = intern p label in
+            let e = (lid lsl 32) lor dst in
             if not (row_contains p e) then begin
               push_edge p e;
-              t.ntrans <- t.ntrans + 1
+              t.ntrans <- t.ntrans + 1;
+              cone_touch t (class_of lid label) src
             end
           done;
           close_row p src
@@ -1481,38 +1841,81 @@ module Make (S : STATE) (L : LABEL) = struct
             p.rlen <- 0;
             close_row p src)
           fr;
+      (* Evict between rounds, on the calling domain only: the next
+         round's worker domains are spawned after this point, and the
+         spawn publishes the mutated arena/shard state to them. *)
+      spill_down p;
       frontier := List.rev !next
     done
 
   let default_par_threshold = 512
 
+  (* A failed exploration must not leave its spill directory behind:
+     the LTS value is about to become garbage and nothing will ever
+     read those files again. (Successful explorations keep theirs — the
+     sealed dedup generations and evicted chunks back later decodes.) *)
+  let cleanup_spill t =
+    match t.repr with
+    | Packed { spill = Some ss; _ } -> Spill.remove ss.ss_spill
+    | Packed _ | Boxed _ -> ()
+
   let explore ?(max_states = 200_000) ?(jobs = 1)
-      ?(par_threshold = default_par_threshold) ?cancel ?packing ~init ~step ()
-      =
+      ?(par_threshold = default_par_threshold) ?cancel ?packing ?mem_budget
+      ?spill_dir ?label_class ~init ~step () =
     Mdp_obs.Metrics.span "lts/explore" @@ fun () ->
     let t =
-      match packing with None -> create () | Some pk -> create_packed pk
+      match packing with
+      | None -> create ()
+      | Some pk -> create_packed ?mem_budget ?spill_dir pk
+    in
+    let cone =
+      match label_class with
+      | None -> None
+      | Some _ ->
+        t.cones <- Some (new_cones ());
+        label_class
     in
     ignore (add_state t init : state_id);
     if t.n > max_states then too_many t max_states;
     (try
        match t.repr with
        | Boxed _ ->
-         if jobs <= 1 then explore_sequential t ~max_states ~cancel ~step
-         else explore_parallel t ~max_states ~cancel ~step ~jobs ~par_threshold
-       | Packed p ->
-         if jobs <= 1 then packed_explore_seq t p ~max_states ~cancel ~step
+         if jobs <= 1 then explore_sequential t ~max_states ~cancel ~cone ~step
          else
-           packed_explore_par t p ~max_states ~cancel ~step ~jobs
+           explore_parallel t ~max_states ~cancel ~cone ~step ~jobs
              ~par_threshold
-     with Mdp_obs.Cancel.Cancelled _ as e ->
-       Mdp_obs.Metrics.incr "lts/cancelled";
-       raise e);
+       | Packed p ->
+         if jobs <= 1 then
+           packed_explore_seq t p ~max_states ~cancel ~cone ~step
+         else
+           packed_explore_par t p ~max_states ~cancel ~cone ~step ~jobs
+             ~par_threshold
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       (match e with
+       | Mdp_obs.Cancel.Cancelled _ -> Mdp_obs.Metrics.incr "lts/cancelled"
+       | _ -> ());
+       cleanup_spill t;
+       Printexc.raise_with_backtrace e bt);
     Mdp_obs.Metrics.add "lts/states" t.n;
+    (match t.cones with
+    | None -> ()
+    | Some c ->
+      let stores = ref 0 and touches = ref 0 in
+      Array.iter (fun k -> if k > 0 then incr stores) c.cn_trans;
+      Array.iter (fun k -> touches := !touches + k) c.cn_states;
+      Mdp_obs.Metrics.add "whatif/cone_stores" !stores;
+      Mdp_obs.Metrics.add "whatif/cone_state_touches" !touches);
     (match t.repr with
     | Boxed _ -> ()
     | Packed p ->
       packed_compact p t.n;
+      (match p.spill with
+      | None -> ()
+      | Some ss ->
+        Mdp_obs.Metrics.add "lts/spill_chunks" ss.ss_chunks;
+        Mdp_obs.Metrics.add "lts/spill_bytes" ss.ss_bytes;
+        Mdp_obs.Metrics.add "lts/spill_faults" (Spill.faults ss.ss_spill));
       if Mdp_obs.Metrics.enabled () then begin
         let ms = packed_mem p t.n t.ntrans in
         Mdp_obs.Metrics.add "lts/packed_state_bytes" ms.ms_state_bytes;

@@ -57,6 +57,11 @@ type abort_stats = {
   ab_bytes_per_state : float option;
       (** observed bytes/state at abort; [None] for the boxed engine,
           which has no byte-exact accounting *)
+  ab_resident_bytes : int option;
+      (** engine bytes still in RAM at abort (packed only) *)
+  ab_spill_bytes : int;  (** bytes evicted to disk at abort; 0 unspilled *)
+  ab_mem_budget : int option;
+      (** the resident budget the exploration ran under, if any *)
 }
 (** Context captured when {!Too_many_states} is raised, for error
     reports that help operators size [max_states] against real memory. *)
@@ -80,10 +85,31 @@ type mem_stats = {
   ms_labels : int;  (** distinct interned labels *)
   ms_total_bytes : int;
   ms_bytes_per_state : float;
+  ms_resident_bytes : int;
+      (** the part of [ms_total_bytes] still held in RAM — equal to it
+          when nothing spilled *)
+  ms_spill_bytes : int;  (** bytes evicted to the disk tier *)
+  ms_spill_chunks : int;  (** arena chunks evicted *)
+  ms_spill_tables : int;  (** sealed dedup generations evicted *)
+  ms_spill_faults : int;  (** disk-tier reads served so far *)
+  ms_mem_budget : int option;  (** resident budget, if one was set *)
 }
 (** Byte accounting of a packed LTS, split by structure. Counts the
     engine's own storage (arena, edges, index tables, shard tables), not
-    the OCaml heap at large. *)
+    the OCaml heap at large. [ms_total_bytes] keeps its PR 7 meaning —
+    all engine bytes wherever they live — so resident occupancy is
+    [ms_total_bytes - ms_spill_bytes = ms_resident_bytes]. *)
+
+type spill_stats = {
+  sp_dir : string;  (** the run directory holding the spill files *)
+  sp_bytes : int;
+  sp_chunks : int;
+  sp_tables : int;
+  sp_faults : int;
+  sp_budget : int;  (** the budget that forced the spill, in bytes *)
+}
+(** Disk-tier occupancy of a packed LTS that ran under [?mem_budget] and
+    actually evicted something. *)
 
 type 'a packer = {
   pk_words : int;  (** words per encoded state — a model constant *)
@@ -131,6 +157,9 @@ module Make (S : STATE) (L : LABEL) : sig
     ?par_threshold:int ->
     ?cancel:Mdp_obs.Cancel.t ->
     ?packing:S.t packer ->
+    ?mem_budget:int ->
+    ?spill_dir:string ->
+    ?label_class:(L.t -> int) ->
     init:S.t ->
     step:(S.t -> (L.t * S.t) list) ->
     unit ->
@@ -162,6 +191,29 @@ module Make (S : STATE) (L : LABEL) : sig
       sequentially. Pass [~par_threshold:0] to force the parallel
       machinery regardless of frontier width (used by the engine
       equivalence tests).
+
+      [mem_budget] (packed backend only) bounds the engine's {e
+      resident} bytes: when arena chunks, side tables and dedup shards
+      together exceed the budget, sealed 64 KiB arena chunks — oldest
+      first — and sealed dedup-shard tables are evicted to append-only
+      spill files in a fresh temporary directory (override the parent
+      with [spill_dir]), and are read back on demand through bounded
+      mmap windows and a small per-domain pinned-chunk cache. The
+      exploration then completes in disk rather than RAM, identically:
+      spilling moves bytes, never changes discovery order, so state
+      numbering stays byte-identical for every budget and every job
+      count. Budgets below the engine's unevictable floor (edge stream
+      + offset index + the open chunk) degrade to spilling everything
+      evictable. The spill directory is deleted when the LTS is
+      GC-collected, when {!drop_spill} is called, on any exploration
+      failure ({!Too_many_states}, cancellation), and by an [at_exit]
+      sweep.
+
+      [label_class] assigns each transition label a small non-negative
+      class (e.g. the index of the store it touches; [-1] for none);
+      when set, exploration accumulates per-class reachability cone
+      summaries readable via {!store_cone_stats} at no extra passes
+      over the LTS.
 
       [cancel] is polled cooperatively: once per frontier round in
       parallel mode (only the merging domain polls, so no worker raises
@@ -221,6 +273,22 @@ module Make (S : STATE) (L : LABEL) : sig
   val mem_stats : t -> mem_stats option
   (** Byte accounting of the packed representation; [None] on a boxed
       LTS. *)
+
+  val spill_stats : t -> spill_stats option
+  (** Disk-tier occupancy; [None] on a boxed LTS and on a packed LTS
+      that never spilled (no budget, or the model fit under it). *)
+
+  val drop_spill : t -> unit
+  (** Delete the LTS's spill directory now instead of waiting for GC or
+      process exit. Decodes of spilled states fail afterwards — call
+      only when done with the LTS. No-op when nothing spilled. *)
+
+  val store_cone_stats : t -> (int * int) array option
+  (** Per-class [(states, transitions)] cone summaries accumulated
+      during exploration: slot [c] counts the distinct source states
+      with at least one class-[c] transition, and the class-[c]
+      transitions themselves. [None] unless [explore] ran with
+      [label_class]. *)
 
   (** {1 Label rewriting} *)
 

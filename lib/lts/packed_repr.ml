@@ -105,7 +105,12 @@ let get_word_patch c ~base =
    straddle a chunk boundary (the tail of a chunk is padded when a
    record does not fit), so a decoder can address any record with one
    chunk lookup and then read plain bytes. Compared to one growable
-   [Bytes], chunking avoids ever copying the arena to grow it. *)
+   [Bytes], chunking avoids ever copying the arena to grow it.
+
+   The same two properties make the arena spillable: a sealed chunk is
+   immutable, and chunk [i] evicted in order lands at file offset
+   [i * chunk_size], so the disk tier needs no index — [seek] just
+   routes spilled-prefix chunks through {!Spill.chunk}. *)
 
 module Arena = struct
   (* 64 KiB chunks: small enough that a cached artifact for a toy model
@@ -118,11 +123,32 @@ module Arena = struct
     mutable chunks : Bytes.t array;
     mutable nchunks : int;
     mutable len : int; (* global length, padding included *)
+    mutable spilled : int;
+        (* chunks [0, spilled) live in [sfile] at offset i * chunk_size;
+           their RAM slots are cleared. Eviction is strictly in chunk
+           order and never reaches the open chunk. *)
+    mutable sfile : Spill.file option;
   }
 
-  let create () = { chunks = [||]; nchunks = 0; len = 0 }
+  let create () =
+    { chunks = [||]; nchunks = 0; len = 0; spilled = 0; sfile = None }
 
   let bytes t = t.len
+  let resident_bytes t = (t.nchunks - t.spilled) * chunk_size
+
+  (* Sealed chunks still resident: everything strictly below the open
+     chunk that has not been evicted yet. *)
+  let evictable t = min (t.len lsr chunk_bits) t.nchunks - t.spilled
+
+  (* Evict the oldest resident sealed chunk. Padding bytes go to disk
+     verbatim — offsets never point into padding, so readback is
+     byte-faithful where it matters. *)
+  let evict_chunk t sfile =
+    let i = t.spilled in
+    let (_ : int) = Spill.append sfile t.chunks.(i) ~pos:0 ~len:chunk_size in
+    t.chunks.(i) <- Bytes.empty;
+    t.sfile <- Some sfile;
+    t.spilled <- i + 1
 
   let new_chunk t =
     if t.nchunks = Array.length t.chunks then begin
@@ -152,9 +178,15 @@ module Arena = struct
       off
     end
 
-  (* Point [c] at the record starting at global offset [off]. *)
+  (* Point [c] at the record starting at global offset [off]. Spilled
+     chunks come back as pinned-cache copies; the extra compare on the
+     resident path is noise against the decode that follows. *)
   let seek t c off =
-    c.b <- t.chunks.(off lsr chunk_bits);
+    let i = off lsr chunk_bits in
+    c.b <-
+      (if i < t.spilled then
+         Spill.chunk (Option.get t.sfile) ~idx:i ~size:chunk_size
+       else t.chunks.(i));
     c.pos <- off land (chunk_size - 1)
 end
 

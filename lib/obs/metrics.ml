@@ -373,14 +373,31 @@ let spans_to_jsonl snap =
   Buffer.contents buf
 
 let phase_table ?(prefix = "phase/") ~wall_s snap =
+  (* Same-named phase spans are summed into one row (first-occurrence
+     order): one-shot phases (explore, render) render as before, while
+     repeating ones — phase/spill fires on every eviction burst — show
+     their aggregate instead of hundreds of near-zero lines. *)
   let plen = String.length prefix in
-  snap.spans
-  |> List.filter_map (fun sp ->
-         if
-           String.length sp.sp_name > plen
-           && String.sub sp.sp_name 0 plen = prefix
-         then
-           let phase = String.sub sp.sp_name plen (String.length sp.sp_name - plen) in
-           let s = Clock.ns_to_s sp.sp_dur_ns in
-           Some (phase, s, if wall_s > 0. then s /. wall_s else 0.)
-         else None)
+  let totals = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      if
+        String.length sp.sp_name > plen
+        && String.sub sp.sp_name 0 plen = prefix
+      then begin
+        let phase =
+          String.sub sp.sp_name plen (String.length sp.sp_name - plen)
+        in
+        match Hashtbl.find_opt totals phase with
+        | Some tot -> Hashtbl.replace totals phase (tot + sp.sp_dur_ns)
+        | None ->
+          Hashtbl.add totals phase sp.sp_dur_ns;
+          order := phase :: !order
+      end)
+    snap.spans;
+  List.rev_map
+    (fun phase ->
+      let s = Clock.ns_to_s (Hashtbl.find totals phase) in
+      (phase, s, if wall_s > 0. then s /. wall_s else 0.))
+    !order

@@ -109,4 +109,6 @@ val phase_table :
   ?prefix:string -> wall_s:float -> snapshot -> (string * float * float) list
 (** [phase_table ~wall_s snap] extracts spans whose name starts with
     [prefix] (default ["phase/"]) and returns
-    [(phase, seconds, fraction of wall_s)] rows in execution order. *)
+    [(phase, seconds, fraction of wall_s)] rows in first-execution
+    order, with same-named spans summed into one row (a phase that
+    fires repeatedly, like [phase/spill], shows its aggregate). *)

@@ -15,6 +15,7 @@ type config = {
   breaker_cooldown_ms : int;
   default_deadline_ms : int option;
   max_states : int;
+  mem_budget : int option;
 }
 
 let default_config =
@@ -30,6 +31,10 @@ let default_config =
        per-request guard can afford 10x the boxed-era default without
        risking the process. *)
     max_states = 2_000_000;
+    (* No resident budget by default: a daemon that should cap its RAM
+       and spill compilations to disk opts in (mdpriv serve
+       --mem-budget). *)
+    mem_budget = None;
   }
 
 (* The compiled state of one model: everything downstream of the DSL
@@ -261,7 +266,13 @@ let compile_artifact t ~cancel ~max_states source =
     | exception Invalid_argument msg ->
       refuse_error ("policy does not validate: " ^ msg)
   in
-  let options = { C.Generate.default_options with max_states } in
+  let options =
+    {
+      C.Generate.default_options with
+      max_states;
+      mem_budget = t.config.mem_budget;
+    }
+  in
   let lts = C.Generate.run ~options ~jobs:t.config.jobs ?cancel universe in
   {
     universe;
@@ -417,6 +428,19 @@ let run_analysis t ~cancel ~bkey ~akey (an : Protocol.analysis) source =
         ]
         @ (match st.Mdp_lts.Lts.ab_bytes_per_state with
           | Some bps -> [ ("bytes_per_state", Json.Num bps) ]
+          | None -> [])
+        (* Spill occupancy at the abort: an operator tuning a budgeted
+           daemon can tell apart "the model is genuinely too big" from
+           "the budget forced everything to disk and the guard fired
+           anyway" (raise --max-states, not RAM, in the latter case). *)
+        @ (match st.Mdp_lts.Lts.ab_resident_bytes with
+          | Some rb -> [ ("resident_bytes", Json.int rb) ]
+          | None -> [])
+        @ (if st.Mdp_lts.Lts.ab_spill_bytes > 0 then
+             [ ("spill_bytes", Json.int st.Mdp_lts.Lts.ab_spill_bytes) ]
+           else [])
+        @ (match st.Mdp_lts.Lts.ab_mem_budget with
+          | Some b -> [ ("mem_budget", Json.int b) ]
           | None -> [])
       | _ -> []
     in

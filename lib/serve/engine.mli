@@ -48,6 +48,12 @@ type config = {
       (** Budget applied when a request names none; [None] = unlimited. *)
   max_states : int;
       (** Ceiling clamped onto per-request [max_states]. *)
+  mem_budget : int option;
+      (** Resident-byte budget for each compilation's packed LTS: above
+          it the engine spills sealed arena chunks and dedup tables to
+          disk and completes bounded by disk, not RAM (state numbering
+          unchanged). [None] = never spill. [state_limit] error bodies
+          report resident/spill occupancy when a budget is set. *)
 }
 
 val default_config : config

@@ -202,6 +202,11 @@ let run spec =
       result_cap = 32;
       stale_cap = 16;
       breaker_cooldown_ms = spec.breaker_cooldown_ms;
+      (* Deliberately tiny: the soak's deadline-buster and state-limit
+         models overflow 256 KiB resident immediately, so every run
+         exercises the spill tier under faults, cancellations and limit
+         aborts — the paths that must tear spill directories down. *)
+      mem_budget = Some (256 * 1024);
     }
   in
   let engine = Engine.create ~config:engine_config () in
