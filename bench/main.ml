@@ -2495,6 +2495,317 @@ let perf_pr9 ~jobs ~smoke () =
   Printf.printf "wrote BENCH_PR9.json\n";
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* PR 10: cone-scoped what-if invalidation. Before it, every Read/Write
+   ACL revocation in the sweep invalidated the LTS and was left
+   uncomputed ([Full_rerun]); now the candidates whose effect is
+   confined to recorded store cones are answered by an incremental
+   reachability walk, and an [Analysis.run_incremental] over such an
+   edit re-explores only the cone fragment. Gates: at least half of the
+   invalidating ACL-sweep candidates are answered via the cone path;
+   their per-candidate p50 is >= 10x faster than a cold run (headline
+   case only — on millisecond models the walk's fixed costs cannot be
+   10x below the cold run and the gate would bind on noise); and every
+   sampled cone candidate's incremental result is identical to a cold
+   run of the edited model at jobs 1 and 4, with and without a
+   [--mem-budget]. Emits BENCH_PR10.json. *)
+
+let pr10_cases ~smoke =
+  (* (model, max_states, identity sample, gate the 10x p50 speedup) *)
+  if smoke then [ ("synthetic:6-8-5", 200_000, 6, false) ]
+  else [ ("synthetic:11-14-8", 1_000_000, 4, true) ]
+
+let perf_pr10 ~jobs ~smoke () =
+  section
+    (Printf.sprintf "[pr10] cone-scoped what-if re-exploration (jobs=%d)" jobs);
+  let section_t0 = Mdp_obs.Clock.now_ns () in
+  let module J = Mdp_prelude.Json in
+  let module W = Core.Whatif in
+  let ok = ref true in
+  (* Same tuned matrix and profile as the pr8 section, so the cold
+     baselines are comparable across the two artifacts. *)
+  let matrix = Core.Risk_matrix.make ~likelihood_thresholds:(0.07, 0.5) () in
+  let profile =
+    Core.User_profile.make
+      ~sensitivities:[ (Mdp_dataflow.Field.of_name "Field0", 0.9) ]
+      ~agreed_services:[ "Service0" ] ()
+  in
+  let table =
+    Mdp_prelude.Texttable.create
+      ~header:
+        [ "case"; "cold s"; "cand"; "cone"; "full"; "cone p50 ms";
+          "speedup p50"; "identical" ]
+  in
+  let json_cases =
+    List.map
+      (fun (model_name, max_states, sample, gate_speedup) ->
+        let spec =
+          match Mdp_scenario.Synthetic.spec_of_string model_name with
+          | Some (Ok s) -> s
+          | _ -> failwith ("bad synthetic spec " ^ model_name)
+        in
+        let diagram, policy = Mdp_scenario.Synthetic.model spec in
+        let options = { Core.Generate.default_options with max_states } in
+        let cold_of ?(options = options) ~jobs (inputs : Core.Edit.inputs) =
+          match
+            Core.Analysis.run_checked ~options ~matrix
+              ?profile:inputs.Core.Edit.profile
+              ~bindings:inputs.Core.Edit.bindings ~jobs
+              inputs.Core.Edit.diagram inputs.Core.Edit.policy
+          with
+          | Ok t -> t
+          | Error f -> failwith (Core.Analysis.failure_message f)
+        in
+        let base_inputs =
+          { Core.Edit.diagram; policy; profile = Some profile; bindings = [] }
+        in
+        let t0 = Mdp_obs.Clock.now_ns () in
+        let base = cold_of ~jobs base_inputs in
+        let t_cold = Mdp_obs.Clock.elapsed_s t0 in
+        let b =
+          match W.prepare base with Ok b -> b | Error e -> failwith e
+        in
+        let candidates = W.acl_candidates b in
+        let n = List.length candidates in
+        (* One timed eval per candidate: census + the cone latency
+           distribution in a single pass (eval_edit without [~exact] is
+           read-only on the base, so this is the sweep's own path). *)
+        let evaluated =
+          List.map
+            (fun e ->
+              let o, dt = Mdp_obs.Clock.time (fun () -> W.eval_edit b e) in
+              match o with
+              | Ok o -> (e, o, dt)
+              | Error err -> failwith err)
+            candidates
+        in
+        let census =
+          List.fold_left
+            (fun acc (_, (o : W.outcome), _) ->
+              let k = W.classification_to_string o.W.classification in
+              let cur = Option.value (List.assoc_opt k acc) ~default:0 in
+              (k, cur + 1) :: List.remove_assoc k acc)
+            [] evaluated
+        in
+        let of_class c =
+          List.filter (fun (_, (o : W.outcome), _) -> o.W.classification = c)
+            evaluated
+        in
+        let cone = of_class W.Cone and full = of_class W.Full_rerun in
+        let n_cone = List.length cone and n_full = List.length full in
+        (* Gate (a): the former full-rerun population (everything that
+           invalidates the LTS) is now mostly answered via the cone. *)
+        let fraction_ok = 2 * n_cone >= n_cone + n_full in
+        if not fraction_ok then begin
+          Printf.printf
+            "  %s: only %d/%d invalidating candidates on the cone path\n"
+            model_name n_cone (n_cone + n_full);
+          ok := false
+        end;
+        (* Gate (b): cone candidates answer >= 10x faster than cold at
+           the median. *)
+        let cone_lat =
+          List.sort Float.compare (List.map (fun (_, _, dt) -> dt) cone)
+        in
+        let p50 =
+          if cone_lat = [] then infinity
+          else List.nth cone_lat (List.length cone_lat / 2)
+        in
+        let p95 =
+          if cone_lat = [] then infinity
+          else
+            List.nth cone_lat
+              (min (List.length cone_lat - 1) (List.length cone_lat * 95 / 100))
+        in
+        let speedup_p50 = t_cold /. p50 in
+        let speedup_ok = (not gate_speedup) || speedup_p50 >= 10.0 in
+        if not speedup_ok then begin
+          Printf.printf "  %s: cone p50 %.3fs is only %.1fx the %.3fs cold run\n"
+            model_name p50 speedup_p50 t_cold;
+          ok := false
+        end;
+        (* Identity: an evenly spaced sample of cone candidates, each
+           run incrementally and cold at jobs 1 and 4. On the headline
+           model the comparison is structural (its render is gigabytes);
+           the smoke case compares rendered bytes. The sweep outcome
+           must also agree with the cold ground truth: worst level, and
+           the diff as signature-sorted sets. *)
+        let sampled =
+          if sample <= 0 || sample >= n_cone then cone
+          else
+            let step = n_cone / sample in
+            List.filteri (fun i _ -> i mod step = 0) cone
+            |> List.filteri (fun i _ -> i < sample)
+        in
+        let before_report = Option.get base.Core.Analysis.disclosure in
+        let normalize (d : Core.Risk_diff.t) =
+          {
+            d with
+            Core.Risk_diff.removed = List.sort compare d.removed;
+            added = List.sort compare d.added;
+            changed = List.sort compare d.changed;
+          }
+        in
+        let check_one ?options ~jobs:run_jobs label edit (o : W.outcome) =
+          let incr =
+            Core.Analysis.run_incremental ~jobs:run_jobs ~previous:base [ edit ]
+          in
+          let cold =
+            cold_of ?options ~jobs:run_jobs (Core.Analysis.inputs_of incr)
+          in
+          let same =
+            if smoke then pr8_render incr = pr8_render cold
+            else
+              incr.Core.Analysis.disclosure = cold.Core.Analysis.disclosure
+              && incr.Core.Analysis.consistency = cold.Core.Analysis.consistency
+              && incr.Core.Analysis.pseudonym = cold.Core.Analysis.pseudonym
+          in
+          if not same then begin
+            Printf.printf "  %s: %s incremental DIFFERS from cold for %s\n"
+              model_name label (Core.Edit.to_string edit);
+            ok := false
+          end;
+          let cold_report = Option.get cold.Core.Analysis.disclosure in
+          let truth =
+            Core.Risk_diff.diff ~before:before_report ~after:cold_report
+          in
+          let outcome_same =
+            Option.map normalize o.W.diff = Some (normalize truth)
+            && o.W.worst_after
+               = Some (Core.Disclosure_risk.max_level cold_report)
+          in
+          if not outcome_same then begin
+            Printf.printf "  %s: %s cone outcome DIFFERS from truth for %s\n"
+              model_name label (Core.Edit.to_string edit);
+            ok := false
+          end;
+          same && outcome_same
+        in
+        let checked = ref 0 and identical = ref 0 in
+        List.iter
+          (fun (edit, o, _) ->
+            List.iter
+              (fun j ->
+                incr checked;
+                if check_one ~jobs:j (Printf.sprintf "jobs=%d" j) edit o then
+                  incr identical)
+              [ 1; 4 ])
+          sampled;
+        (* The same identity under a spill budget: rebuild the base at
+           75% of its packed resident peak and re-check the first
+           sampled candidate at jobs 1 and 4. Both sides of the
+           comparison run under the budget, so the cone rebuild must
+           reproduce the spilling run's numbering too. *)
+        (match
+           (Core.Plts.mem_stats base.Core.Analysis.lts, sampled)
+         with
+        | Some ms, (edit, o, _) :: _ ->
+          let budgeted =
+            { options with
+              Core.Generate.mem_budget =
+                Some (3 * ms.Mdp_lts.Lts.ms_total_bytes / 4) }
+          in
+          let base_b = cold_of ~options:budgeted ~jobs base_inputs in
+          let b_b =
+            match W.prepare base_b with Ok b -> b | Error e -> failwith e
+          in
+          let o_b =
+            match W.eval_edit b_b edit with
+            | Ok o -> o
+            | Error e -> failwith e
+          in
+          ignore o;
+          List.iter
+            (fun j ->
+              incr checked;
+              let incr_t =
+                Core.Analysis.run_incremental ~jobs:j ~previous:base_b [ edit ]
+              in
+              let cold_t =
+                cold_of ~options:budgeted ~jobs:j
+                  (Core.Analysis.inputs_of incr_t)
+              in
+              let same =
+                if smoke then pr8_render incr_t = pr8_render cold_t
+                else
+                  incr_t.Core.Analysis.disclosure
+                  = cold_t.Core.Analysis.disclosure
+                  && incr_t.Core.Analysis.consistency
+                     = cold_t.Core.Analysis.consistency
+                  && incr_t.Core.Analysis.pseudonym
+                     = cold_t.Core.Analysis.pseudonym
+                  && o_b.W.classification = W.Cone
+              in
+              if same then incr identical
+              else begin
+                Printf.printf
+                  "  %s: budgeted incremental DIFFERS from cold (jobs=%d) \
+                   for %s\n"
+                  model_name j (Core.Edit.to_string edit);
+                ok := false
+              end)
+            [ 1; 4 ]
+        | _ -> ());
+        let identity_ok = !identical = !checked in
+        let case_ok = fraction_ok && speedup_ok && identity_ok in
+        if not case_ok then ok := false;
+        Mdp_prelude.Texttable.add_row table
+          [
+            model_name;
+            Printf.sprintf "%.3f" t_cold;
+            string_of_int n;
+            string_of_int n_cone;
+            string_of_int n_full;
+            Printf.sprintf "%.2f" (1e3 *. p50);
+            Printf.sprintf "%.0fx" speedup_p50;
+            Printf.sprintf "%d/%d" !identical !checked;
+          ];
+        J.Obj
+          [
+            ("model", J.Str model_name);
+            ("max_states", J.int max_states);
+            ("cold_seconds", J.Num t_cold);
+            ("candidates", J.int n);
+            ( "classification_census",
+              J.Obj (List.map (fun (k, v) -> (k, J.int v)) census) );
+            ( "cone_fraction_of_invalidating",
+              J.Num
+                (if n_cone + n_full = 0 then 1.0
+                 else float_of_int n_cone /. float_of_int (n_cone + n_full)) );
+            ("p50_cone_seconds", J.Num p50);
+            ("p95_cone_seconds", J.Num p95);
+            ("speedup_p50_vs_cold", J.Num speedup_p50);
+            ("speedup_gated", J.Bool gate_speedup);
+            ( "equivalence",
+              J.Obj
+                [
+                  ("checked", J.int !checked);
+                  ("identical", J.int !identical);
+                  ( "compared",
+                    J.Str (if smoke then "rendered" else "structural") );
+                ] );
+            ("ok", J.Bool case_ok);
+          ])
+      (pr10_cases ~smoke)
+  in
+  Format.printf "%a@." Mdp_prelude.Texttable.pp table;
+  let json =
+    J.Obj
+      [
+        ("bench", J.Str "pr10-cone-whatif");
+        ("jobs", J.int jobs);
+        ("smoke", J.Bool smoke);
+        ("phase_spans", span_totals_json ~since:section_t0 ());
+        ("cases", J.List json_cases);
+      ]
+  in
+  let oc = open_out "BENCH_PR10.json" in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR10.json\n";
+  !ok
+
 let () =
   (* Child mode first: one exploration, one stats line, exit. *)
   (match Array.to_list Sys.argv with
@@ -2512,6 +2823,7 @@ let () =
   let pr7_only = List.mem "--pr7" argv in
   let pr8_only = List.mem "--pr8" argv in
   let pr9_only = List.mem "--pr9" argv in
+  let pr10_only = List.mem "--pr10" argv in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 4)
@@ -2524,7 +2836,7 @@ let () =
     smoke
     && not
          (pr2_only || pr3_only || pr4_only || pr6_only || pr7_only || pr8_only
-        || pr9_only)
+        || pr9_only || pr10_only)
   then begin
     let pr2_ok = perf_pr2 ~jobs ~smoke () in
     let pr3_ok = perf_pr3 ~jobs ~smoke () in
@@ -2533,9 +2845,12 @@ let () =
     let pr7_ok = perf_pr7 ~jobs ~smoke () in
     let pr8_ok = perf_pr8 ~jobs ~smoke () in
     let pr9_ok = perf_pr9 ~jobs ~smoke () in
+    let pr10_ok = perf_pr10 ~jobs ~smoke () in
     write_observability_artifacts ();
     exit
-      (if pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok
+      (if
+         pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok
+         && pr10_ok
        then 0
        else 1)
   end;
@@ -2555,6 +2870,11 @@ let () =
   end;
   if pr9_only then begin
     let ok = perf_pr9 ~jobs ~smoke () in
+    write_observability_artifacts ();
+    exit (if ok then 0 else 1)
+  end;
+  if pr10_only then begin
+    let ok = perf_pr10 ~jobs ~smoke () in
     write_observability_artifacts ();
     exit (if ok then 0 else 1)
   end;
@@ -2578,8 +2898,12 @@ let () =
   let pr7_ok = perf_pr7 ~jobs ~smoke:false () in
   let pr8_ok = perf_pr8 ~jobs ~smoke:false () in
   let pr9_ok = perf_pr9 ~jobs ~smoke:false () in
+  let pr10_ok = perf_pr10 ~jobs ~smoke:false () in
   perf ();
   write_observability_artifacts ();
   Printf.printf "\ndone.\n";
-  if not (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok)
+  if
+    not
+      (pr2_ok && pr3_ok && pr4_ok && pr6_ok && pr7_ok && pr8_ok && pr9_ok
+     && pr10_ok)
   then exit 1

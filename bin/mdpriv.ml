@@ -402,9 +402,11 @@ let pp_invalidation ppf (inv : Core.Edit.invalidation) =
   let flags =
     [
       ("lts", inv.Core.Edit.inv_lts);
+      ("cone", inv.Core.Edit.inv_cone);
       ("plan", inv.Core.Edit.inv_plan);
       ("risk", inv.Core.Edit.inv_risk);
       ("classes", inv.Core.Edit.inv_classes);
+      ("sigma", inv.Core.Edit.inv_sigma <> None);
       ("pseudonym", inv.Core.Edit.inv_pseudonym);
       ("consistency", inv.Core.Edit.inv_consistency);
     ]
@@ -471,7 +473,10 @@ let whatif_cmd =
                 (fun e -> Format.fprintf meta "edit: %a@." Core.Edit.pp e)
                 edits;
               Format.fprintf meta "invalidated: %a  (%s)@." pp_invalidation inv
-                (if inv.Core.Edit.inv_lts then "full re-exploration"
+                (if inv.Core.Edit.inv_lts then
+                   if inv.Core.Edit.inv_cone then
+                     "cone-scoped re-exploration candidate"
+                   else "full re-exploration"
                  else "LTS reused");
               Format.fprintf meta "worst risk: %a -> %a@." Core.Level.pp
                 (worst_of base) Core.Level.pp (worst_of after);

@@ -16,12 +16,10 @@ type t = {
   plan : Risk_plan.t option;
 }
 
-let run_params ?jobs ?cancel params diagram policy =
-  let universe = Universe.make diagram policy in
-  let lts =
-    Mdp_obs.Metrics.span "phase/explore" @@ fun () ->
-    Generate.run ~options:params.options ?jobs ?cancel universe
-  in
+(* Everything downstream of exploration, shared by [run_params] and the
+   cone-scoped rebuild path of [run_incremental] (which produces a
+   byte-identical LTS by other means). *)
+let analyse_phase params universe lts =
   Mdp_obs.Metrics.span "phase/analyse" @@ fun () ->
   let consistency = Consistency.check universe in
   let plan =
@@ -45,6 +43,14 @@ let run_params ?jobs ?cancel params diagram policy =
     List.concat_map (Pseudonym_risk.analyse universe lts) params.bindings
   in
   { params; universe; lts; consistency; disclosure; pseudonym; plan }
+
+let run_params ?jobs ?cancel params diagram policy =
+  let universe = Universe.make diagram policy in
+  let lts =
+    Mdp_obs.Metrics.span "phase/explore" @@ fun () ->
+    Generate.run ~options:params.options ?jobs ?cancel universe
+  in
+  analyse_phase params universe lts
 
 let run ?(options = Generate.default_options) ?(matrix = Risk_matrix.default)
     ?(model = Disclosure_risk.default_likelihood) ?profile ?(bindings = [])
@@ -84,7 +90,35 @@ let run_incremental ?jobs ~previous edits =
     Mdp_obs.Metrics.incr "whatif/invalidated_lts";
     Mdp_obs.Metrics.incr "whatif/invalidated_plan";
     Mdp_obs.Metrics.incr "whatif/invalidated_classes";
-    run_params ?jobs params after.Edit.diagram after.Edit.policy
+    (* Cone-scoped re-exploration: a pure policy-shrink edit re-explores
+       only through the affected store classes' cones, serving every
+       untouched successor row from the previous LTS. [Regen.rebuild]
+       guarantees the result is byte-identical to the cold run below —
+       numbering, backend, spill behaviour, cone summaries — so the rest
+       of the pipeline cannot tell which path produced it. Either
+       [make_patch] (ineligible edit) or [rebuild] (no recorded cones)
+       declining falls back to the cold run. *)
+    let cone =
+      if not inv.Edit.inv_cone then None
+      else begin
+        let u = Universe.make after.Edit.diagram after.Edit.policy in
+        match
+          Regen.make_patch ~u_old:previous.universe ~u
+            previous.params.options
+        with
+        | None -> None
+        | Some patch ->
+          Mdp_obs.Metrics.span "phase/cone_rebuild" @@ fun () ->
+          Option.map
+            (fun lts -> (u, lts))
+            (Regen.rebuild ?jobs patch previous.lts)
+      end
+    in
+    match cone with
+    | Some (universe, lts) ->
+      Mdp_obs.Metrics.incr "whatif/cone_rebuilds";
+      analyse_phase params universe lts
+    | None -> run_params ?jobs params after.Edit.diagram after.Edit.policy
   end
   else begin
     Mdp_obs.Metrics.incr "whatif/incremental_hits";

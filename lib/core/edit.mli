@@ -51,6 +51,13 @@ type invalidation = {
   inv_lts : bool;
       (** Reachable transition structure may differ: re-explore (and
           with it everything downstream). *)
+  inv_cone : bool;
+      (** Set alongside [inv_lts] when the damage is a pure
+          policy-shrink candidate for cone-scoped re-exploration: the
+          diagram is unchanged, bindings are empty, and only concrete
+          ACL permissions moved. Candidacy only — {!Regen.make_patch}
+          makes the final eligibility call from the compiled artifacts
+          and falls back to a cold run when it declines. *)
   inv_plan : bool;
       (** Compiled risk-plan entries stale (today: deleter sets
           changed — repatchable without recompiling). *)
@@ -58,6 +65,13 @@ type invalidation = {
   inv_classes : bool;
       (** Population equivalence classes invalidated (field/service
           inventory changed). *)
+  inv_sigma : (Field.t * float) list option;
+      (** [Some overrides] when the only profile change is per-field
+          sensitivity (agreed services identical): the changed fields
+          with their new values. Population aggregates can then
+          re-evaluate only the equivalence classes whose σ actually
+          moved ({!Population.reaggregate}) instead of tripping
+          [inv_classes]. *)
   inv_pseudonym : bool;  (** Pseudonym pass must re-run. *)
   inv_consistency : bool;  (** Consistency gaps must be recomputed. *)
 }
@@ -117,6 +131,24 @@ val parse_all : string list -> (t list, string) result
 
 val pp : Format.formatter -> t -> unit
 (** Canonical rendering; the inverse of {!parse} for parseable edits
-    (used as serve cache-key material). *)
+    (used as serve cache-key material). Identifiers containing the
+    spec's separator characters ([:] [,] [=] [>]), whitespace, a double
+    quote or a backslash — or empty identifiers — are double-quoted
+    with backslash escapes, and {!parse} unquotes them, so
+    [parse (to_string e) = Ok e] for every edit except [Set_bindings]
+    and deny-effect [Grant]s (which have no spec syntax). *)
 
 val to_string : t -> string
+
+val canonical_batch : t list -> t list
+(** Canonical representative of an edit batch under semantic
+    equivalence: profile edits shadowed by a later edit on the same
+    target (same σ field, same agreement service, any binding set) are
+    dropped, adjacent structurally equal ACL edits are deduplicated,
+    and independent edits — ACL/ACL pairs, flow edits on different
+    services, profile edits on different targets, profile edits against
+    anything — are sorted by their printed form. Two batches that are
+    permutations of one another up to these commutations canonicalise
+    identically, so serve can key its what-if result cache on the
+    canonical form without a vacuous or reordered edit splitting (or
+    wrongly sharing) cache entries. *)

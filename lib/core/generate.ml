@@ -457,22 +457,63 @@ let potential_deletes u (cfg : Config.t) =
   done;
   !transitions
 
-let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
-  Mdp_obs.Metrics.span "generate/run" @@ fun () ->
-  let compiled = compile u options in
-  let stamp = Atomic.fetch_and_add run_stamp 1 in
+let fresh_stamp () = Atomic.fetch_and_add run_stamp 1
+
+(* The per-(actor, store) readable field sets as single words, the fast
+   potential-read representation; [None] when the model is too wide for
+   one word. *)
+let readable_rows u options =
   let nf = Universe.nfields u in
-  let readable_words =
-    if options.potential_reads && nf <= Bitset.bits_per_word then
-      Some
-        (Array.init (Universe.nactors u) (fun a ->
-             Array.init (Universe.nstores u) (fun s ->
-                 Bitset.extract
-                   (Universe.readable_bits u ~actor:a ~store:s)
-                   ~pos:0 ~len:nf)))
-    else None
-  in
-  let step cfg =
+  if options.potential_reads && nf <= Bitset.bits_per_word then
+    Some
+      (Array.init (Universe.nactors u) (fun a ->
+           Array.init (Universe.nstores u) (fun s ->
+               Bitset.extract
+                 (Universe.readable_bits u ~actor:a ~store:s)
+                 ~pos:0 ~len:nf)))
+  else None
+
+(* One (actor, store) group of potential reads at [cfg], in the order
+   the group's entries occupy the emitted row (fields descending under
+   [granular_reads] — the full pass builds its list by prepending).
+   [readable] is the pair's readable-field word. The incremental cone
+   walk recomputes exactly the revoked pairs' groups through this. *)
+let potential_reads_at u options ~stamp ~readable ~actor ~store (cfg : Config.t)
+    =
+  let nf = Universe.nfields u in
+  let contents = Bitset.extract cfg.stores.(store) ~pos:0 ~len:nf in
+  let has = Bitset.extract cfg.privacy.has ~pos:(actor * nf) ~len:nf in
+  let fresh = readable land contents land lnot has in
+  if fresh = 0 then []
+  else begin
+    let acc = ref [] in
+    let emit bits =
+      let action, mask = read_action u ~stamp ~actor ~store bits in
+      let privacy =
+        {
+          Privacy_state.has = Bitset.union cfg.privacy.has mask;
+          could = cfg.privacy.could;
+        }
+      in
+      acc := (action, { cfg with Config.privacy }) :: !acc
+    in
+    if options.granular_reads then begin
+      let bits = ref fresh in
+      while !bits <> 0 do
+        let lsb = !bits land - !bits in
+        emit lsb;
+        bits := !bits land lnot lsb
+      done
+    end
+    else emit fresh;
+    !acc
+  end
+
+(* The successor function [run] explores with, reusable by the
+   incremental cone re-exploration (which must step fresh states with
+   exactly the cold semantics). *)
+let make_step u options ~stamp ~compiled ~readable_words =
+  fun cfg ->
     let from_flows =
       List.filter_map
         (fun cf ->
@@ -490,32 +531,39 @@ let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
     in
     let deletes = if options.potential_deletes then potential_deletes u cfg else [] in
     from_flows @ reads @ deletes
-  in
+
+(* Per-store reachability cones, accumulated as the LTS is built: the
+   class of a transition is the index of the store its action touches
+   (potential reads, deletes and store-directed flows all carry one).
+   Store-less actions class as -1 and are not coned. *)
+let store_classifier u (a : Action.t) =
+  match a.Action.store with
+  | Some s -> Universe.store_index u s
+  | None -> -1
+
+(* The packed engine stores only the configs' bitset payload words
+   (layout and width are universe constants); [init] doubles as the
+   shape template for decoding. Universes too wide for the packed
+   record wordmap (63 words = ~2000 booleans per map) fall back to
+   the boxed engine. *)
+let config_packer options init =
+  if options.packed && Config.nwords init <= 63 then
+    Some
+      {
+        Mdp_lts.Lts.pk_words = Config.nwords init;
+        pk_blit = (fun cfg dst off -> ignore (Config.blit_words cfg dst off : int));
+        pk_decode = (fun src off -> Config.of_words ~template:init src off);
+      }
+  else None
+
+let run ?(options = default_options) ?(jobs = 1) ?par_threshold ?cancel u =
+  Mdp_obs.Metrics.span "generate/run" @@ fun () ->
+  let compiled = compile u options in
+  let stamp = fresh_stamp () in
+  let readable_words = readable_rows u options in
+  let step = make_step u options ~stamp ~compiled ~readable_words in
   let init = Config.initial u in
-  (* The packed engine stores only the configs' bitset payload words
-     (layout and width are universe constants); [init] doubles as the
-     shape template for decoding. Universes too wide for the packed
-     record wordmap (63 words = ~2000 booleans per map) fall back to
-     the boxed engine. *)
-  let packing =
-    if options.packed && Config.nwords init <= 63 then
-      Some
-        {
-          Mdp_lts.Lts.pk_words = Config.nwords init;
-          pk_blit = (fun cfg dst off -> ignore (Config.blit_words cfg dst off : int));
-          pk_decode = (fun src off -> Config.of_words ~template:init src off);
-        }
-    else None
-  in
-  (* Per-store reachability cones, accumulated as the LTS is built: the
-     class of a transition is the index of the store its action touches
-     (potential reads, deletes and store-directed flows all carry one).
-     Store-less actions class as -1 and are not coned. *)
-  let label_class (a : Action.t) =
-    match a.Action.store with
-    | Some s -> Universe.store_index u s
-    | None -> -1
-  in
+  let packing = config_packer options init in
   Plts.explore ~max_states:options.max_states ~jobs ?par_threshold ?cancel
     ?packing ?mem_budget:options.mem_budget ?spill_dir:options.spill_dir
-    ~label_class ~init ~step ()
+    ~label_class:(store_classifier u) ~init ~step ()

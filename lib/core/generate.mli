@@ -75,6 +75,93 @@ val flow_only : options
 (** No policy-derived transitions: exactly the diagram's flows (the Fig. 3
     rendering mode). *)
 
+(** {1 Compiled-step internals}
+
+    The pieces [run] assembles, exposed for the cone-scoped incremental
+    re-exploration ({!Regen}): comparing the compiled flows of two
+    policies tells an edit exactly which emissions change, and stepping
+    a fresh state during the incremental walk must use exactly the cold
+    semantics. *)
+
+type source_guard =
+  | Always
+  | Actor_has of int list  (** privacy.has variable indices *)
+  | Store_holds of int * int list  (** store index, field indices *)
+
+type compiled_flow = {
+  cf_index : int;
+  cf_prereqs : Mdp_prelude.Bitset.t;
+      (** flow indices that must have executed (Strict) *)
+  cf_guard : source_guard;
+  cf_action : Action.t;
+  cf_has_vars : int list;  (** privacy.has bits the action sets *)
+  cf_store_write : (int * int list) option;  (** store idx, field indices *)
+  cf_could_vars : int list;  (** privacy.could bits set on creation *)
+}
+
+val compile : Universe.t -> options -> compiled_flow list
+(** The in-scope flows with non-empty effective field sets, in flow-index
+    order — the from-flow segment of every state's successor row. *)
+
+val flow_enabled : options -> Config.t -> compiled_flow -> bool
+val fire : Config.t -> compiled_flow -> Config.t
+
+val fresh_stamp : unit -> int
+(** A new run stamp for the potential-read action memo (entries are
+    per-universe; the stamp keys them to one run). *)
+
+val readable_rows : Universe.t -> options -> int array array option
+(** Per-(actor, store) readable field sets as single words
+    ([.(actor).(store)]); [None] when the model has more fields than a
+    word holds or potential reads are off. *)
+
+val read_action :
+  Universe.t ->
+  stamp:int ->
+  actor:int ->
+  store:int ->
+  int ->
+  Action.t * Mdp_prelude.Bitset.t
+(** The memoised potential-read label for a packed fresh field set (bit
+    [i] = field [i]) together with the privacy.has mask it implies —
+    exactly the label a cold run emits for that (actor, store, field
+    set). Exposed so {!Regen}'s arithmetic walk can name recomputed read
+    groups without rebuilding configurations. *)
+
+val potential_reads_at :
+  Universe.t ->
+  options ->
+  stamp:int ->
+  readable:int ->
+  actor:int ->
+  store:int ->
+  Config.t ->
+  (Action.t * Config.t) list
+(** The (actor, store) pair's potential-read emissions at the given
+    configuration, in row order (fields descending under
+    [granular_reads]); [readable] is the pair's word from
+    {!readable_rows}. Empty when nothing fresh is readable. *)
+
+val make_step :
+  Universe.t ->
+  options ->
+  stamp:int ->
+  compiled:compiled_flow list ->
+  readable_words:int array array option ->
+  Config.t ->
+  (Action.t * Config.t) list
+(** The successor function [run] explores with. *)
+
+val store_classifier : Universe.t -> Action.t -> int
+(** The per-store cone class of a transition label: the touched store's
+    index, or -1 for store-less actions. What [run] passes to
+    [Lts.explore ~label_class]. *)
+
+val config_packer : options -> Config.t -> Config.t Mdp_lts.Lts.packer option
+(** The packed-backend codec [run] explores with ([None] when [packed]
+    is off or the model is too wide); the argument is the initial
+    configuration, which doubles as the decode template. *)
+
 val run :
   ?options:options ->
   ?jobs:int ->

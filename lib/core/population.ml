@@ -241,6 +241,165 @@ let analyse_compiled ?matrix ?model ?(jobs = 1) ?cancel ?plan
   in
   { total; by_level; hotspots }
 
+(* ----- cached class summaries + σ-delta reaggregation ----- *)
+
+type cached = {
+  ca_u : Universe.t;
+  ca_plan : Risk_plan.t;
+  ca_classes : (User_profile.t * int) array;
+  ca_sigma : float array array;
+      (* per class, σ by universe field index — the reuse key *)
+  ca_summaries : Risk_plan.summary array;
+}
+
+(* Shared merge: per-class summaries, in class order, folded with the
+   same sums/maxes/filters as [analyse_compiled]'s chunk merge — so the
+   aggregate is identical to what that path produces from the same
+   classes (summation order cannot matter, and [sort_hotspots] is a
+   total order). *)
+let aggregate_of plan cls summaries =
+  let nslots = Array.length (Risk_plan.slots plan) in
+  let counts = Array.make 4 0 in
+  let affected = Array.make (max nslots 1) 0 in
+  let worst = Array.make (max nslots 1) Level.None_ in
+  Array.iteri
+    (fun c (_, weight) ->
+      let s = summaries.(c) in
+      let r = Level.rank s.Risk_plan.worst in
+      counts.(r) <- counts.(r) + weight;
+      Array.iteri
+        (fun i lvl ->
+          if Level.compare lvl Level.None_ > 0 then begin
+            affected.(i) <- affected.(i) + weight;
+            worst.(i) <- Level.max worst.(i) lvl
+          end)
+        s.Risk_plan.slot_levels)
+    cls;
+  let by_level =
+    List.filter_map
+      (fun l ->
+        let c = counts.(Level.rank l) in
+        if c > 0 then Some (l, c) else None)
+      level_order
+  in
+  let hotspots =
+    Array.to_list
+      (Array.mapi
+         (fun i (actor, store) ->
+           { actor; store; affected = affected.(i); worst = worst.(i) })
+         (Risk_plan.slots plan))
+    |> List.filter (fun h -> h.affected > 0)
+    |> sort_hotspots
+  in
+  { total = Array.fold_left (fun acc (_, w) -> acc + w) 0 cls;
+    by_level; hotspots }
+
+let summaries_for ?(jobs = 1) ?cancel plan cls eval =
+  let n = Array.length cls in
+  let out = Array.make (max n 1) { Risk_plan.worst = Level.None_;
+                                   slot_levels = [||] } in
+  let parts =
+    Parallel.map_chunks ~jobs n (fun lo hi ->
+        List.init (hi - lo) (fun j ->
+            (match cancel with
+            | Some tok when (lo + j) land 63 = 0 -> Mdp_obs.Cancel.check tok
+            | _ -> ());
+            eval plan (lo + j)))
+  in
+  let k = ref 0 in
+  List.iter
+    (List.iter (fun s ->
+         out.(!k) <- s;
+         incr k))
+    parts;
+  out
+
+let prepare ?matrix ?model ?(jobs = 1) ?cancel ?plan ?classes:precomputed u
+    lts profiles =
+  Mdp_obs.Metrics.span "population/prepare" @@ fun () ->
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Risk_plan.compile ?matrix ?model u lts
+  in
+  let cls_list =
+    match precomputed with Some c -> c | None -> classes u profiles
+  in
+  let cls = Array.of_list cls_list in
+  let nf = Universe.nfields u in
+  let sigma =
+    Array.map
+      (fun (p, _) ->
+        Array.init nf (fun i ->
+            User_profile.sensitivity p (Universe.field_at u i)))
+      cls
+  in
+  let summaries =
+    summaries_for ~jobs ?cancel plan cls (fun plan c ->
+        Risk_plan.summary plan (fst cls.(c)))
+  in
+  Mdp_obs.Metrics.add "population/class_evals" (Array.length cls);
+  { ca_u = u; ca_plan = plan; ca_classes = cls; ca_sigma = sigma;
+    ca_summaries = summaries }
+
+let cached_aggregate c = aggregate_of c.ca_plan c.ca_classes c.ca_summaries
+
+let override_profile overrides p =
+  let existing = User_profile.sensitivities p in
+  let overridden =
+    List.map
+      (fun (f, v) ->
+        match List.assoc_opt f overrides with
+        | Some v' -> (f, v')
+        | None -> (f, v))
+      existing
+  in
+  let fresh =
+    List.filter
+      (fun (f, _) -> not (List.mem_assoc f existing))
+      overrides
+  in
+  User_profile.make
+    ~sensitivities:(overridden @ fresh)
+    ~agreed_services:(User_profile.agreed_services p)
+    ()
+
+let reaggregate ?(jobs = 1) ?cancel c ~overrides =
+  Mdp_obs.Metrics.span "population/reaggregate" @@ fun () ->
+  let u = c.ca_u in
+  let idx =
+    List.map (fun (f, v) -> (Universe.field_index u f, v)) overrides
+  in
+  (* a class whose σ already sits at every override value is untouched:
+     the edited representative is indistinguishable from the cached one *)
+  let stale =
+    Array.map
+      (fun sg -> List.exists (fun (i, v) -> sg.(i) <> v) idx)
+      c.ca_sigma
+  in
+  let stale_ids =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i -> if stale.(i) then Some i else None)
+            (Seq.init (Array.length stale) Fun.id)))
+  in
+  let stale_arr = Array.of_list stale_ids in
+  let fresh =
+    summaries_for ~jobs ?cancel c.ca_plan
+      (Array.map (fun i -> c.ca_classes.(i)) stale_arr)
+      (fun plan j ->
+        let p, _ = c.ca_classes.(stale_arr.(j)) in
+        Risk_plan.summary plan (override_profile overrides p))
+  in
+  Mdp_obs.Metrics.add "population/class_evals" (Array.length stale_arr);
+  let summaries = Array.copy c.ca_summaries in
+  Array.iteri (fun j i -> summaries.(i) <- fresh.(j)) stale_arr;
+  let reused = Array.length c.ca_classes - Array.length stale_arr in
+  ( aggregate_of c.ca_plan c.ca_classes summaries,
+    reused,
+    Array.length stale_arr )
+
 let pp_aggregate ppf agg =
   Format.fprintf ppf "@[<v>%d users:@," agg.total;
   List.iter

@@ -103,4 +103,53 @@ val analyse_compiled :
     population — when [classes] is given, [profiles] is ignored and
     [total] is the sum of the class weights. *)
 
+(** {2 Cached class summaries and σ-delta reaggregation}
+
+    A sensitivity edit cannot move a class whose σ already sits at the
+    edited value, so a what-if over a population only needs to
+    re-evaluate the classes the edit actually touches. {!prepare}
+    evaluates every class once and keeps the per-class summaries keyed
+    by their σ vectors; {!reaggregate} then answers a σ-override edit
+    by re-evaluating only the stale classes and re-merging — the result
+    is identical to a fresh {!analyse_compiled} over the edited
+    profiles, because the merge is the same sums-and-maxes fold and
+    classes that merge under the edit contribute their weights
+    additively either way. *)
+
+type cached
+
+val prepare :
+  ?matrix:Risk_matrix.t ->
+  ?model:Disclosure_risk.likelihood_model ->
+  ?jobs:int ->
+  ?cancel:Mdp_obs.Cancel.t ->
+  ?plan:Risk_plan.t ->
+  ?classes:(User_profile.t * int) list ->
+  Universe.t ->
+  Plts.t ->
+  User_profile.t list ->
+  cached
+(** Evaluate every class once (fanned over [jobs] domains) and retain
+    the summaries. Same [plan]/[classes] reuse contract as
+    {!analyse_compiled}. *)
+
+val cached_aggregate : cached -> aggregate
+(** The aggregate over the cached summaries — byte-identical to
+    {!analyse_compiled} on the same inputs. *)
+
+val reaggregate :
+  ?jobs:int ->
+  ?cancel:Mdp_obs.Cancel.t ->
+  cached ->
+  overrides:(Mdp_dataflow.Field.t * float) list ->
+  aggregate * int * int
+(** Apply a σ-override edit ([Edit.classify]'s [inv_sigma] payload: the
+    changed fields with their new values, applied population-wide) and
+    re-merge: [(aggregate, classes_reused, classes_reevaluated)]. A
+    class is reused iff its σ already equals every override value;
+    otherwise its representative is re-evaluated with the overrides
+    applied. The aggregate equals a fresh {!analyse_compiled} over the
+    edited profiles. The cache itself is not mutated (the edit is a
+    what-if, not a commit). *)
+
 val pp_aggregate : Format.formatter -> aggregate -> unit

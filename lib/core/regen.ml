@@ -1,0 +1,973 @@
+open Mdp_prelude
+
+(* Cone-scoped incremental re-exploration (the ROADMAP's region-granular
+   what-if step, building on PR 9's per-store cones).
+
+   A pure ACL revocation can only *shrink* the model: deny-overrides
+   means [Policy.allows] flips true->false, so effective flow fields
+   shrink, fully denied flows drop out, and potential-read field sets
+   shrink. No transition appears in the edited model at a state where
+   the previous run had none — which makes the edited successor row of
+   every previously explored state a *pointwise substitution* of the old
+   row:
+
+   - flows whose compiled form is unchanged keep their old entry;
+   - flows whose effective fields changed while guard and prereqs stayed
+     equal fire the new compiled flow at the old position (creates:
+     their guard is [Always], so enabledness cannot move);
+   - fully denied flows drop their entry;
+   - a revoked (actor, store) potential-read group is recomputed from
+     the new readable word, replacing the old group's consecutive block.
+
+   Any old state carrying an affected transition has a class-[s]
+   outgoing edge for an affected store [s], so it is in [s]'s recorded
+   cone-source set — the per-state test for "does this row need
+   substitution" is a bitset probe, and the untouched majority of the
+   old LTS is copied verbatim.
+
+   A substitution can land on a configuration the previous run never
+   reached (a create writing fewer could-bits); those fresh states are
+   stepped with the exact cold semantics ([Generate.make_step] under
+   the edited universe).
+
+   Two consumers:
+
+   - {!walk}: the timed what-if path. For a Read/Write revocation a
+     finding's level is a pure function of its label (impact from the
+     profile and the label's actor/fields; likelihood from provenance,
+     deleters — untouched by Read/Write edits — and diagram-only rogue
+     candidates), so the sweep only needs the set of distinct findable
+     labels reachable in the edited model. The walk is an int-BFS over
+     the hybrid graph collecting exactly that.
+   - {!rebuild}: the exact path. [Plts.explore] re-runs with a hybrid
+     step that serves old rows from the previous LTS; the result is
+     byte-identical to a cold exploration of the edited model —
+     numbering, packing, spill behaviour and cone summaries included —
+     for every job count. *)
+
+type verdict =
+  | Keep
+  | Drop_flow
+  | Subst_flow of Generate.compiled_flow
+  | Subst_read of int * int  (* actor index, store index *)
+
+type patch = {
+  rp_u : Universe.t;  (* the edited universe *)
+  rp_options : Generate.options;
+  rp_stamp : int;
+  rp_compiled : Generate.compiled_flow list;
+  rp_compiled_old : Generate.compiled_flow list;
+  rp_readable : int array array;  (* [||] when potential reads are off *)
+  rp_readable_old : int array array;
+  rp_flow_sub : (string * int, Generate.compiled_flow option) Hashtbl.t;
+      (* (service, order) of an affected flow -> substitute or drop *)
+  rp_read_keys : (string * string, int * int) Hashtbl.t;
+      (* (actor name, store id) of a shrunk readable pair -> indices *)
+  rp_classes : int list;  (* affected store classes, deduplicated *)
+}
+
+let classes p = p.rp_classes
+
+let flow_key (cf : Generate.compiled_flow) =
+  match cf.cf_action.Action.provenance with
+  | Action.From_flow { service; order } -> (service, order)
+  | _ -> invalid_arg "Regen.flow_key: flow action without flow provenance"
+
+let same_flow (a : Generate.compiled_flow) (b : Generate.compiled_flow) =
+  Action.equal a.cf_action b.cf_action
+  && a.cf_guard = b.cf_guard
+  && Bitset.equal a.cf_prereqs b.cf_prereqs
+  && a.cf_has_vars = b.cf_has_vars
+  && a.cf_store_write = b.cf_store_write
+  && a.cf_could_vars = b.cf_could_vars
+
+(* Substitution is exact only when the flow's enabledness is untouched:
+   equal guard (creates are [Always]-guarded; a read flow's guard covers
+   its effective fields, so a shrunk read never qualifies — a weakened
+   guard could enable the flow at states outside the cone) and equal
+   Strict prereqs. *)
+let substitutable (a : Generate.compiled_flow) (b : Generate.compiled_flow) =
+  a.cf_guard = b.cf_guard && Bitset.equal a.cf_prereqs b.cf_prereqs
+
+let make_patch ~u_old ~u (options : Generate.options) =
+  (* Potential deletes recompute could-bits from global reader sets per
+     transition; no label-local substitution exists for them. *)
+  if options.potential_deletes then None
+  else begin
+    let readable_pair =
+      if not options.potential_reads then Some (None, None)
+      else
+        match
+          (Generate.readable_rows u_old options, Generate.readable_rows u options)
+        with
+        | Some ro, Some rn -> Some (Some ro, Some rn)
+        | _ -> None  (* model too wide for the word-packed read path *)
+    in
+    match readable_pair with
+    | None -> None
+    | Some (readable_old, readable_new) ->
+      let ok = ref true in
+      let classes = ref [] in
+      let add_class c =
+        if c < 0 then ok := false
+        else if not (List.mem c !classes) then classes := c :: !classes
+      in
+      let compiled_old = Generate.compile u_old options in
+      let compiled_new = Generate.compile u options in
+      let by_index = Hashtbl.create 16 in
+      List.iter
+        (fun (cf : Generate.compiled_flow) ->
+          Hashtbl.replace by_index cf.cf_index cf)
+        compiled_new;
+      let flow_sub = Hashtbl.create 8 in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (cf_old : Generate.compiled_flow) ->
+          Hashtbl.replace seen cf_old.cf_index ();
+          match Hashtbl.find_opt by_index cf_old.cf_index with
+          | Some cf_new ->
+            if not (same_flow cf_old cf_new) then
+              if substitutable cf_old cf_new then begin
+                add_class (Generate.store_classifier u cf_old.cf_action);
+                Hashtbl.replace flow_sub (flow_key cf_old) (Some cf_new)
+              end
+              else ok := false
+          | None ->
+            (* fully denied: the entry drops *)
+            add_class (Generate.store_classifier u_old cf_old.cf_action);
+            Hashtbl.replace flow_sub (flow_key cf_old) None)
+        compiled_old;
+      (* A flow present only in the edited model can appear at states the
+         cones never marked — not a revocation shape. *)
+      List.iter
+        (fun (cf : Generate.compiled_flow) ->
+          if not (Hashtbl.mem seen cf.cf_index) then ok := false)
+        compiled_new;
+      let read_keys = Hashtbl.create 8 in
+      (match (readable_old, readable_new) with
+      | Some ro, Some rn ->
+        Array.iteri
+          (fun a row ->
+            Array.iteri
+              (fun s w_old ->
+                let w_new = rn.(a).(s) in
+                if w_new <> w_old then
+                  if w_new land lnot w_old <> 0 then
+                    (* readable set grew: fresh reads could appear at
+                       states outside the recorded cones *)
+                    ok := false
+                  else begin
+                    add_class s;
+                    Hashtbl.replace read_keys
+                      (Universe.actor_name u a, Universe.store_name u s)
+                      (a, s)
+                  end)
+              row)
+          ro
+      | _ -> ());
+      if not !ok then None
+      else
+        Some
+          {
+            rp_u = u;
+            rp_options = options;
+            rp_stamp = Generate.fresh_stamp ();
+            rp_compiled = compiled_new;
+            rp_compiled_old = compiled_old;
+            rp_readable =
+              (match readable_new with Some r -> r | None -> [||]);
+            rp_readable_old =
+              (match readable_old with Some r -> r | None -> [||]);
+            rp_flow_sub = flow_sub;
+            rp_read_keys = read_keys;
+            rp_classes = !classes;
+          }
+  end
+
+let verdict_of p (a : Action.t) =
+  match a.Action.provenance with
+  | Action.Inferred -> Keep
+  | Action.From_flow { service; order } -> (
+    match Hashtbl.find_opt p.rp_flow_sub (service, order) with
+    | Some (Some cf) -> Subst_flow cf
+    | Some None -> Drop_flow
+    | None -> Keep)
+  | Action.Potential -> (
+    match (a.Action.kind, a.Action.store) with
+    | Action.Read, Some s -> (
+      match Hashtbl.find_opt p.rp_read_keys (a.Action.actor, s) with
+      | Some (ai, si) -> Subst_read (ai, si)
+      | None -> Keep)
+    | _ -> Keep)
+
+(* Union of the affected classes' recorded cone-source sets, as a bit
+   per old state: the per-row "needs substitution" test. [None] when the
+   previous exploration recorded no cones. *)
+let affected_bitset p lts =
+  let n = Plts.num_states lts in
+  let bs = Bytes.make ((n + 7) / 8) '\000' in
+  let mark src =
+    let byte = src lsr 3 in
+    Bytes.unsafe_set bs byte
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get bs byte) lor (1 lsl (src land 7))))
+  in
+  let ok =
+    List.for_all
+      (fun c ->
+        match Plts.cone_sources lts c with
+        | None -> false
+        | Some sources ->
+          Array.iter mark sources;
+          true)
+      p.rp_classes
+  in
+  if ok then Some bs else None
+
+let bit bs i =
+  Char.code (Bytes.unsafe_get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let strip (a : Action.t) =
+  match a.Action.risk with None -> a | Some _ -> { a with risk = None }
+
+let findable (a : Action.t) =
+  a.Action.kind = Action.Read && a.Action.provenance <> Action.Inferred
+
+(* ----- timed walk: distinct findable labels of the edited model ----- *)
+
+module ATbl = Hashtbl.Make (Action)
+
+module FTbl = Hashtbl.Make (struct
+  type t = Config.t
+
+  let equal = Config.equal
+  let hash = Config.hash
+end)
+
+type walk = {
+  wk_labels : Action.t list;
+      (** The distinct findable (read, non-inferred) labels reachable in
+          the edited model — annotation-free. *)
+  wk_old_states : int;  (** previously explored states reached *)
+  wk_source_states : int;  (** of which needed row substitution *)
+  wk_fresh_states : int;  (** states the previous run never stored *)
+}
+
+(* Generic walk: exact stepping of every fresh configuration. Correct
+   for any patch [make_patch] accepts — including capability-*growing*
+   flow substitutions (a granted create writes more bits; its fresh
+   downstream is stepped with the exact cold semantics) — but pays a
+   full [step_new] per fresh state, which for a near-root revocation
+   approaches the cost of a cold exploration. *)
+let walk_generic p old_lts affected =
+    let u = p.rp_u and options = p.rp_options in
+    let step_new =
+      Generate.make_step u options ~stamp:p.rp_stamp ~compiled:p.rp_compiled
+        ~readable_words:
+          (if options.potential_reads then Some p.rp_readable else None)
+    in
+    let finder = Plts.make_finder old_lts in
+    let n = Plts.num_states old_lts in
+    let visited = Bytes.make ((n + 7) / 8) '\000' in
+    let old_queue = Queue.create () in
+    let fresh_seen = FTbl.create 64 in
+    let fresh_queue = Queue.create () in
+    let old_states = ref 0 and source_states = ref 0 and fresh_states = ref 0 in
+    let budget = p.rp_options.max_states in
+    let over_budget () = !old_states + !fresh_states > budget in
+    let visit_old q =
+      if not (bit visited q) then begin
+        Bytes.set visited (q lsr 3)
+          (Char.chr
+             (Char.code (Bytes.get visited (q lsr 3)) lor (1 lsl (q land 7))));
+        incr old_states;
+        Queue.push q old_queue
+      end
+    in
+    let visit_fresh cfg =
+      if not (FTbl.mem fresh_seen cfg) then begin
+        FTbl.replace fresh_seen cfg ();
+        incr fresh_states;
+        Queue.push cfg fresh_queue
+      end
+    in
+    let resolve cfg =
+      match finder cfg with Some q -> visit_old q | None -> visit_fresh cfg
+    in
+    let fresh_labels = ATbl.create 32 in
+    let add_label a = if findable a then ATbl.replace fresh_labels (strip a) () in
+    (* one recompute per revoked (actor, store) pair per source row *)
+    let subst_row cfg emit_keep q =
+      let done_reads = ref [] in
+      Plts.iter_successors old_lts q (fun label dst ->
+          match verdict_of p label with
+          | Keep -> emit_keep label dst
+          | Drop_flow -> ()
+          | Subst_flow cf ->
+            add_label cf.cf_action;
+            resolve (Generate.fire cfg cf)
+          | Subst_read (ai, si) ->
+            if not (List.mem (ai, si) !done_reads) then begin
+              done_reads := (ai, si) :: !done_reads;
+              List.iter
+                (fun (action, dcfg) ->
+                  add_label action;
+                  resolve dcfg)
+                (Generate.potential_reads_at u options ~stamp:p.rp_stamp
+                   ~readable:p.rp_readable.(ai).(si) ~actor:ai ~store:si cfg)
+            end)
+    in
+    let init = Config.initial u in
+    resolve init;
+    let aborted = ref false in
+    let drain_fresh () =
+      while not (Queue.is_empty fresh_queue) && not !aborted do
+        let cfg = Queue.pop fresh_queue in
+        List.iter
+          (fun (action, dcfg) ->
+            add_label action;
+            resolve dcfg)
+          (step_new cfg);
+        if over_budget () then aborted := true
+      done
+    in
+    (* Interleave the two queues until both drain: fresh states found
+       while substituting old rows are stepped, and their successors may
+       resolve back into old states. The order is immaterial — the walk
+       collects a set, not a numbering. *)
+    let kept =
+      match Plts.interned_labels old_lts with
+      | Some labels ->
+        (* packed fast path: one bool per interned label replaces a
+           structural check per transition *)
+        let is_findable = Array.map findable labels in
+        let present = Array.make (max (Array.length labels) 1) false in
+        let drain_old () =
+          while (not (Queue.is_empty old_queue)) && not !aborted do
+            let q = Queue.pop old_queue in
+            if bit affected q then begin
+              incr source_states;
+              let cfg = Plts.state_data old_lts q in
+              subst_row cfg
+                (fun label dst ->
+                  add_label label;
+                  visit_old dst)
+                q
+            end
+            else
+              Plts.iter_successors_lid old_lts q (fun lid dst ->
+                  if is_findable.(lid) then present.(lid) <- true;
+                  visit_old dst);
+            if over_budget () then aborted := true
+          done
+        in
+        let rec go () =
+          if not !aborted then
+            if not (Queue.is_empty old_queue) then begin
+              drain_old ();
+              go ()
+            end
+            else if not (Queue.is_empty fresh_queue) then begin
+              drain_fresh ();
+              go ()
+            end
+        in
+        go ();
+        let acc = ref [] in
+        Array.iteri
+          (fun lid seen -> if seen then acc := strip labels.(lid) :: !acc)
+          present;
+        !acc
+      | None ->
+        (* boxed backend: structural verdict per label (small models) *)
+        let kept = ATbl.create 32 in
+        let rec go () =
+          if not !aborted then
+            if not (Queue.is_empty old_queue) then begin
+              let q = Queue.pop old_queue in
+              if bit affected q then begin
+                incr source_states;
+                let cfg = Plts.state_data old_lts q in
+                subst_row cfg
+                  (fun label dst ->
+                    if findable label then ATbl.replace kept (strip label) ();
+                    visit_old dst)
+                  q
+              end
+              else
+                Plts.iter_successors old_lts q (fun label dst ->
+                    if findable label then ATbl.replace kept (strip label) ();
+                    visit_old dst);
+              if over_budget () then aborted := true;
+              go ()
+            end
+            else if not (Queue.is_empty fresh_queue) then begin
+              drain_fresh ();
+              go ()
+            end
+        in
+        go ();
+        ATbl.fold (fun a () acc -> a :: acc) kept []
+    in
+    if !aborted then None
+    else begin
+      let labels = ATbl.fold (fun a () acc -> a :: acc) fresh_labels kept in
+      Some
+        {
+          wk_labels = labels;
+          wk_old_states = !old_states;
+          wk_source_states = !source_states;
+          wk_fresh_states = !fresh_states;
+        }
+    end
+
+(* Arithmetic pair walk: the packed fast path.
+
+   A shrinking edit only ever *clears* bits relative to the old run, and
+   the cleared bits live in a small region: the dropped fields' store
+   bits (every store) and privacy.has bits (every actor). Could-bits are
+   written but never read by any guard, read or label, so futures that
+   differ only there are bisimilar for label collection and the walk
+   quotients them away.
+
+   Every configuration reachable in the edited model then differs from a
+   unique old state — its {e twin}, reached by the same transition
+   sequence — only inside the region, and only downward (bits cleared,
+   never added). The walk never materialises configurations: a fresh
+   state is the pair (twin's old id, assignment of the twin's region
+   bits that survive), and successors come from the twin's stored edge
+   row by integer arithmetic:
+
+   - a flow edge survives iff the region part of its guard is still
+     assigned (the rest held at the twin and region bits only shrink,
+     so no flow appears that the twin lacked); its writes re-set region
+     bits symmetrically on both sides;
+   - a potential-read group's fresh set is recomputed by word ops from
+     the assignment (readable & contents & ~has per dropped field), and
+     the one negative dependency — clearing has-bits can {e enable}
+     reads the twin never had — is covered by scanning the few
+     region-relevant (actor, store) pairs not present in the twin's row.
+
+   Pass 1 fills the twins' region truth in one sweep over the old graph
+   (BFS numbering: parents precede children); pass 2 is the hybrid BFS.
+   Returns [None] when the patch needs the generic walk (growing
+   substitution, region or state count too wide for one word, an
+   inferred label in the row space), [Some None] on budget abort. *)
+let walk_fast p old_lts affected (labels : Action.t array) =
+  let u = p.rp_u and options = p.rp_options in
+  let nf = Universe.nfields u in
+  let ns = Universe.nstores u in
+  let na = Universe.nactors u in
+  let n = Plts.num_states old_lts in
+  let exception Ineligible in
+  try
+    if nf >= Sys.int_size - 1 then raise Ineligible;
+    let old_by_key = Hashtbl.create 16 in
+    List.iter
+      (fun (cf : Generate.compiled_flow) ->
+        Hashtbl.replace old_by_key (flow_key cf) cf)
+      p.rp_compiled_old;
+    (* ---- the dropped-field region ---- *)
+    let df_mask = ref 0 in
+    let add_field f = df_mask := !df_mask lor (1 lsl f) in
+    Hashtbl.iter
+      (fun key sub ->
+        let old_cf =
+          match Hashtbl.find_opt old_by_key key with
+          | Some cf -> cf
+          | None -> raise Ineligible
+        in
+        match (sub : Generate.compiled_flow option) with
+        | None ->
+          List.iter
+            (fun v -> add_field (Universe.var_field u v))
+            old_cf.Generate.cf_has_vars;
+          (match old_cf.cf_store_write with
+          | None -> ()
+          | Some (_, fis) -> List.iter add_field fis)
+        | Some new_cf ->
+          (* pure shrink required: every new write must be an old one
+             (grants are served by the generic walk) *)
+          if
+            List.exists
+              (fun v -> not (List.mem v old_cf.Generate.cf_has_vars))
+              new_cf.Generate.cf_has_vars
+          then raise Ineligible;
+          List.iter
+            (fun v ->
+              if not (List.mem v new_cf.Generate.cf_has_vars) then
+                add_field (Universe.var_field u v))
+            old_cf.Generate.cf_has_vars;
+          (match (old_cf.cf_store_write, new_cf.cf_store_write) with
+          | None, None -> ()
+          | Some (so, fo), Some (sn, fn) when so = sn ->
+            if List.exists (fun f -> not (List.mem f fo)) fn then
+              raise Ineligible;
+            List.iter (fun f -> if not (List.mem f fn) then add_field f) fo
+          | Some (_, fo), None -> List.iter add_field fo
+          | _ -> raise Ineligible))
+      p.rp_flow_sub;
+    Hashtbl.iter
+      (fun _ (a, s) ->
+        df_mask :=
+          !df_mask
+          lor (p.rp_readable_old.(a).(s) land lnot p.rp_readable.(a).(s)))
+      p.rp_read_keys;
+    let df_mask = !df_mask in
+    let df_arr =
+      let acc = ref [] in
+      for f = nf - 1 downto 0 do
+        if df_mask land (1 lsl f) <> 0 then acc := f :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let dfn = Array.length df_arr in
+    let df_pos = Array.make (max nf 1) (-1) in
+    Array.iteri (fun k f -> df_pos.(f) <- k) df_arr;
+    let rbits = (ns + na) * dfn in
+    let qbits =
+      let b = ref 0 in
+      while (n - 1) lsr !b <> 0 do
+        incr b
+      done;
+      !b
+    in
+    if rbits + qbits > Sys.int_size - 2 then raise Ineligible;
+    let sbit s k = (s * dfn) + k in
+    let hbit a k = (ns * dfn) + (a * dfn) + k in
+    let reg_of_has_fields a fword =
+      let r = ref 0 in
+      for k = 0 to dfn - 1 do
+        if fword land (1 lsl df_arr.(k)) <> 0 then
+          r := !r lor (1 lsl hbit a k)
+      done;
+      !r
+    in
+    let reg_of_flow_writes (cf : Generate.compiled_flow) =
+      let r = ref 0 in
+      List.iter
+        (fun v ->
+          let k = df_pos.(Universe.var_field u v) in
+          if k >= 0 then r := !r lor (1 lsl hbit (Universe.var_actor u v) k))
+        cf.cf_has_vars;
+      (match cf.cf_store_write with
+      | None -> ()
+      | Some (s, fis) ->
+        List.iter
+          (fun f ->
+            let k = df_pos.(f) in
+            if k >= 0 then r := !r lor (1 lsl sbit s k))
+          fis);
+      !r
+    in
+    let reg_of_guard = function
+      | Generate.Always -> 0
+      | Generate.Actor_has vars ->
+        List.fold_left
+          (fun r v ->
+            let k = df_pos.(Universe.var_field u v) in
+            if k >= 0 then r lor (1 lsl hbit (Universe.var_actor u v) k)
+            else r)
+          0 vars
+      | Generate.Store_holds (s, fis) ->
+        List.fold_left
+          (fun r f ->
+            let k = df_pos.(f) in
+            if k >= 0 then r lor (1 lsl sbit s k) else r)
+          0 fis
+    in
+    (* (actor, store) pairs whose readable set meets the region: the
+       only places a read can exist at a pair but not at its twin *)
+    let region_pairs = ref [] in
+    let npairs = ref 0 in
+    if options.Generate.potential_reads then
+      for a = 0 to na - 1 do
+        for s = 0 to ns - 1 do
+          let rdf = p.rp_readable.(a).(s) land df_mask in
+          if rdf <> 0 then begin
+            region_pairs := (a, s, !npairs, rdf) :: !region_pairs;
+            incr npairs
+          end
+        done
+      done;
+    let region_pairs = List.rev !region_pairs in
+    if !npairs > Sys.int_size - 2 then raise Ineligible;
+    (* ---- per-interned-label classification ---- *)
+    let nl = Array.length labels in
+    let kind = Array.make (max nl 1) 0 in
+    (* 0 keep flow / 1 substitute / 2 drop / 3 potential read *)
+    let guard_reg = Array.make (max nl 1) 0 in
+    let wr_new_reg = Array.make (max nl 1) 0 in
+    let wr_old_reg = Array.make (max nl 1) 0 in
+    let subst = Array.make (max nl 1) None in
+    let read_actor = Array.make (max nl 1) (-1) in
+    let read_store = Array.make (max nl 1) (-1) in
+    let read_fields = Array.make (max nl 1) 0 in
+    let read_rdf = Array.make (max nl 1) 0 in
+    let read_k = Array.make (max nl 1) (-1) in
+    let read_pair = Array.make (max nl 1) (-1) in
+    let pair_id = Array.make (max 1 (na * ns)) (-1) in
+    List.iter
+      (fun (a, s, pid, _) -> pair_id.((a * ns) + s) <- pid)
+      region_pairs;
+    Array.iteri
+      (fun lid (a : Action.t) ->
+        match a.Action.provenance with
+        | Action.Inferred -> raise Ineligible
+        | Action.From_flow { service; order } ->
+          let key = (service, order) in
+          let old_cf =
+            match Hashtbl.find_opt old_by_key key with
+            | Some cf -> cf
+            | None -> raise Ineligible
+          in
+          wr_old_reg.(lid) <- reg_of_flow_writes old_cf;
+          (match Hashtbl.find_opt p.rp_flow_sub key with
+          | None ->
+            guard_reg.(lid) <- reg_of_guard old_cf.cf_guard;
+            wr_new_reg.(lid) <- wr_old_reg.(lid)
+          | Some None -> kind.(lid) <- 2
+          | Some (Some cf) ->
+            kind.(lid) <- 1;
+            subst.(lid) <- Some cf;
+            guard_reg.(lid) <- reg_of_guard cf.cf_guard;
+            wr_new_reg.(lid) <- reg_of_flow_writes cf)
+        | Action.Potential -> (
+          match (a.Action.kind, a.Action.store) with
+          | Action.Read, Some sid ->
+            let ai = Universe.actor_index u a.Action.actor in
+            let si = Universe.store_index u sid in
+            let fw =
+              List.fold_left
+                (fun w f -> w lor (1 lsl Universe.field_index u f))
+                0 a.Action.fields
+            in
+            wr_old_reg.(lid) <- reg_of_has_fields ai (fw land df_mask);
+            if
+              options.Generate.granular_reads
+              && fw land p.rp_readable.(ai).(si) = 0
+            then kind.(lid) <- 2 (* revoked singleton: always drops *)
+            else begin
+              kind.(lid) <- 3;
+              read_actor.(lid) <- ai;
+              read_store.(lid) <- si;
+              read_fields.(lid) <- fw;
+              read_rdf.(lid) <- p.rp_readable.(ai).(si) land df_mask;
+              read_pair.(lid) <- pair_id.((ai * ns) + si);
+              if options.Generate.granular_reads then begin
+                let f = ref 0 in
+                while fw lsr !f <> 1 do
+                  incr f
+                done;
+                read_k.(lid) <- df_pos.(!f)
+              end
+            end
+          | _ -> raise Ineligible))
+      labels;
+    (* ---- pass 1: region truth of every old state ---- *)
+    let twin_reg = Array.make n (-1) in
+    (let cfg0 : Config.t = Plts.state_data old_lts 0 in
+     let r = ref 0 in
+     for k = 0 to dfn - 1 do
+       let f = df_arr.(k) in
+       for s = 0 to ns - 1 do
+         if Bitset.get cfg0.Config.stores.(s) f then
+           r := !r lor (1 lsl sbit s k)
+       done;
+       for a = 0 to na - 1 do
+         if
+           Bitset.get cfg0.Config.privacy.Privacy_state.has
+             (Universe.var u ~actor:a ~field:f)
+         then r := !r lor (1 lsl hbit a k)
+       done
+     done;
+     twin_reg.(0) <- !r);
+    for q = 0 to n - 1 do
+      let rq = twin_reg.(q) in
+      if rq >= 0 then
+        Plts.iter_successors_lid old_lts q (fun lid dst ->
+            if twin_reg.(dst) < 0 then
+              twin_reg.(dst) <- rq lor wr_old_reg.(lid))
+    done;
+    (* ---- pass 2: hybrid BFS over old ids and (twin, assignment) ---- *)
+    let visited = Bytes.make ((n + 7) / 8) '\000' in
+    let pair_seen = Hashtbl.create 1024 in
+    let old_queue = Queue.create () and pair_queue = Queue.create () in
+    let old_states = ref 0
+    and source_states = ref 0
+    and fresh_states = ref 0 in
+    let budget = options.Generate.max_states in
+    let over_budget () = !old_states + !fresh_states > budget in
+    let present = Array.make (max nl 1) false in
+    let fresh_labels = ATbl.create 32 in
+    let add_label a = if findable a then ATbl.replace fresh_labels (strip a) () in
+    let emit_read a s bits =
+      let action, _ =
+        Generate.read_action u ~stamp:p.rp_stamp ~actor:a ~store:s bits
+      in
+      add_label action
+    in
+    let visit_old q =
+      if not (bit visited q) then begin
+        Bytes.set visited (q lsr 3)
+          (Char.chr
+             (Char.code (Bytes.get visited (q lsr 3)) lor (1 lsl (q land 7))));
+        incr old_states;
+        Queue.push q old_queue
+      end
+    in
+    let visit_pair q asn =
+      let key = (q lsl rbits) lor asn in
+      if not (Hashtbl.mem pair_seen key) then begin
+        Hashtbl.replace pair_seen key ();
+        incr fresh_states;
+        Queue.push key pair_queue
+      end
+    in
+    let resolve dst asn =
+      let t = twin_reg.(dst) in
+      if t < 0 then raise Ineligible
+      else if asn = t then visit_old dst
+      else visit_pair dst asn
+    in
+    let get_subst lid =
+      match subst.(lid) with
+      | Some (cf : Generate.compiled_flow) -> cf
+      | None -> assert false
+    in
+    let fresh_df a s asn rdf =
+      let r = ref 0 in
+      for k = 0 to dfn - 1 do
+        let fb = 1 lsl df_arr.(k) in
+        if
+          rdf land fb <> 0
+          && asn land (1 lsl sbit s k) <> 0
+          && asn land (1 lsl hbit a k) = 0
+        then r := !r lor fb
+      done;
+      !r
+    in
+    (* old ids: truth = twin; substituted rows re-point edges by the
+       same arithmetic, untouched rows are copied wholesale *)
+    let process_old q =
+      if bit affected q then begin
+        incr source_states;
+        let rq = twin_reg.(q) in
+        if rq < 0 then raise Ineligible;
+        Plts.iter_successors_lid old_lts q (fun lid dst ->
+            match kind.(lid) with
+            | 0 ->
+              present.(lid) <- true;
+              visit_old dst
+            | 2 -> ()
+            | 1 ->
+              let cf = get_subst lid in
+              add_label cf.Generate.cf_action;
+              resolve dst (rq lor wr_new_reg.(lid))
+            | _ ->
+              let a = read_actor.(lid) and s = read_store.(lid) in
+              let fw = read_fields.(lid) in
+              let fresh_new = fw land p.rp_readable.(a).(s) in
+              if fresh_new = fw then begin
+                present.(lid) <- true;
+                visit_old dst
+              end
+              else if fresh_new <> 0 then begin
+                emit_read a s fresh_new;
+                resolve dst (rq lor reg_of_has_fields a (fresh_new land df_mask))
+              end)
+      end
+      else
+        Plts.iter_successors_lid old_lts q (fun lid dst ->
+            present.(lid) <- true;
+            visit_old dst)
+    in
+    let process_pair key =
+      let q = key lsr rbits in
+      let asn = key land ((1 lsl rbits) - 1) in
+      let tq = twin_reg.(q) in
+      let seen_pairs = ref 0 in
+      Plts.iter_successors_lid old_lts q (fun lid dst ->
+          match kind.(lid) with
+          | 0 ->
+            if guard_reg.(lid) land lnot asn = 0 then begin
+              present.(lid) <- true;
+              resolve dst (asn lor wr_new_reg.(lid))
+            end
+          | 2 -> ()
+          | 1 ->
+            if guard_reg.(lid) land lnot asn = 0 then begin
+              let cf = get_subst lid in
+              add_label cf.Generate.cf_action;
+              resolve dst (asn lor wr_new_reg.(lid))
+            end
+          | _ ->
+            let a = read_actor.(lid) and s = read_store.(lid) in
+            if options.Generate.granular_reads then begin
+              let k = read_k.(lid) in
+              if k < 0 then begin
+                (* field outside the region: fresh here iff fresh at the
+                   twin, and the has-bit it sets is not tracked *)
+                present.(lid) <- true;
+                resolve dst asn
+              end
+              else if
+                asn land (1 lsl sbit s k) <> 0
+                && asn land (1 lsl hbit a k) = 0
+              then begin
+                present.(lid) <- true;
+                resolve dst (asn lor (1 lsl hbit a k))
+              end
+            end
+            else begin
+              let pid = read_pair.(lid) in
+              if pid >= 0 then seen_pairs := !seen_pairs lor (1 lsl pid);
+              let fw = read_fields.(lid) in
+              let fdf =
+                if read_rdf.(lid) = 0 then 0
+                else fresh_df a s asn read_rdf.(lid)
+              in
+              let fresh_true = fw land lnot df_mask lor fdf in
+              if fresh_true = fw then begin
+                present.(lid) <- true;
+                resolve dst (asn lor reg_of_has_fields a fdf)
+              end
+              else if fresh_true <> 0 then begin
+                emit_read a s fresh_true;
+                resolve dst (asn lor reg_of_has_fields a fdf)
+              end
+            end);
+      (* reads enabled here but absent from the twin's row: the twin had
+         already identified the field (has-bit set), this pair has not *)
+      if options.Generate.granular_reads then
+        List.iter
+          (fun (a, s, _, rdf) ->
+            for k = 0 to dfn - 1 do
+              let fb = 1 lsl df_arr.(k) in
+              if
+                rdf land fb <> 0
+                && asn land (1 lsl sbit s k) <> 0
+                && asn land (1 lsl hbit a k) = 0
+                && tq land (1 lsl hbit a k) <> 0
+              then begin
+                emit_read a s fb;
+                resolve q (asn lor (1 lsl hbit a k))
+              end
+            done)
+          region_pairs
+      else
+        List.iter
+          (fun (a, s, pid, rdf) ->
+            if !seen_pairs land (1 lsl pid) = 0 then begin
+              let fdf = fresh_df a s asn rdf in
+              if fdf <> 0 then begin
+                emit_read a s fdf;
+                resolve q (asn lor reg_of_has_fields a fdf)
+              end
+            end)
+          region_pairs
+    in
+    visit_old 0;
+    let aborted = ref false in
+    while
+      (not !aborted)
+      && not (Queue.is_empty old_queue && Queue.is_empty pair_queue)
+    do
+      if not (Queue.is_empty old_queue) then process_old (Queue.pop old_queue)
+      else process_pair (Queue.pop pair_queue);
+      if over_budget () then aborted := true
+    done;
+    if !aborted then Some None
+    else begin
+      let is_findable = Array.map findable labels in
+      let acc = ref (ATbl.fold (fun a () l -> a :: l) fresh_labels []) in
+      Array.iteri
+        (fun lid seen ->
+          if seen && is_findable.(lid) then acc := strip labels.(lid) :: !acc)
+        present;
+      Some
+        (Some
+           {
+             wk_labels = !acc;
+             wk_old_states = !old_states;
+             wk_source_states = !source_states;
+             wk_fresh_states = !fresh_states;
+           })
+    end
+  with Ineligible -> None
+
+let walk p old_lts =
+  match affected_bitset p old_lts with
+  | None -> None
+  | Some affected -> (
+    let fast =
+      (* escape hatch for A/B checks: force the exact-stepping walk *)
+      match Sys.getenv_opt "MDPRIV_REGEN_GENERIC" with
+      | Some v when v <> "" -> None
+      | _ -> (
+        match Plts.interned_labels old_lts with
+        | None -> None
+        | Some labels -> walk_fast p old_lts affected labels)
+    in
+    match fast with
+    | Some result -> result
+    | None -> walk_generic p old_lts affected)
+
+(* ----- exact rebuild: hybrid-step re-exploration ----- *)
+
+let rebuild ?(jobs = 1) ?par_threshold ?cancel p old_lts =
+  match affected_bitset p old_lts with
+  | None -> None
+  | Some affected ->
+    let u = p.rp_u and options = p.rp_options in
+    let step_new =
+      Generate.make_step u options ~stamp:p.rp_stamp ~compiled:p.rp_compiled
+        ~readable_words:
+          (if options.potential_reads then Some p.rp_readable else None)
+    in
+    (* [find_state] shares scratch buffers on the packed backend; the
+       parallel explorer calls [step] from several domains, so each
+       domain gets its own finder. *)
+    let finder_key = Domain.DLS.new_key (fun () -> Plts.make_finder old_lts) in
+    let step cfg =
+      let finder = Domain.DLS.get finder_key in
+      match finder cfg with
+      | None -> step_new cfg
+      | Some q ->
+        if not (bit affected q) then begin
+          (* untouched row: the cold step of the edited model emits
+             exactly the old entries (annotations stripped — cold labels
+             are annotation-free and the packed engine interns on full
+             structural equality) *)
+          let acc = ref [] in
+          Plts.iter_successors old_lts q (fun label dst ->
+              acc := (strip label, Plts.state_data old_lts dst) :: !acc);
+          List.rev !acc
+        end
+        else begin
+          let acc = ref [] in
+          let done_reads = ref [] in
+          Plts.iter_successors old_lts q (fun label dst ->
+              match verdict_of p label with
+              | Keep -> acc := (strip label, Plts.state_data old_lts dst) :: !acc
+              | Drop_flow -> ()
+              | Subst_flow cf ->
+                acc := (cf.cf_action, Generate.fire cfg cf) :: !acc
+              | Subst_read (ai, si) ->
+                if not (List.mem (ai, si) !done_reads) then begin
+                  done_reads := (ai, si) :: !done_reads;
+                  List.iter
+                    (fun entry -> acc := entry :: !acc)
+                    (Generate.potential_reads_at u options ~stamp:p.rp_stamp
+                       ~readable:p.rp_readable.(ai).(si) ~actor:ai ~store:si
+                       cfg)
+                end);
+          List.rev !acc
+        end
+    in
+    let init = Config.initial u in
+    let packing = Generate.config_packer options init in
+    Some
+      (Plts.explore ~max_states:options.max_states ~jobs ?par_threshold
+         ?cancel ?packing ?mem_budget:options.mem_budget
+         ?spill_dir:options.spill_dir
+         ~label_class:(Generate.store_classifier u) ~init ~step ())

@@ -1,0 +1,72 @@
+(** Cone-scoped incremental re-exploration (region-granular what-if).
+
+    A pure ACL revocation only {e shrinks} the generated model:
+    deny-overrides means [Policy.allows] flips true->false, effective
+    flow fields shrink, fully denied flows drop, and potential-read
+    field sets shrink — no transition appears in the edited model at a
+    previously explored state whose old successor row lacked one. The
+    edited row of every old state is therefore a pointwise substitution
+    of the old row, and every state that needs one carries an outgoing
+    transition of an affected store class — i.e. it is in that class's
+    cone-source set recorded by [Lts.explore ~label_class]. The
+    untouched majority of the LTS is reused verbatim.
+
+    {!make_patch} decides eligibility by diffing the two universes'
+    compiled artifacts; {!walk} answers a what-if candidate from the
+    reachable findable-label set without building an LTS; {!rebuild}
+    re-explores with a hybrid step and returns an LTS byte-identical to
+    a cold run of the edited model. *)
+
+type patch
+(** An eligible edit's substitution recipe: per-flow substitutes/drops,
+    the revoked (actor, store) readable pairs, and the affected store
+    classes. *)
+
+val make_patch :
+  u_old:Universe.t -> u:Universe.t -> Generate.options -> patch option
+(** [None] when the edit is not a cone-eligible shrink: potential
+    deletes on, model too wide for the word-packed read path, a changed
+    flow whose guard or prereqs moved (enabledness could differ outside
+    the recorded cones), a flow or readable field {e added}, or an
+    affected flow without a store class. *)
+
+val classes : patch -> int list
+(** The affected store classes (deduplicated, unordered). Empty when
+    the edit turned out to have no LTS effect. *)
+
+type walk = {
+  wk_labels : Action.t list;
+      (** The distinct findable (read, non-inferred) labels reachable
+          in the edited model, annotation-free — for a Read/Write ACL
+          edit a finding's level is a pure function of its label, so
+          these determine the edited report's finding signatures and
+          levels. *)
+  wk_old_states : int;  (** previously explored states reached *)
+  wk_source_states : int;  (** of which needed row substitution *)
+  wk_fresh_states : int;  (** states the previous run never stored *)
+}
+
+val walk : patch -> Plts.t -> walk option
+(** Reachability walk over the hybrid graph (old rows substituted in
+    place, fresh states stepped cold): the timed what-if path. Multiple
+    walks over one LTS may run concurrently (each allocates its own
+    finder and scratch). [None] when the previous exploration recorded
+    no cones or the walk exceeds [max_states] — callers fall back to a
+    full rerun. *)
+
+val rebuild :
+  ?jobs:int ->
+  ?par_threshold:int ->
+  ?cancel:Mdp_obs.Cancel.t ->
+  patch ->
+  Plts.t ->
+  Plts.t option
+(** Re-explore the edited model with a hybrid step serving untouched
+    rows straight from the old LTS: the result is byte-identical to a
+    cold [Generate.run] of the edited universe — state numbering,
+    backend packing, spill behaviour and cone summaries included — for
+    every job count. [None] when the previous exploration recorded no
+    cones.
+
+    @raise Mdp_lts.Lts.Too_many_states as a cold run would.
+    @raise Mdp_obs.Cancel.Cancelled when [cancel] fires mid-run. *)

@@ -123,9 +123,24 @@ let repatch_maintenance t u =
   in
   { t with u; entries }
 
-let compile ?(matrix = Risk_matrix.default)
-    ?(model = Disclosure_risk.default_likelihood) u lts =
-  Mdp_obs.Metrics.span "risk_plan/compile" @@ fun () ->
+(* ----- label semantics (shared by [compile] and the cone path) ----- *)
+
+(* Everything needed to turn a transition label into its impact and
+   likelihood plans, precomputed once per universe. [compile] uses one
+   per plan; the cone-scoped what-if path ({!Whatif}) builds one for the
+   edited universe and levels the walked labels directly, without
+   compiling a plan over a rebuilt LTS. *)
+type labeller = {
+  lb_u : Universe.t;
+  lb_svc_ids : (string, int) Hashtbl.t;
+  lb_no_candidates : Bitset.t;
+  lb_rogue : (string * string, Bitset.t) Hashtbl.t;
+      (* (store id, actor id) -> services with a Store -> Actor read
+         flow: the §III-A rogue-service candidates, found once instead
+         of scanning [Diagram.all_flows] per transition per profile. *)
+}
+
+let make_labeller u =
   let diagram = Universe.diagram u in
   let svc_ids = Hashtbl.create 8 in
   List.iteri
@@ -133,93 +148,98 @@ let compile ?(matrix = Risk_matrix.default)
     diagram.Diagram.services;
   let nservices = List.length diagram.Diagram.services in
   let no_candidates = Bitset.create nservices in
-  (* (store id, actor id) -> services with a Store -> Actor read flow:
-     the §III-A rogue-service candidates, found once instead of scanning
-     [Diagram.all_flows] per transition per profile. *)
-  let rogue_candidates = Hashtbl.create 16 in
+  let rogue = Hashtbl.create 16 in
   List.iter
     (fun ((svc : Service.t), (flow : Flow.t)) ->
       match (flow.src, flow.dst) with
       | Flow.Store store, Flow.Actor actor ->
         let key = (store, actor) in
         let bits =
-          match Hashtbl.find_opt rogue_candidates key with
+          match Hashtbl.find_opt rogue key with
           | Some b -> b
           | None ->
             let b = Bitset.create nservices in
-            Hashtbl.add rogue_candidates key b;
+            Hashtbl.add rogue key b;
             b
         in
         Bitset.set bits (Hashtbl.find svc_ids svc.id)
       | _ -> ())
     (Diagram.all_flows diagram);
-  let impact_plan (a : Action.t) =
-    match a.Action.kind with
-    | Action.Collect | Action.Read | Action.Disclose ->
-      Imp_actor
-        {
-          actor = Universe.actor_index u a.actor;
-          fields =
-            Array.of_list (List.map (Universe.field_index u) a.fields);
-        }
-    | Action.Create | Action.Anon ->
-      let created =
-        match a.kind with
-        | Action.Anon -> List.map Field.anon_of a.fields
-        | _ -> a.fields
-      in
-      let store =
-        match a.store with
-        | Some s -> Universe.store_index u s
-        | None -> invalid_arg "transition_impact: create without store"
-      in
-      Imp_readers
-        {
-          fields =
-            Array.of_list
-              (List.map
-                 (fun f ->
-                   let fi = Universe.field_index u f in
-                   (fi, Array.of_list (Universe.readers u ~store ~field:fi)))
-                 created);
-        }
-    | Action.Delete -> Imp_none
-  in
-  let likelihood_plan (a : Action.t) =
-    match (a.Action.kind, a.Action.store) with
-    | Action.Read, Some store_id ->
-      let store = Universe.store_index u store_id in
-      let actor_i = Universe.actor_index u a.actor in
-      let lk_accidental =
-        match a.provenance with
-        | Action.Potential | Action.Inferred -> Acc_potential
-        | Action.From_flow { service; _ } -> (
-          match Hashtbl.find_opt svc_ids service with
-          | Some i -> Acc_agreed i
-          | None -> Acc_by_name service)
-      in
-      let lk_maintenance =
-        List.mem actor_i (Universe.deleters u ~store)
-      in
-      let lk_rogue =
-        match a.provenance with
-        | Action.From_flow _ -> None
-        | Action.Potential | Action.Inferred ->
-          Some
-            (Option.value
-               (Hashtbl.find_opt rogue_candidates (store_id, a.actor))
-               ~default:no_candidates)
-      in
-      Some
-        {
-          lk_accidental;
-          lk_maintenance;
-          lk_rogue;
-          lk_actor = actor_i;
-          lk_store = store;
-        }
-    | _ -> None
-  in
+  { lb_u = u; lb_svc_ids = svc_ids; lb_no_candidates = no_candidates;
+    lb_rogue = rogue }
+
+let impact_plan lb (a : Action.t) =
+  let u = lb.lb_u in
+  match a.Action.kind with
+  | Action.Collect | Action.Read | Action.Disclose ->
+    Imp_actor
+      {
+        actor = Universe.actor_index u a.actor;
+        fields = Array.of_list (List.map (Universe.field_index u) a.fields);
+      }
+  | Action.Create | Action.Anon ->
+    let created =
+      match a.kind with
+      | Action.Anon -> List.map Field.anon_of a.fields
+      | _ -> a.fields
+    in
+    let store =
+      match a.store with
+      | Some s -> Universe.store_index u s
+      | None -> invalid_arg "transition_impact: create without store"
+    in
+    Imp_readers
+      {
+        fields =
+          Array.of_list
+            (List.map
+               (fun f ->
+                 let fi = Universe.field_index u f in
+                 (fi, Array.of_list (Universe.readers u ~store ~field:fi)))
+               created);
+      }
+  | Action.Delete -> Imp_none
+
+let likelihood_plan lb (a : Action.t) =
+  let u = lb.lb_u in
+  match (a.Action.kind, a.Action.store) with
+  | Action.Read, Some store_id ->
+    let store = Universe.store_index u store_id in
+    let actor_i = Universe.actor_index u a.actor in
+    let lk_accidental =
+      match a.provenance with
+      | Action.Potential | Action.Inferred -> Acc_potential
+      | Action.From_flow { service; _ } -> (
+        match Hashtbl.find_opt lb.lb_svc_ids service with
+        | Some i -> Acc_agreed i
+        | None -> Acc_by_name service)
+    in
+    let lk_maintenance = List.mem actor_i (Universe.deleters u ~store) in
+    let lk_rogue =
+      match a.provenance with
+      | Action.From_flow _ -> None
+      | Action.Potential | Action.Inferred ->
+        Some
+          (Option.value
+             (Hashtbl.find_opt lb.lb_rogue (store_id, a.actor))
+             ~default:lb.lb_no_candidates)
+    in
+    Some
+      {
+        lk_accidental;
+        lk_maintenance;
+        lk_rogue;
+        lk_actor = actor_i;
+        lk_store = store;
+      }
+  | _ -> None
+
+let compile ?(matrix = Risk_matrix.default)
+    ?(model = Disclosure_risk.default_likelihood) u lts =
+  Mdp_obs.Metrics.span "risk_plan/compile" @@ fun () ->
+  let lb = make_labeller u in
+  let impact_plan = impact_plan lb in
+  let likelihood_plan = likelihood_plan lb in
   let n = Plts.num_transitions lts in
   let nstates = Plts.num_states lts in
   let entries = ref [] in
@@ -365,6 +385,20 @@ let eval_likelihood model view = function
     let rogue = rogue_term model view lk.lk_rogue in
     (* Shared combination point: float-identical to the naive path. *)
     Disclosure_risk.combine_scenarios model ~accidental ~maintenance ~rogue
+
+let label_level lb ~matrix ~model view (a : Action.t) =
+  let impact = eval_impact view (impact_plan lb a) in
+  (* mirror [summary]'s skip chain: impact = 0 or likelihood = 0
+     categorise to [None_] without the table lookups *)
+  if impact <= 0.0 then Level.None_
+  else begin
+    let likelihood = eval_likelihood model view (likelihood_plan lb a) in
+    if likelihood <= 0.0 then Level.None_
+    else
+      let il = Risk_matrix.impact_level matrix impact in
+      let ll = Risk_matrix.likelihood_level matrix likelihood in
+      Risk_matrix.level matrix ~impact:il ~likelihood:ll
+  end
 
 (* ----- population summary ----- *)
 

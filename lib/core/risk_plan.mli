@@ -99,6 +99,38 @@ val analyse : ?grown:bool -> t -> User_profile.t -> Disclosure_risk.report
     into its scenario terms, so a what-if sweep can re-level just the
     entries an edit touches without re-running {!analyse}. *)
 
+type labeller
+(** Per-universe label semantics — index lookups, reader sets, service
+    ids, rogue-read candidates — the pieces {!compile} precomputes
+    before walking transitions, without the transition walk. The
+    cone-scoped what-if path builds one for the {e edited} universe and
+    levels reachable labels directly. *)
+
+val make_labeller : Universe.t -> labeller
+
+type view
+(** A profile reduced to dense per-index lookups (σ by field index,
+    allowance by actor index, agreement by service bitset). Built
+    against a plan's universe; valid for any universe sharing the
+    diagram — in particular every pure policy edit. *)
+
+val view : t -> User_profile.t -> view
+
+val label_level :
+  labeller ->
+  matrix:Risk_matrix.t ->
+  model:Disclosure_risk.likelihood_model ->
+  view ->
+  Action.t ->
+  Level.t
+(** The finding level a read transition with this label would get under
+    {!analyse} on the labeller's universe — float-identical to the
+    compiled path ({!summary}'s skip chain included). For Read labels a
+    finding's level is a pure function of its label: impact from
+    (actor, fields), likelihood from (provenance, deleter sets,
+    diagram rogue candidates, agreement). [None_] for non-findable or
+    below-threshold labels. *)
+
 type site = {
   site_entry : int;  (** Entry index (transition order). *)
   site_slot : int;  (** Index into {!slots}. *)

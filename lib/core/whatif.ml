@@ -11,11 +11,12 @@ open Mdp_policy
    classified, not recomputed, unless [~exact] asks for the full
    incremental run. *)
 
-type classification = Unchanged | Delta | Replay | Full_rerun
+type classification = Unchanged | Delta | Cone | Replay | Full_rerun
 
 let classification_to_string = function
   | Unchanged -> "unchanged"
   | Delta -> "delta"
+  | Cone -> "cone"
   | Replay -> "replay"
   | Full_rerun -> "full-rerun"
 
@@ -338,6 +339,105 @@ let sensitivity_delta base (after : Edit.inputs) field =
           { s with site_impact = impact }
           ~maintenance:s.site_maintenance)
 
+(* Cone-scoped evaluation: a pure policy-shrink edit re-explored only
+   through the affected store classes' cones ([Regen.walk]). For a
+   Read/Write ACL edit a finding's level is a pure function of its
+   label, so the distinct findable labels reachable in the edited model
+   determine the after-report's signature levels — max level per
+   signature over the walked labels, then a set diff against the base
+   signature levels. Read-only on the base (fresh labeller, finder and
+   scratch per call), so it parallelises like the delta path. Change
+   lists come out sorted by signature — same sets as the exact path,
+   canonical order. *)
+let cone_outcome base edit (after : Edit.inputs) =
+  let u_old = base.analysis.Analysis.universe in
+  let u = Universe.make after.Edit.diagram after.Edit.policy in
+  match Regen.make_patch ~u_old ~u base.options with
+  | None -> None
+  | Some patch -> (
+    Mdp_obs.Metrics.span "whatif/cone" @@ fun () ->
+    match Regen.walk patch base.analysis.Analysis.lts with
+    | None -> None
+    | Some w ->
+      Mdp_obs.Metrics.incr "whatif/cone_hits";
+      let lb = Risk_plan.make_labeller u in
+      let matrix = Risk_plan.matrix base.plan in
+      let model = Risk_plan.model base.plan in
+      let view = Risk_plan.view base.plan base.profile in
+      let after_levels : (Risk_diff.signature, Level.t) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun (a : Action.t) ->
+          let lvl = Risk_plan.label_level lb ~matrix ~model view a in
+          if Level.compare lvl Level.None_ > 0 then begin
+            let s =
+              {
+                Risk_diff.actor = a.Action.actor;
+                store = a.Action.store;
+                kind = a.Action.kind;
+                fields =
+                  List.sort String.compare (List.map Field.name a.fields);
+              }
+            in
+            let prev =
+              Option.value (Hashtbl.find_opt after_levels s)
+                ~default:Level.None_
+            in
+            Hashtbl.replace after_levels s (Level.max prev lvl)
+          end)
+        w.Regen.wk_labels;
+      let worst_after = ref Level.None_ in
+      Hashtbl.iter
+        (fun _ lvl -> worst_after := Level.max !worst_after lvl)
+        after_levels;
+      let removed = ref [] and added = ref [] and changed = ref [] in
+      let unchanged = ref 0 in
+      Array.iteri
+        (fun id before ->
+          if Level.compare before Level.None_ > 0 then begin
+            let s = base.signatures.(id) in
+            match Hashtbl.find_opt after_levels s with
+            | Some after_l ->
+              Hashtbl.remove after_levels s;
+              if Level.equal before after_l then incr unchanged
+              else
+                changed :=
+                  { Risk_diff.signature = s; before; after = after_l }
+                  :: !changed
+            | None ->
+              removed :=
+                { Risk_diff.signature = s; before; after = Level.None_ }
+                :: !removed
+          end)
+        base.base_sig_level;
+      (* anything left was absent from the base report: shrunk labels
+         can intern fresh signatures (smaller field sets) *)
+      Hashtbl.iter
+        (fun s after_l ->
+          added :=
+            { Risk_diff.signature = s; before = Level.None_; after = after_l }
+            :: !added)
+        after_levels;
+      let by_sig (a : Risk_diff.change) (b : Risk_diff.change) =
+        compare a.Risk_diff.signature b.Risk_diff.signature
+      in
+      let diff =
+        {
+          Risk_diff.removed = List.sort by_sig !removed;
+          added = List.sort by_sig !added;
+          changed = List.sort by_sig !changed;
+          unchanged = !unchanged;
+        }
+      in
+      Some
+        {
+          edit;
+          classification = Cone;
+          diff = Some diff;
+          worst_after = Some !worst_after;
+        })
+
 (* ----- per-candidate evaluation ----- *)
 
 let exact_outcome base edit classification =
@@ -358,9 +458,20 @@ let eval_edit ?(exact = false) base edit =
     let inv = Edit.classify ~options:base.options ~before:base.inputs ~after in
     if inv.Edit.inv_lts then begin
       Mdp_obs.Metrics.incr "whatif/invalidated_lts";
-      if exact then Ok (exact_outcome base edit Full_rerun)
-      else
-        Ok { edit; classification = Full_rerun; diff = None; worst_after = None }
+      match
+        if inv.Edit.inv_cone then cone_outcome base edit after else None
+      with
+      | Some o -> Ok o
+      | None ->
+        if exact then Ok (exact_outcome base edit Full_rerun)
+        else
+          Ok
+            {
+              edit;
+              classification = Full_rerun;
+              diff = None;
+              worst_after = None;
+            }
     end
     else begin
       Mdp_obs.Metrics.incr "whatif/incremental_hits";

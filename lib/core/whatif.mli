@@ -14,14 +14,18 @@
       the interactive (<10 ms) path;
     - profile edits that touch agreement, or policy edits needing a
       full re-evaluation over the reused LTS, are [Replay];
-    - edits that may change the reachable transition structure are
-      [Full_rerun].
+    - pure policy-shrink edits that do change the reachable transition
+      structure but only within recorded store cones are answered by a
+      cone-scoped reachability walk ([Cone]) — a computed outcome, set-
+      and level-identical to the exact path, with change lists in
+      canonical (signature-sorted) order;
+    - the remaining structure-changing edits are [Full_rerun].
 
     [Replay]/[Full_rerun] candidates are not computed unless [~exact]
     routes them through {!Analysis.run_incremental} (byte-identical to
     a cold run, seconds on large models). *)
 
-type classification = Unchanged | Delta | Replay | Full_rerun
+type classification = Unchanged | Delta | Cone | Replay | Full_rerun
 
 val classification_to_string : classification -> string
 

@@ -239,6 +239,12 @@ module Make (S : STATE) (L : LABEL) = struct
     mutable cn_states : int array;
     mutable cn_trans : int array;
     mutable cn_last : int array;
+    mutable cn_sources : Bytes.t array;
+        (* Per-class bitset over source state ids: bit [src] set iff the
+           state has at least one outgoing transition in that class.
+           Grown on demand alongside the count arrays; this is what lets
+           an incremental re-exploration seed its frontier from exactly
+           the states a store's edits can touch. *)
   }
 
   type t = {
@@ -976,7 +982,8 @@ module Make (S : STATE) (L : LABEL) = struct
 
   (* ----- store cones ----- *)
 
-  let new_cones () = { cn_states = [||]; cn_trans = [||]; cn_last = [||] }
+  let new_cones () =
+    { cn_states = [||]; cn_trans = [||]; cn_last = [||]; cn_sources = [||] }
 
   let cone_ensure c cls =
     if cls >= Array.length c.cn_states then begin
@@ -988,8 +995,30 @@ module Make (S : STATE) (L : LABEL) = struct
       in
       c.cn_states <- grow c.cn_states 0;
       c.cn_trans <- grow c.cn_trans 0;
-      c.cn_last <- grow c.cn_last (-1)
+      c.cn_last <- grow c.cn_last (-1);
+      let srcs = Array.make cap Bytes.empty in
+      Array.blit c.cn_sources 0 srcs 0 (Array.length c.cn_sources);
+      c.cn_sources <- srcs
     end
+
+  (* Set bit [src] in the class's source bitset, growing it
+     geometrically (byte-granular, so 10M states cost 1.25 MB/class). *)
+  let cone_mark_source c cls src =
+    let bs = c.cn_sources.(cls) in
+    let need = (src lsr 3) + 1 in
+    let bs =
+      if Bytes.length bs >= need then bs
+      else begin
+        let nb = Bytes.make (max need (max 64 (2 * Bytes.length bs))) '\000' in
+        Bytes.blit bs 0 nb 0 (Bytes.length bs);
+        c.cn_sources.(cls) <- nb;
+        nb
+      end
+    in
+    let byte = src lsr 3 in
+    Bytes.unsafe_set bs byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get bs byte) lor (1 lsl (src land 7))))
 
   (* Record one added transition out of [src] in class [cls] (< 0 =
      unclassified, not recorded). Sources arrive in nondecreasing order
@@ -1004,7 +1033,8 @@ module Make (S : STATE) (L : LABEL) = struct
         c.cn_trans.(cls) <- c.cn_trans.(cls) + 1;
         if c.cn_last.(cls) <> src then begin
           c.cn_last.(cls) <- src;
-          c.cn_states.(cls) <- c.cn_states.(cls) + 1
+          c.cn_states.(cls) <- c.cn_states.(cls) + 1;
+          cone_mark_source c cls src
         end
 
   let store_cone_stats t =
@@ -1016,6 +1046,29 @@ module Make (S : STATE) (L : LABEL) = struct
       let len = ref 0 in
       Array.iteri (fun i last -> if last >= 0 then len := i + 1) c.cn_last;
       Some (Array.init !len (fun i -> (c.cn_states.(i), c.cn_trans.(i))))
+
+  let cone_sources t cls =
+    match t.cones with
+    | None -> None
+    | Some c ->
+      if cls < 0 || cls >= Array.length c.cn_sources then Some [||]
+      else begin
+        let bs = c.cn_sources.(cls) in
+        let out = Array.make c.cn_states.(cls) 0 in
+        let k = ref 0 in
+        for byte = 0 to Bytes.length bs - 1 do
+          let v = Char.code (Bytes.unsafe_get bs byte) in
+          if v <> 0 then
+            for bit = 0 to 7 do
+              if v land (1 lsl bit) <> 0 then begin
+                out.(!k) <- (byte lsl 3) lor bit;
+                incr k
+              end
+            done
+        done;
+        Some (if !k = Array.length out then out else Array.sub out 0 !k)
+      end
+
 
   (* ----- construction ----- *)
 
@@ -1094,6 +1147,47 @@ module Make (S : STATE) (L : LABEL) = struct
         shard_find p p.shards.(shard_of h) (tag_of h) p.cand_buf p.cur p.cmp_buf
       in
       if id >= 0 then Some id else None
+
+  (* A lookup closure with private scratch buffers: [find_state] on the
+     packed backend reuses shared encode/compare buffers and is not safe
+     to call from several domains at once; finders are. *)
+  let make_finder t =
+    match t.repr with
+    | Boxed b -> fun s -> Tbl.find_opt b.ids s
+    | Packed p ->
+      let cand = Array.make p.pk.pk_words 0 in
+      let cmp = Array.make p.pk.pk_words 0 in
+      let cur = P.cursor () in
+      fun s ->
+        p.pk.pk_blit s cand 0;
+        let h = P.hash_words cand p.pk.pk_words in
+        let id = shard_find p p.shards.(shard_of h) (tag_of h) cand cur cmp in
+        if id >= 0 then Some id else None
+
+  (* Label-id access for the incremental cone walk: on a packed LTS
+     labels are interned, so a per-candidate verdict ("does this label
+     change under the edit?") can be computed once per distinct label
+     and row scans reduce to one array index per transition. Boxed
+     LTSs have no label table — [None] sends callers down the
+     per-label structural path. *)
+  let interned_labels t =
+    match t.repr with
+    | Boxed _ -> None
+    | Packed p -> Some (Array.sub p.lbl_data 0 p.nlabels)
+
+  let iter_successors_lid t id f =
+    if id < 0 || id >= t.n then invalid_arg "Lts.iter_successors_lid";
+    match t.repr with
+    | Boxed _ -> invalid_arg "Lts.iter_successors_lid: boxed LTS"
+    | Packed p ->
+      iter_row p id f;
+      (match Hashtbl.find_opt p.ov id with
+      | None -> ()
+      | Some o ->
+        for i = 0 to o.olen - 1 do
+          let e = o.oarr.(i) in
+          f (e lsr 32) (e land 0xffff_ffff)
+        done)
 
   let states t = List.init t.n Fun.id
 
@@ -1289,6 +1383,17 @@ module Make (S : STATE) (L : LABEL) = struct
   let iter_transitions t f =
     for src = 0 to t.n - 1 do
       iter_successors t src (fun label dst -> f { src; label; dst })
+    done
+
+  (* Recompute cone summaries (counts + source bitsets) from the stored
+     transitions — used after an incremental rebuild so the fresh LTS
+     supports further cone-scoped edits. Sources are visited in
+     nondecreasing order here, which is what [cone_touch] needs for its
+     one-compare per-state dedup. *)
+  let rebuild_cones t classify =
+    t.cones <- Some (new_cones ());
+    for src = 0 to t.n - 1 do
+      iter_successors t src (fun label _dst -> cone_touch t (classify label) src)
     done
 
   let transitions t =

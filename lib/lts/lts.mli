@@ -244,6 +244,26 @@ module Make (S : STATE) (L : LABEL) : sig
       use. *)
 
   val find_state : t -> S.t -> state_id option
+  (** On a packed LTS this reuses shared scratch buffers — do not call
+      from several domains at once; use {!make_finder} for that. *)
+
+  val make_finder : t -> S.t -> state_id option
+  (** [make_finder t] is a lookup closure with private scratch buffers:
+      distinct finders may run on distinct domains concurrently (each
+      also decodes through its own cursor). Partially apply once per
+      domain and reuse — creation allocates the buffers. *)
+
+  val interned_labels : t -> L.t array option
+  (** The packed backend's interned-label table (a copy), indexed by the
+      label ids {!iter_successors_lid} reports. [None] on a boxed LTS,
+      which interns nothing. Lets a caller precompute one verdict per
+      distinct label instead of re-inspecting labels per transition. *)
+
+  val iter_successors_lid : t -> state_id -> (int -> state_id -> unit) -> unit
+  (** Like {!iter_successors} but passing the interned label id instead
+      of the label — an int-only row scan. Packed backend only.
+
+      @raise Invalid_argument on a boxed LTS. *)
 
   val states : t -> state_id list
   (** All ids as a list — O(n) allocation; prefer {!iter_states} or
@@ -289,6 +309,19 @@ module Make (S : STATE) (L : LABEL) : sig
       with at least one class-[c] transition, and the class-[c]
       transitions themselves. [None] unless [explore] ran with
       [label_class]. *)
+
+  val cone_sources : t -> int -> state_id array option
+  (** The distinct source states with at least one class-[c] outgoing
+      transition, in ascending id order — the frontier seed for a
+      cone-scoped incremental re-exploration. [None] unless [explore]
+      ran with [label_class]; [Some [||]] for a class never touched. *)
+
+  val rebuild_cones : t -> (L.t -> int) -> unit
+  (** Recompute the cone summaries (counts and source sets) of an
+      already-built LTS by classifying every stored transition — one
+      pass over the edges. Used after an incremental rebuild so the
+      fresh LTS answers {!store_cone_stats}/{!cone_sources} exactly as
+      if it had been explored with [label_class]. *)
 
   (** {1 Label rewriting} *)
 

@@ -116,19 +116,30 @@ let rec kind_essence = function
   | Protocol.Population p ->
     Printf.sprintf "population|%d|%d|%.17g" p.psize p.pseed p.pagree
   | Protocol.Whatif w ->
-    (* Edit-delta keys: canonicalise parseable edit specs so equivalent
-       spellings ("read,write" vs "write,read") share a cache entry;
-       unparseable specs key on their raw text (the request will be
+    (* Edit-delta keys: canonicalise parseable edit batches — per-edit
+       normal form plus [Edit.canonical_batch]'s order/dedup rules — so
+       semantically equal batches ("read,write" vs "write,read",
+       reordered independent edits) share one cache entry, while a
+       batch with an extra (possibly vacuous) edit keys separately.
+       Unparseable specs key on their raw text (the request will be
        rejected downstream anyway, uncached). *)
     let edits =
-      List.map
-        (fun s ->
-          match C.Edit.parse s with Ok e -> C.Edit.to_string e | Error _ -> s)
-        w.wedits
+      match C.Edit.parse_all w.wedits with
+      | Ok es -> List.map C.Edit.to_string (C.Edit.canonical_batch es)
+      | Error _ ->
+        List.map
+          (fun s ->
+            match C.Edit.parse s with
+            | Ok e -> C.Edit.to_string e
+            | Error _ -> s)
+          w.wedits
     in
-    Printf.sprintf "whatif|%s|%s|diff=%b"
+    Printf.sprintf "whatif|%s|%s|diff=%b%s"
       (kind_essence (Protocol.Risk w.wprofile))
       (String.concat ";" edits) w.wdiff
+      (match w.wpop with
+      | None -> ""
+      | Some p -> Printf.sprintf "|pop=%d:%d:%.17g" p.psize p.pseed p.pagree)
 
 let artifact_key model_key max_states =
   Printf.sprintf "%s#ms=%d" model_key max_states
@@ -189,34 +200,6 @@ let diff_json (d : C.Risk_diff.t) =
       ("improved", Json.Bool (C.Risk_diff.improved d));
     ]
 
-let whatif_body ~diff ~(inv : C.Edit.invalidation) ~before ~after_t =
-  let after =
-    match after_t.C.Analysis.disclosure with
-    | Some r -> r
-    | None -> assert false (* whatif always runs with a profile *)
-  in
-  Json.Obj
-    ([
-       ("worst_before", level (C.Disclosure_risk.max_level before));
-       ("worst_after", level (C.Disclosure_risk.max_level after));
-       ("findings_after", Json.int (List.length after.findings));
-       ("incremental", Json.Bool (not inv.C.Edit.inv_lts));
-       ( "invalidated",
-         Json.Obj
-           [
-             ("lts", Json.Bool inv.C.Edit.inv_lts);
-             ("plan", Json.Bool inv.C.Edit.inv_plan);
-             ("risk", Json.Bool inv.C.Edit.inv_risk);
-             ("classes", Json.Bool inv.C.Edit.inv_classes);
-             ("pseudonym", Json.Bool inv.C.Edit.inv_pseudonym);
-             ("consistency", Json.Bool inv.C.Edit.inv_consistency);
-           ] );
-     ]
-    @
-    if diff then
-      [ ("diff", diff_json (C.Risk_diff.diff ~before ~after)) ]
-    else [])
-
 let population_body (agg : C.Population.aggregate) =
   Json.Obj
     [
@@ -240,6 +223,50 @@ let population_body (agg : C.Population.aggregate) =
                  ])
              agg.hotspots) );
     ]
+
+let whatif_body ?population ~diff ~(inv : C.Edit.invalidation) ~before
+    ~after_t () =
+  let after =
+    match after_t.C.Analysis.disclosure with
+    | Some r -> r
+    | None -> assert false (* whatif always runs with a profile *)
+  in
+  Json.Obj
+    ([
+       ("worst_before", level (C.Disclosure_risk.max_level before));
+       ("worst_after", level (C.Disclosure_risk.max_level after));
+       ("findings_after", Json.int (List.length after.findings));
+       ("incremental", Json.Bool (not inv.C.Edit.inv_lts));
+       ( "invalidated",
+         Json.Obj
+           [
+             ("lts", Json.Bool inv.C.Edit.inv_lts);
+             ("cone", Json.Bool inv.C.Edit.inv_cone);
+             ("plan", Json.Bool inv.C.Edit.inv_plan);
+             ("risk", Json.Bool inv.C.Edit.inv_risk);
+             ("classes", Json.Bool inv.C.Edit.inv_classes);
+             ("sigma", Json.Bool (inv.C.Edit.inv_sigma <> None));
+             ("pseudonym", Json.Bool inv.C.Edit.inv_pseudonym);
+             ("consistency", Json.Bool inv.C.Edit.inv_consistency);
+           ] );
+     ]
+    @ (match population with
+      | None -> []
+      | Some (pop_before, pop_after, reused, reevaluated) ->
+        [
+          ( "population",
+            Json.Obj
+              [
+                ("before", population_body pop_before);
+                ("after", population_body pop_after);
+                ("classes_reused", Json.int reused);
+                ("classes_reevaluated", Json.int reevaluated);
+              ] );
+        ])
+    @
+    if diff then
+      [ ("diff", diff_json (C.Risk_diff.diff ~before ~after)) ]
+    else [])
 
 (* ----- the pipeline ----- *)
 
@@ -384,7 +411,54 @@ let evaluate t ~akey ~cancel (a : artifact) (kind : Protocol.kind) =
         let after_t =
           C.Analysis.run_incremental ~jobs:t.config.jobs ~previous:base edits
         in
-        whatif_body ~diff:w.wdiff ~inv ~before ~after_t)
+        let population =
+          match w.wpop with
+          | None -> None
+          | Some pop ->
+            let cls = classes_for t ~akey a pop in
+            let cached =
+              C.Population.prepare ~jobs:t.config.jobs ?cancel ~plan
+                ~classes:cls a.universe a.lts []
+            in
+            let pop_before = C.Population.cached_aggregate cached in
+            (* The cached class summaries survive the edit only when
+               nothing but the single profile moved — any policy,
+               diagram or binding change re-levels every class. *)
+            let sigma_only =
+              after_inputs.C.Edit.policy == inputs.C.Edit.policy
+              && after_inputs.C.Edit.diagram == inputs.C.Edit.diagram
+              && after_inputs.C.Edit.bindings == inputs.C.Edit.bindings
+            in
+            let pop_after, reused, reevaluated =
+              match inv.C.Edit.inv_sigma with
+              | Some overrides when sigma_only ->
+                C.Population.reaggregate ~jobs:t.config.jobs ?cancel cached
+                  ~overrides
+              | _ ->
+                (* full recompute against the edited model; the
+                   simulated profiles themselves are unchanged *)
+                let spec =
+                  {
+                    C.Population.seed = pop.Protocol.pseed;
+                    size = pop.psize;
+                    westin_mix = C.Population.default_mix;
+                    agree_probability = pop.pagree;
+                  }
+                in
+                let u' = after_t.C.Analysis.universe in
+                let profiles =
+                  C.Population.simulate spec (C.Universe.diagram u')
+                in
+                let agg =
+                  C.Population.analyse_compiled ~jobs:t.config.jobs ?cancel
+                    ?plan:after_t.C.Analysis.plan u' after_t.C.Analysis.lts
+                    profiles
+                in
+                (agg, 0, List.length (C.Population.classes u' profiles))
+            in
+            Some (pop_before, pop_after, reused, reevaluated)
+        in
+        whatif_body ?population ~diff:w.wdiff ~inv ~before ~after_t ())
 
 (* Breaker accounting: only evidence that the model itself is too
    expensive (state-limit trips, blown deadlines) counts as a failure.

@@ -11,6 +11,7 @@ type whatif_spec = {
   wprofile : profile_spec;
   wedits : string list;
   wdiff : bool;
+  wpop : pop_spec option;
 }
 
 type kind =
@@ -120,33 +121,51 @@ let parse_request line =
         | Ok cmd -> Ok { req_id = id; cmd }
         | Error msg -> fail msg
       in
-      match cmd_name with
-      | "lts" -> analysis Lts_stats
-      | "risk" -> analysis (Risk (profile_of j))
-      | "population" ->
-        let psize = Option.value (int_member "size" j) ~default:1000 in
+      (* Shared by "population" and the what-if [wpop] extension, so a
+         population spec parses identically in both. *)
+      let pop_spec ~default_size =
+        let psize = Option.value (int_member "size" j) ~default:default_size in
         let pseed = Option.value (int_member "pop_seed" j) ~default:7 in
         let pagree =
           Option.value (float_member "agree_probability" j) ~default:0.5
         in
-        if psize < 1 then fail "\"size\" must be positive"
+        if psize < 1 then Error "\"size\" must be positive"
         else if pagree < 0.0 || pagree > 1.0 then
-          fail "\"agree_probability\" must be within [0,1]"
-        else analysis (Population { psize; pseed; pagree })
+          Error "\"agree_probability\" must be within [0,1]"
+        else Ok { psize; pseed; pagree }
+      in
+      match cmd_name with
+      | "lts" -> analysis Lts_stats
+      | "risk" -> analysis (Risk (profile_of j))
+      | "population" -> (
+        match pop_spec ~default_size:1000 with
+        | Ok p -> analysis (Population p)
+        | Error msg -> fail msg)
       | "whatif" -> (
         match Json.member "edits" j with
         | Some (Json.List (_ :: _ as l))
           when List.for_all
                  (fun e -> Json.to_str_opt e <> None)
-                 l ->
-          analysis
-            (Whatif
-               {
-                 wprofile = profile_of j;
-                 wedits = List.filter_map Json.to_str_opt l;
-                 wdiff =
-                   Option.value (bool_member "diff" j) ~default:false;
-               })
+                 l -> (
+          (* an int "size" member opts the what-if into population
+             deltas; absent, no population is computed *)
+          let wpop =
+            match int_member "size" j with
+            | None -> Ok None
+            | Some _ -> Result.map Option.some (pop_spec ~default_size:1000)
+          in
+          match wpop with
+          | Error msg -> fail msg
+          | Ok wpop ->
+            analysis
+              (Whatif
+                 {
+                   wprofile = profile_of j;
+                   wedits = List.filter_map Json.to_str_opt l;
+                   wdiff =
+                     Option.value (bool_member "diff" j) ~default:false;
+                   wpop;
+                 }))
         | _ -> fail "\"whatif\" needs a non-empty string list \"edits\"")
       | "cancel" -> (
         match str_member "target" j with

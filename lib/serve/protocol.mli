@@ -37,6 +37,12 @@ type whatif_spec = {
   wprofile : profile_spec;  (** Same fields as a ["risk"] request. *)
   wedits : string list;  (** [Mdp_core.Edit] concrete specs, in order. *)
   wdiff : bool;  (** Include the per-signature {!Mdp_core.Risk_diff}. *)
+  wpop : pop_spec option;
+      (** Present when the request carries an int ["size"] member (same
+          ["pop_seed"]/["agree_probability"] defaults as a
+          ["population"] request): also report the population aggregate
+          before and after the edits — σ-only edits answered by
+          class-delta reaggregation with reuse counts. *)
 }
 
 type kind =

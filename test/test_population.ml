@@ -112,6 +112,73 @@ let test_classes_distinguish () =
   check int_ "first class has both members" 2 (snd (List.hd classes))
 
 (* ------------------------------------------------------------------ *)
+(* σ-delta reaggregation (PR 10): a 1-field sensitivity edit over a
+   large population re-evaluates only the classes whose σ actually
+   moves, and the re-merged aggregate is byte-identical to a fresh
+   compiled run over the edited profiles. *)
+
+let test_reaggregate_single_class () =
+  let u = Core.Universe.make H.diagram H.policy in
+  let lts = Core.Generate.run u in
+  (* 100k users in five equivalence classes; four of them already sit
+     at σ(Diagnosis) = 0.9, so the edit below moves exactly one. *)
+  let p sens agreed =
+    Core.User_profile.make ~sensitivities:sens ~agreed_services:agreed ()
+  in
+  let patterns =
+    [|
+      p [ (H.diagnosis, 0.9); (H.name, 0.3) ] [];
+      p [ (H.diagnosis, 0.9); (H.name, 0.3) ] [ H.medical_service ];
+      p [ (H.diagnosis, 0.9); (H.treatment, 0.6) ] [ H.research_service ];
+      p [ (H.diagnosis, 0.9) ] [ H.medical_service; H.research_service ];
+      p [ (H.diagnosis, 0.2); (H.name, 0.7) ] [];
+    |]
+  in
+  let profiles =
+    List.init 100_000 (fun i -> patterns.(i mod Array.length patterns))
+  in
+  let cached = Core.Population.prepare ~jobs:4 u lts profiles in
+  check Alcotest.string "cached aggregate matches compiled"
+    (render (Core.Population.analyse_compiled u lts profiles))
+    (render (Core.Population.cached_aggregate cached));
+  let overrides = [ (H.diagnosis, 0.9) ] in
+  let agg, reused, reevaluated =
+    Core.Population.reaggregate ~jobs:4 cached ~overrides
+  in
+  check int_ "only the moved class re-evaluates" 1 reevaluated;
+  check int_ "the other classes are reused" 4 reused;
+  (* Ground truth: the same edit applied profile-wide, analysed cold.
+     The edited fifth class collapses into none of the others (its Name
+     σ differs), so the class structure stays put — but the merge is
+     sums-and-maxes either way. *)
+  let edit prof =
+    Core.User_profile.make
+      ~sensitivities:
+        (List.map
+           (fun (f, v) ->
+             if Mdp_dataflow.Field.equal f H.diagnosis then (f, 0.9)
+             else (f, v))
+           (Core.User_profile.sensitivities prof))
+      ~agreed_services:(Core.User_profile.agreed_services prof)
+      ()
+  in
+  let truth =
+    Core.Population.analyse_compiled ~jobs:1 u lts (List.map edit profiles)
+  in
+  check bool_ "reaggregate structurally equals cold" true (agg = truth);
+  check Alcotest.string "reaggregate byte-identical to cold" (render truth)
+    (render agg);
+  (* jobs-independence and cache immutability: a second pass (jobs 1)
+     answers identically, and a vacuous override reuses everything. *)
+  let agg1, _, _ = Core.Population.reaggregate ~jobs:1 cached ~overrides in
+  check bool_ "jobs=1 agrees" true (agg = agg1);
+  let agg0, r0, e0 = Core.Population.reaggregate cached ~overrides:[] in
+  check int_ "empty override re-evaluates nothing" 0 e0;
+  check int_ "empty override reuses every class" 5 r0;
+  check bool_ "empty override is the base aggregate" true
+    (agg0 = Core.Population.cached_aggregate cached)
+
+(* ------------------------------------------------------------------ *)
 (* Hotspot counting fix: a user with findings at two levels on the same
    (actor, store) used to increment [affected] twice. *)
 
@@ -304,6 +371,11 @@ let () =
         [
           Alcotest.test_case "partition" `Quick test_classes_partition;
           Alcotest.test_case "distinguish" `Quick test_classes_distinguish;
+        ] );
+      ( "reaggregate",
+        [
+          Alcotest.test_case "1-field edit re-evaluates one class" `Quick
+            test_reaggregate_single_class;
         ] );
       ( "hotspots",
         [

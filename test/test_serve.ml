@@ -100,9 +100,28 @@ let test_parse_whatif () =
     | S.Protocol.Whatif w ->
       check bool_ "edits" true (w.wedits = [ "revoke:Actor0:delete:Store0" ]);
       check bool_ "diff" true w.wdiff;
-      check bool_ "profile agree" true (w.wprofile.agreed = [ "Service0" ])
+      check bool_ "profile agree" true (w.wprofile.agreed = [ "Service0" ]);
+      check bool_ "no size, no wpop" true (w.wpop = None)
     | _ -> Alcotest.fail "expected whatif kind")
   | _ -> Alcotest.fail "whatif request did not parse");
+  (let line =
+     {|{"id":"w3","cmd":"whatif","model":"synthetic:4-6-3",|}
+     ^ {|"edits":["sensitivity:Field0=0.9"],"size":500,"pop_seed":9}|}
+   in
+   match S.Protocol.parse_request line with
+   | Ok { cmd = S.Protocol.Analyse { kind = S.Protocol.Whatif w; _ }; _ } ->
+     check bool_ "size opts into wpop" true
+       (w.wpop
+       = Some { S.Protocol.psize = 500; pseed = 9; pagree = 0.5 })
+   | _ -> Alcotest.fail "whatif+size request did not parse");
+  (match
+     S.Protocol.parse_request
+       ({|{"id":"w4","cmd":"whatif","model":"synthetic:4-6-3",|}
+       ^ {|"edits":["sensitivity:Field0=0.9"],"size":0}|})
+   with
+  | Error (Some "w4", msg) ->
+    check bool_ "bad size rejected" true (contains msg "size")
+  | _ -> Alcotest.fail "non-positive size must be rejected");
   match
     S.Protocol.parse_request
       {|{"id":"w2","cmd":"whatif","model":"synthetic:4-6-3","edits":[]}|}
@@ -416,12 +435,13 @@ let test_engine_stale_degradation () =
       (body_string resp)
   | None -> Alcotest.fail "evicted result must be servable as stale"
 
-let whatif_kind ?(diff = false) edits =
+let whatif_kind ?(diff = false) ?pop edits =
   S.Protocol.Whatif
     {
       wprofile = { agreed = [ "Service0" ]; sensitivities = [ ("Field0", 0.4) ] };
       wedits = edits;
       wdiff = diff;
+      wpop = pop;
     }
 
 let test_engine_whatif () =
@@ -469,6 +489,91 @@ let test_engine_whatif () =
     S.Engine.handle e (analyse ~kind:(whatif_kind [ "revoke:Actor0:fly:X" ]) "w5")
   in
   check bool_ "bad edit is an error" true (bad.status = S.Protocol.Error_)
+
+(* Result-cache keys canonicalise the edit batch: a semantically equal
+   permutation of independent edits hits the same entry, while a batch
+   extended with a (semantically vacuous) extra edit keys separately —
+   and must come back correct, not poisoned by the near-miss. *)
+let test_engine_whatif_canonical_key () =
+  let e = S.Engine.create () in
+  let batch = [ "revoke:Actor0:delete:Store0"; "revoke:Actor1:delete:Store1" ] in
+  let permuted = List.rev batch in
+  let cold = S.Engine.handle e (analyse ~kind:(whatif_kind ~diff:true batch) "k1") in
+  check bool_ "cold ok" true (cold.status = S.Protocol.Ok_);
+  check bool_ "cold not cached" false cold.cached;
+  let warm =
+    S.Engine.handle e (analyse ~kind:(whatif_kind ~diff:true permuted) "k2")
+  in
+  check bool_ "permuted batch is a cache hit" true warm.cached;
+  check string_ "permuted batch byte-identical" (body_string cold)
+    (body_string warm);
+  (* Researcher-style vacuous revocation: Actor3 holds nothing on
+     Store0 beyond the store-level grants the synthetic model hands
+     out, so revoking a Write it still makes the batch a distinct
+     request. *)
+  let extended = batch @ [ "revoke:Actor3:write:Store0" ] in
+  let distinct =
+    S.Engine.handle e (analyse ~kind:(whatif_kind ~diff:true extended) "k3")
+  in
+  check bool_ "extended batch ok" true (distinct.status = S.Protocol.Ok_);
+  check bool_ "extended batch is a distinct key" false distinct.cached;
+  (* The vacuous edit changes nothing about the outcome itself. *)
+  let field name body = Json.to_string (Option.get (Json.member name body)) in
+  List.iter
+    (fun f ->
+      check string_ ("extended batch agrees on " ^ f) (field f cold.body)
+        (field f distinct.body))
+    [ "findings_after"; "worst_before"; "worst_after"; "diff" ]
+
+(* A what-if carrying a population size reports the aggregate before
+   and after; a σ-only edit is answered by class-delta reaggregation
+   with reuse accounting. *)
+let test_engine_whatif_population () =
+  let e = S.Engine.create () in
+  let pop = { S.Protocol.psize = 200; pseed = 3; pagree = 0.5 } in
+  let resp =
+    S.Engine.handle e
+      (analyse
+         ~kind:(whatif_kind ~pop [ "sensitivity:Field0=0.5" ])
+         "wp1")
+  in
+  check bool_ "whatif+population ok" true (resp.status = S.Protocol.Ok_);
+  let popj =
+    match Json.member "population" resp.body with
+    | Some j -> j
+    | None -> Alcotest.fail "population member missing"
+  in
+  let int_field name =
+    match Option.bind (Json.member name popj) Json.to_int_opt with
+    | Some n -> n
+    | None -> Alcotest.fail ("population." ^ name ^ " missing")
+  in
+  check bool_ "before aggregate present" true
+    (Json.member "before" popj <> None);
+  check bool_ "after aggregate present" true (Json.member "after" popj <> None);
+  let reused = int_field "classes_reused"
+  and reeval = int_field "classes_reevaluated" in
+  check bool_ "σ edit reuses classes" true (reused > 0);
+  check bool_ "σ edit re-evaluates something" true (reeval > 0);
+  (* An ACL edit goes through the full population recompute: no reuse
+     is claimed, and the population member is still present. *)
+  let acl =
+    S.Engine.handle e
+      (analyse ~kind:(whatif_kind ~pop [ "revoke:Actor0:delete:Store0" ]) "wp2")
+  in
+  check bool_ "acl whatif+population ok" true (acl.status = S.Protocol.Ok_);
+  (match Json.member "population" acl.body with
+  | Some j ->
+    check bool_ "acl path claims no reuse" true
+      (Option.bind (Json.member "classes_reused" j) Json.to_int_opt = Some 0)
+  | None -> Alcotest.fail "population member missing on acl path");
+  (* Without a size, no population is computed. *)
+  let plain =
+    S.Engine.handle e
+      (analyse ~kind:(whatif_kind [ "sensitivity:Field0=0.9" ]) "wp3")
+  in
+  check bool_ "no size, no population" true
+    (Json.member "population" plain.body = None)
 
 let test_engine_malformed_model () =
   let e = S.Engine.create () in
@@ -625,6 +730,10 @@ let () =
             test_engine_stale_degradation;
           Alcotest.test_case "whatif incremental + fallback" `Quick
             test_engine_whatif;
+          Alcotest.test_case "whatif canonical cache keys" `Quick
+            test_engine_whatif_canonical_key;
+          Alcotest.test_case "whatif population deltas" `Quick
+            test_engine_whatif_population;
           Alcotest.test_case "malformed models" `Quick
             test_engine_malformed_model;
         ] );

@@ -397,6 +397,139 @@ let test_parse_roundtrip () =
       | Error _ -> ())
     [ "revoke:Administrator:fly:EHR"; "nonsense"; "sensitivity:X=1.5" ]
 
+(* Quoted identifiers: deterministic canonical-form cases... *)
+let test_parse_roundtrip_quoted () =
+  List.iter
+    (fun spec ->
+      match Core.Edit.parse spec with
+      | Error e -> Alcotest.failf "parse %s: %s" spec e
+      | Ok e ->
+        check string_ ("roundtrip " ^ spec) spec (Core.Edit.to_string e))
+    [
+      {|grant:"my admin":read:"my store"|};
+      {|revoke:"role.trick":read:EHR|};
+      {|revoke:role."read,write":write:"a:b":"k=v","s>t"|};
+      {|flow-:"Svc One":3|};
+      {|flow+:"S,vc":2:store."my store">actor."Dr. Who":"q\"uote":"with space"|};
+      "sensitivity:\"a,b\"=0.5";
+      {|agree:+"Svc One"|};
+    ];
+  (* ...and malformed quoting is rejected, not mangled. *)
+  List.iter
+    (fun bad ->
+      match Core.Edit.parse bad with
+      | Ok e ->
+        Alcotest.failf "accepted bad quoting %s as %s" bad
+          (Core.Edit.to_string e)
+      | Error _ -> ())
+    [ {|revoke:"unterminated:read:EHR|}; {|revoke:mid"quote:read:EHR|} ]
+
+(* ...and the qcheck property over nasty identifiers: every printable
+   edit (all but Set_bindings and deny-effect Grants, which have no
+   spec syntax) satisfies [parse (to_string e) = Ok e]. *)
+let test_quoting_roundtrip =
+  let open QCheck in
+  (* Actor/store/service/purpose names may contain anything. *)
+  let ids =
+    [
+      "plain"; "my store"; "a,b"; "k=v"; "x:y"; "s>t"; "q\"uote";
+      {|back\slash|}; "role.trick"; "two  spaces"; "trailing ";
+    ]
+  in
+  (* Field names: no whitespace (Field.make's invariant), everything
+     else goes. *)
+  let fnames =
+    [ "Field0"; "a,b"; "k=v"; "x:y"; "s>t"; "q\"uote"; {|back\slash|}; "dot.ted" ]
+  in
+  let gen =
+    Gen.(
+      let id = oneofl ids in
+      let field = map Field.make (oneofl fnames) in
+      let fields =
+        oneof
+          [
+            map (fun f -> [ f ]) field;
+            map2
+              (fun a b -> if Field.equal a b then [ a ] else [ a; b ])
+              field field;
+          ]
+      in
+      let subject =
+        oneof
+          [
+            map (fun a -> Acl.Actor_subject a) id;
+            (* an actor literally named like a role spec *)
+            map (fun a -> Acl.Actor_subject ("role." ^ a)) id;
+            map (fun r -> Acl.Role_subject r) id;
+          ]
+      in
+      let perms =
+        oneofl
+          [
+            [ Permission.Read ];
+            [ Permission.Write ];
+            [ Permission.Delete ];
+            [ Permission.Read; Permission.Write ];
+          ]
+      in
+      let grant =
+        map2
+          (fun (subject, store, perms) fields ->
+            match fields with
+            | None -> Core.Edit.Grant (Acl.allow subject ~store perms)
+            | Some fields ->
+              Core.Edit.Grant (Acl.allow subject ~store ~fields perms))
+          (triple subject id perms) (opt fields)
+      in
+      let revoke =
+        map2
+          (fun (subject, store, perms) fields ->
+            Core.Edit.Revoke { subject; store; fields; perms })
+          (triple subject id perms) (opt fields)
+      in
+      let node_pair =
+        oneof
+          [
+            map (fun a -> (Flow.User, Flow.Actor a)) id;
+            map2 (fun a s -> (Flow.Actor a, Flow.Store s)) id id;
+            map2 (fun s a -> (Flow.Store s, Flow.Actor a)) id id;
+          ]
+      in
+      let add_flow =
+        map2
+          (fun (service, (src, dst), order) (fields, purpose) ->
+            Core.Edit.Add_flow
+              { service; flow = Flow.make ~order ~src ~dst ~fields ~purpose })
+          (triple id node_pair (int_bound 20))
+          (pair fields id)
+      in
+      let remove_flow =
+        map2
+          (fun service order -> Core.Edit.Remove_flow { service; order })
+          id (int_bound 20)
+      in
+      let sensitivity =
+        map2
+          (fun f v -> Core.Edit.Set_sensitivity (f, v))
+          field
+          (oneof [ float_bound_inclusive 1.0; oneofl [ 0.0; 0.5; 1.0 ] ])
+      in
+      let agreement =
+        map2
+          (fun service agreed -> Core.Edit.Set_agreement { service; agreed })
+          id bool
+      in
+      oneof [ grant; revoke; add_flow; remove_flow; sensitivity; agreement ])
+  in
+  QCheck.Test.make ~count:500 ~name:"quoted specs roundtrip"
+    (QCheck.make ~print:Core.Edit.to_string gen)
+    (fun e ->
+      match Core.Edit.parse (Core.Edit.to_string e) with
+      | Ok e' -> e' = e
+      | Error msg ->
+        QCheck.Test.fail_reportf "parse %S failed: %s" (Core.Edit.to_string e)
+          msg)
+
 let () =
   Alcotest.run "whatif"
     [
@@ -420,5 +553,10 @@ let () =
           Alcotest.test_case "ranking" `Quick test_sweep_ranking;
         ] );
       ( "specs",
-        [ Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip ] );
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse roundtrip (quoted)" `Quick
+            test_parse_roundtrip_quoted;
+          QCheck_alcotest.to_alcotest test_quoting_roundtrip;
+        ] );
     ]
